@@ -1,0 +1,59 @@
+// Regenerates Fig. 11: execution time of the abduced query vs the actual
+// (ground-truth) benchmark query. Expected shape: comparable runtimes, with
+// abduced queries often faster because they run against precomputed derived
+// relations in the αDB.
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/squid.h"
+#include "exec/executor.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+namespace {
+
+void RunDataset(const char* label, const Database& db, const AbductionReadyDb& adb,
+                const std::vector<BenchmarkQuery>& queries) {
+  std::printf("\n-- %s --\n", label);
+  TablePrinter table(
+      {"query", "actual (ms)", "abduced (ms)", "actual rows", "abduced rows"});
+  SquidConfig config;
+  for (const auto& query : queries) {
+    auto truth_rs = GroundTruth(db, query);
+    if (!truth_rs.ok()) continue;
+    Stopwatch actual_timer;
+    auto actual = ExecuteQuery(db, query.query);
+    double actual_ms = actual_timer.ElapsedMillis();
+    if (!actual.ok()) continue;
+
+    Rng rng(42);
+    auto examples = SampleExamples(truth_rs.value(), 10, &rng);
+    if (examples.size() < 2) continue;
+    Squid squid(&adb, config);
+    auto abduced = squid.Discover(examples);
+    if (!abduced.ok()) continue;
+    Stopwatch abduced_timer;
+    auto abduced_rs = ExecuteQuery(adb.database(), abduced.value().adb_query);
+    double abduced_ms = abduced_timer.ElapsedMillis();
+    if (!abduced_rs.ok()) continue;
+
+    table.AddRow({query.id, TablePrinter::Num(actual_ms, 2),
+                  TablePrinter::Num(abduced_ms, 2),
+                  TablePrinter::Int(actual.value().num_rows()),
+                  TablePrinter::Int(abduced_rs.value().num_rows())});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  Banner("Figure 11", "runtime of abduced vs actual benchmark queries");
+  ImdbBench imdb = BuildImdbBench(scale);
+  RunDataset("IMDb", *imdb.data.db, *imdb.adb, imdb.queries);
+  DblpBench dblp = BuildDblpBench();
+  RunDataset("DBLP", *dblp.data.db, *dblp.adb, dblp.queries);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Regenerates Fig. 12: effect of entity disambiguation on abduction
+// accuracy. The generator plants duplicate person names and movie titles
+// (~3-4% of entities), so sampled example strings can be ambiguous; with
+// disambiguation off, the first candidate row is taken. Expected shape:
+// disambiguation never hurts and can significantly improve f-score.
+
+#include "bench/bench_util.h"
+#include "core/squid.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+int main(int argc, char** argv) {
+  double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 3));
+  Banner("Figure 12", "effect of entity disambiguation (IMDb)");
+
+  ImdbBench imdb = BuildImdbBench(scale);
+  const std::vector<std::string> query_ids = {"IQ2", "IQ3", "IQ4", "IQ11", "IQ14"};
+  const std::vector<size_t> sizes = {5, 10, 15, 20};
+
+  TablePrinter table({"query", "#examples", "f-score w/ DA", "f-score w/o DA"});
+  for (const auto& id : query_ids) {
+    auto query = FindQuery(imdb.queries, id);
+    if (!query.ok()) continue;
+    auto truth = GroundTruth(*imdb.data.db, *query.value());
+    if (!truth.ok()) continue;
+    for (size_t n : sizes) {
+      if (n > truth.value().num_rows()) break;
+      SquidConfig with_da;
+      SquidConfig without_da;
+      without_da.enable_disambiguation = false;
+      auto a = AccuracyAtSize(*imdb.adb, with_da, truth.value(), n, runs, 900 + n);
+      auto b =
+          AccuracyAtSize(*imdb.adb, without_da, truth.value(), n, runs, 900 + n);
+      if (!a.ok() || !b.ok()) continue;
+      table.AddRow({id, TablePrinter::Int(n),
+                    TablePrinter::Num(a.value().metrics.fscore),
+                    TablePrinter::Num(b.value().metrics.fscore)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates Fig. 14: query reverse engineering on the Adult dataset.
+// Both systems receive the ENTIRE query output (closed world); SQuID runs
+// with the optimistic QRE preset (§7.5). Expected shape: both reach
+// f-score 1 on most queries, SQuID emits far fewer predicates (often by
+// orders of magnitude), and SQuID is faster at small input cardinalities
+// while TALOS catches up on the largest ones.
+
+#include "bench/bench_util.h"
+#include "baselines/talos.h"
+#include "common/stopwatch.h"
+#include "core/squid.h"
+#include "exec/executor.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+int main(int argc, char** argv) {
+  size_t rows = static_cast<size_t>(FlagOr(argc, argv, "rows", kAdultBenchRows));
+  Banner("Figure 14", "QRE on Adult: #predicates and discovery time");
+
+  AdultBench bench = BuildAdultBench(rows);
+  TablePrinter table({"query", "cardinality", "actual #pred", "SQuID #pred",
+                      "TALOS #pred", "SQuID time (s)", "TALOS time (s)",
+                      "SQuID f", "TALOS f"});
+
+  for (const auto& query : bench.queries) {
+    auto truth = GroundTruth(*bench.db, query);
+    if (!truth.ok()) continue;
+    std::unordered_set<std::string> intended = ToStringSet(truth.value());
+
+    // SQuID: all output names as examples, optimistic preset.
+    std::vector<std::string> examples;
+    for (const Value& v : truth.value().ColumnValues(0)) {
+      examples.push_back(v.ToString());
+    }
+    SquidConfig config = SquidConfig::Optimistic();
+    Stopwatch squid_timer;
+    Squid squid(bench.adb.get(), config);
+    auto abduced = squid.Discover(examples);
+    double squid_seconds = squid_timer.ElapsedSeconds();
+    size_t squid_preds = 0;
+    Metrics squid_metrics;
+    if (abduced.ok()) {
+      squid_preds = abduced.value().original_query.NumPredicates();
+      auto rs = ExecuteQuery(bench.adb->database(), abduced.value().adb_query);
+      if (rs.ok()) squid_metrics = ComputeMetrics(intended, ToStringSet(rs.value()));
+    }
+
+    // TALOS: intended keys, decision tree to purity.
+    std::vector<Value> keys = GroundTruthKeys(*bench.db, query);
+    auto talos = RunTalos(*bench.adb, query.entity_relation, keys);
+    size_t talos_preds = 0;
+    double talos_seconds = 0;
+    Metrics talos_metrics;
+    if (talos.ok()) {
+      talos_preds = talos.value().num_predicates;
+      talos_seconds = talos.value().seconds;
+      std::unordered_set<std::string> intended_keys, predicted_keys;
+      for (const Value& v : keys) intended_keys.insert(v.ToString());
+      for (const Value& v : talos.value().predicted_keys) {
+        predicted_keys.insert(v.ToString());
+      }
+      talos_metrics = ComputeMetrics(intended_keys, predicted_keys);
+    }
+
+    table.AddRow({query.id, TablePrinter::Int(truth.value().num_rows()),
+                  TablePrinter::Int(query.query.NumPredicates()),
+                  TablePrinter::Int(squid_preds), TablePrinter::Int(talos_preds),
+                  TablePrinter::Num(squid_seconds, 3),
+                  TablePrinter::Num(talos_seconds, 3),
+                  TablePrinter::Num(squid_metrics.fscore, 2),
+                  TablePrinter::Num(talos_metrics.fscore, 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Regenerates the parameter-sensitivity studies of Appendix E:
+//  Fig. 23: base filter prior ρ ∈ {0.5, 0.1, 0.01}  (IQ2, IQ3, IQ4, IQ11, IQ16)
+//  Fig. 24: domain-coverage penalty γ ∈ {0, 2, 5, 10}
+//  Fig. 25: association-strength threshold τa ∈ {0, 5}   (IQ5)
+//  Fig. 26: skewness threshold τs ∈ {off, 0, 2, 4}       (IQ1)
+// Expected shape: moderate ρ and γ are the best average choice; high τa
+// helps drop coincidental filters with few examples; moderate τs removes
+// unintended derived filters without suppressing intended ones.
+
+#include "bench/bench_util.h"
+#include "core/squid.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+namespace {
+
+void Sweep(const ImdbBench& bench, const std::vector<std::string>& ids,
+           const std::vector<std::pair<std::string, SquidConfig>>& configs,
+           size_t runs) {
+  TablePrinter table({"query", "#examples", "setting", "f-score"});
+  const std::vector<size_t> sizes = {5, 10, 15};
+  for (const auto& id : ids) {
+    auto query = FindQuery(bench.queries, id);
+    if (!query.ok()) continue;
+    auto truth = GroundTruth(*bench.data.db, *query.value());
+    if (!truth.ok()) continue;
+    for (size_t n : sizes) {
+      if (n > truth.value().num_rows()) break;
+      for (const auto& [name, config] : configs) {
+        auto point = AccuracyAtSize(*bench.adb, config, truth.value(), n, runs,
+                                    1300 + n);
+        if (!point.ok()) continue;
+        table.AddRow({id, TablePrinter::Int(n), name,
+                      TablePrinter::Num(point.value().metrics.fscore)});
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 2));
+  ImdbBench bench = BuildImdbBench(scale);
+
+  Banner("Figure 23", "sensitivity to the base filter prior rho");
+  {
+    std::vector<std::pair<std::string, SquidConfig>> configs;
+    for (double rho : {0.5, 0.1, 0.01}) {
+      SquidConfig c;
+      c.rho = rho;
+      configs.emplace_back("rho=" + TablePrinter::Num(rho, 2), c);
+    }
+    Sweep(bench, {"IQ2", "IQ3", "IQ4", "IQ11", "IQ16"}, configs, runs);
+  }
+
+  Banner("Figure 24", "sensitivity to the domain-coverage penalty gamma");
+  {
+    std::vector<std::pair<std::string, SquidConfig>> configs;
+    for (double gamma : {0.0, 2.0, 5.0, 10.0}) {
+      SquidConfig c;
+      c.gamma = gamma;
+      configs.emplace_back("gamma=" + TablePrinter::Num(gamma, 0), c);
+    }
+    Sweep(bench, {"IQ2", "IQ3", "IQ4", "IQ11", "IQ16"}, configs, runs);
+  }
+
+  Banner("Figure 25", "sensitivity to the association-strength threshold tau_a");
+  {
+    std::vector<std::pair<std::string, SquidConfig>> configs;
+    for (double tau_a : {0.0, 5.0}) {
+      SquidConfig c;
+      c.tau_a = tau_a;
+      configs.emplace_back("tau_a=" + TablePrinter::Num(tau_a, 0), c);
+    }
+    Sweep(bench, {"IQ5"}, configs, runs);
+  }
+
+  Banner("Figure 26", "sensitivity to the skewness threshold tau_s");
+  {
+    std::vector<std::pair<std::string, SquidConfig>> configs;
+    {
+      SquidConfig off;
+      off.use_outlier_impact = false;
+      configs.emplace_back("tau_s=off", off);
+    }
+    for (double tau_s : {0.0, 2.0, 4.0}) {
+      SquidConfig c;
+      c.tau_s = tau_s;
+      configs.emplace_back("tau_s=" + TablePrinter::Num(tau_s, 0), c);
+    }
+    Sweep(bench, {"IQ1"}, configs, runs);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Regenerates Fig. 9: abduction time vs number of examples.
+//  (a) IMDb and DBLP, averaged over their benchmark queries.
+//  (b) four IMDb size variants (sm-, base, bs-, bd-IMDb).
+// Expected shape: time grows ~linearly with |E| (per-example point queries)
+// and logarithmically-ish with data size; bd > bs (denser associations mean
+// more derived properties per entity).
+
+#include "bench/bench_util.h"
+#include "core/squid.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+namespace {
+
+/// Mean abduction seconds over `queries` at |E| = n (up to `runs` seeds).
+double MeanAbductionSeconds(const Database& db, const AbductionReadyDb& adb,
+                            const std::vector<BenchmarkQuery>& queries, size_t n,
+                            size_t runs) {
+  SquidConfig config;
+  double total = 0;
+  size_t samples = 0;
+  for (const auto& query : queries) {
+    auto truth = GroundTruth(db, query);
+    if (!truth.ok() || truth.value().num_rows() < 2) continue;
+    std::unordered_set<std::string> intended = ToStringSet(truth.value());
+    for (size_t run = 0; run < runs; ++run) {
+      Rng rng(1000 + run);
+      auto examples = SampleExamples(truth.value(), n, &rng);
+      if (examples.size() < 2) continue;
+      auto outcome = RunDiscovery(adb, config, examples, intended);
+      if (!outcome.ok()) continue;
+      total += outcome.value().abduction_seconds;
+      ++samples;
+    }
+  }
+  return samples == 0 ? 0 : total / static_cast<double>(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 2));
+  const std::vector<size_t> sizes = {5, 10, 15, 20, 25, 30};
+
+  Banner("Figure 9(a)", "abduction time vs #examples (IMDb, DBLP)");
+  {
+    ImdbBench imdb = BuildImdbBench(scale);
+    DblpBench dblp = BuildDblpBench();
+    TablePrinter table({"#examples", "IMDb time (s)", "DBLP time (s)"});
+    for (size_t n : sizes) {
+      double imdb_s =
+          MeanAbductionSeconds(*imdb.data.db, *imdb.adb, imdb.queries, n, runs);
+      double dblp_s =
+          MeanAbductionSeconds(*dblp.data.db, *dblp.adb, dblp.queries, n, runs);
+      table.AddRow({TablePrinter::Int(n), TablePrinter::Num(imdb_s, 4),
+                    TablePrinter::Num(dblp_s, 4)});
+    }
+    table.Print();
+  }
+
+  Banner("Figure 9(b)", "abduction time vs dataset size (IMDb variants)");
+  {
+    // Variants at a smaller base scale so bd-IMDb's denser graph stays
+    // bench-friendly.
+    double vscale = scale * 0.6;
+    struct Variant {
+      const char* name;
+      ImdbOptions options;
+    };
+    ImdbOptions sm, base, bs, bd;
+    sm.scale = vscale * 0.4;
+    base.scale = vscale;
+    bs.scale = vscale;
+    bs.duplicate_entities = true;
+    bd.scale = vscale;
+    bd.duplicate_entities = true;
+    bd.dense_duplicates = true;
+    Variant variants[] = {{"sm-IMDb", sm}, {"IMDb", base}, {"bs-IMDb", bs},
+                          {"bd-IMDb", bd}};
+
+    TablePrinter table({"dataset", "rows", "aDB build (s)", "|E|=5 (s)",
+                        "|E|=15 (s)", "|E|=30 (s)"});
+    for (const Variant& v : variants) {
+      auto data = GenerateImdb(v.options);
+      SQUID_CHECK(data.ok());
+      auto adb = AbductionReadyDb::Build(*data.value().db);
+      SQUID_CHECK(adb.ok());
+      auto queries = ImdbBenchmarkQueries(data.value().manifest);
+      std::vector<std::string> row = {
+          v.name, TablePrinter::Int(data.value().db->TotalRows()),
+          TablePrinter::Num(adb.value()->report().build_seconds, 2)};
+      for (size_t n : {5u, 15u, 30u}) {
+        row.push_back(TablePrinter::Num(
+            MeanAbductionSeconds(*data.value().db, *adb.value(), queries, n, 1),
+            4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Engine micro-benchmarks (google-benchmark): the substrate operations the
+// abduction path leans on — value comparison/hashing, index probes,
+// executor joins and aggregation, inverted-index lookup, context discovery,
+// and a full discovery round trip.
+
+#include <benchmark/benchmark.h>
+
+#include "adb/abduction_ready_db.h"
+#include "core/context_discovery.h"
+#include "core/squid.h"
+#include "datagen/imdb_generator.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "storage/column_index.h"
+
+namespace squid {
+namespace {
+
+/// Singleton fixture: the generated dataset + αDB are expensive, build once.
+struct MicroFixture {
+  ImdbData data;
+  std::unique_ptr<AbductionReadyDb> adb;
+
+  static MicroFixture& Get() {
+    static MicroFixture* fixture = [] {
+      ImdbOptions options;
+      options.scale = 0.12;
+      auto data = GenerateImdb(options);
+      if (!data.ok()) std::abort();
+      auto* f = new MicroFixture{std::move(data).value(), nullptr};
+      auto adb = AbductionReadyDb::Build(*f->data.db);
+      if (!adb.ok()) std::abort();
+      f->adb = std::move(adb).value();
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_ValueCompare(benchmark::State& state) {
+  Value a(static_cast<int64_t>(42)), b(43.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_ValueCompare);
+
+void BM_ValueHashString(benchmark::State& state) {
+  Value v("some moderately long string value");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Hash());
+  }
+}
+BENCHMARK(BM_ValueHashString);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const Table* castinfo = f.data.db->GetTable("castinfo").value();
+  static auto index = HashColumnIndex::Build(*castinfo, "person_id").value();
+  int64_t key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(Value(key)));
+    key = key % 500 + 1;
+  }
+}
+BENCHMARK(BM_HashIndexProbe);
+
+void BM_SortedIndexRange(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const Table* movie = f.data.db->GetTable("movie").value();
+  static auto index = SortedColumnIndex::Build(*movie, "year").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Range(Value(static_cast<int64_t>(2000)),
+                                         Value(static_cast<int64_t>(2010))));
+  }
+}
+BENCHMARK(BM_SortedIndexRange);
+
+void BM_InvertedIndexLookup(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const std::string name = f.data.manifest.costar_a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.adb->inverted_index().Lookup(name));
+  }
+}
+BENCHMARK(BM_InvertedIndexLookup);
+
+void BM_ExecutorSPJ(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  auto query = ParseQuery(
+                   "SELECT DISTINCT p.name FROM person p, castinfo c, movie m "
+                   "WHERE c.person_id = p.id AND c.movie_id = m.id AND "
+                   "m.year BETWEEN 2000 AND 2005")
+                   .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteQuery(*f.data.db, query));
+  }
+}
+BENCHMARK(BM_ExecutorSPJ);
+
+void BM_ExecutorGroupByHaving(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  auto query = ParseQuery(
+                   "SELECT p.name FROM person p, castinfo c WHERE "
+                   "c.person_id = p.id GROUP BY p.id HAVING count(*) >= 10")
+                   .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteQuery(*f.data.db, query));
+  }
+}
+BENCHMARK(BM_ExecutorGroupByHaving);
+
+void BM_ContextDiscovery(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  SquidConfig config;
+  std::vector<Value> keys = {Value(static_cast<int64_t>(1)),
+                             Value(static_cast<int64_t>(2)),
+                             Value(static_cast<int64_t>(3))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverContexts(*f.adb, "person", keys, config));
+  }
+}
+BENCHMARK(BM_ContextDiscovery);
+
+void BM_EndToEndDiscover(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  Squid squid(f.adb.get());
+  std::vector<std::string> examples = {f.data.manifest.costar_a,
+                                       f.data.manifest.costar_b};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(squid.Discover(examples));
+  }
+}
+BENCHMARK(BM_EndToEndDiscover);
+
+}  // namespace
+}  // namespace squid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Regenerates the dataset-description tables (Figs. 17/18) and the
+// benchmark-query tables (Figs. 19/20/22): relation counts, row counts,
+// aDB precomputation size/time, and per-query join / selection counts with
+// result cardinalities on the generated data.
+
+#include "bench/bench_util.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+namespace {
+
+void QueryTable(const char* label, const Database& db,
+                const std::vector<BenchmarkQuery>& queries) {
+  std::printf("\n-- %s benchmark queries --\n", label);
+  TablePrinter table({"id", "J", "S", "#result", "description"});
+  for (const auto& q : queries) {
+    auto truth = GroundTruth(db, q);
+    size_t card = truth.ok() ? truth.value().num_rows() : 0;
+    table.AddRow({q.id, TablePrinter::Int(q.num_joins),
+                  TablePrinter::Int(q.num_selections), TablePrinter::Int(card),
+                  q.description});
+  }
+  table.Print();
+}
+
+void DatasetRow(TablePrinter* table, const char* name, const Database& db,
+                const AdbReport& report) {
+  table->AddRow({name, TablePrinter::Int(db.num_tables()),
+                 TablePrinter::Int(db.TotalRows()),
+                 TablePrinter::Int(db.ApproxBytes() / 1024),
+                 TablePrinter::Int(report.num_derived_relations),
+                 TablePrinter::Int(report.derived_rows),
+                 TablePrinter::Int(report.derived_bytes / 1024),
+                 TablePrinter::Num(report.build_seconds, 2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  Banner("Figures 17/18", "datasets and aDB precomputation");
+
+  ImdbBench imdb = BuildImdbBench(scale);
+  DblpBench dblp = BuildDblpBench();
+  AdultBench adult = BuildAdultBench();
+
+  TablePrinter datasets({"dataset", "#relations", "rows", "KB", "#derived",
+                         "derived rows", "derived KB", "precompute (s)"});
+  DatasetRow(&datasets, "IMDb", *imdb.data.db, imdb.adb->report());
+  DatasetRow(&datasets, "DBLP", *dblp.data.db, dblp.adb->report());
+  DatasetRow(&datasets, "Adult", *adult.db, adult.adb->report());
+  datasets.Print();
+
+  QueryTable("IMDb (Fig. 19)", *imdb.data.db, imdb.queries);
+  QueryTable("DBLP (Fig. 20)", *dblp.data.db, dblp.queries);
+  QueryTable("Adult (Fig. 22)", *adult.db, adult.queries);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Query-reverse-engineering example (paper §7.5): given the COMPLETE output
+// of a query (closed world), recover the query. Compares SQuID in its
+// optimistic QRE preset against the TALOS-style decision-tree baseline on
+// one census query — the Fig. 14 protocol for a single row.
+//
+//   ./build/examples/reverse_engineering
+
+#include <cstdio>
+
+#include "adb/abduction_ready_db.h"
+#include "baselines/talos.h"
+#include "core/squid.h"
+#include "datagen/adult_generator.h"
+#include "eval/metrics.h"
+#include "exec/executor.h"
+#include "sql/printer.h"
+#include "workloads/adult_queries.h"
+
+using namespace squid;
+
+int main() {
+  AdultOptions options;
+  options.num_rows = 4000;
+  auto db = GenerateAdult(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto adb = AbductionReadyDb::Build(*db.value());
+  if (!adb.ok()) {
+    std::fprintf(stderr, "%s\n", adb.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = AdultBenchmarkQueries(*db.value());
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  const BenchmarkQuery& target = queries.value()[4];
+  std::printf("Hidden query (%s): %s\n", target.id.c_str(),
+              ToSql(target.query).c_str());
+
+  auto truth = GroundTruth(*db.value(), target);
+  if (!truth.ok()) return 1;
+  std::printf("Its output has %zu rows; both systems receive ALL of them.\n\n",
+              truth.value().num_rows());
+
+  // --- SQuID, optimistic preset. ---
+  std::vector<std::string> examples;
+  for (const Value& v : truth.value().ColumnValues(0)) {
+    examples.push_back(v.ToString());
+  }
+  Squid squid(adb.value().get(), SquidConfig::Optimistic());
+  auto abduced = squid.Discover(examples);
+  if (!abduced.ok()) {
+    std::fprintf(stderr, "%s\n", abduced.status().ToString().c_str());
+    return 1;
+  }
+  auto rs = ExecuteQuery(adb.value()->database(), abduced.value().adb_query);
+  Metrics squid_m =
+      rs.ok() ? ComputeMetrics(ToStringSet(truth.value()), ToStringSet(rs.value()))
+              : Metrics{};
+  std::printf("SQuID abduced (%zu predicates, f-score %.3f):\n%s\n\n",
+              abduced.value().original_query.NumPredicates(), squid_m.fscore,
+              ToSql(abduced.value().original_query, {.multiline = true}).c_str());
+
+  // --- TALOS baseline. ---
+  auto adult = db.value()->GetTable("adult").value();
+  auto names = adult->ColumnByName("name").value();
+  auto ids = adult->ColumnByName("id").value();
+  auto intended = ToStringSet(truth.value());
+  std::vector<Value> keys;
+  for (size_t r = 0; r < adult->num_rows(); ++r) {
+    if (intended.count(names->StringAt(r))) keys.push_back(ids->ValueAt(r));
+  }
+  auto talos = RunTalos(*adb.value(), "adult", keys);
+  if (talos.ok()) {
+    std::printf("TALOS baseline: %zu predicates across %zu rules, %.3f s\n",
+                talos.value().num_predicates, talos.value().rules.size(),
+                talos.value().seconds);
+    std::printf(
+        "-> SQuID recovers the intent with a query of the original's size;\n"
+        "   the decision-tree baseline needs a rule union that is %.0fx "
+        "larger.\n",
+        static_cast<double>(talos.value().num_predicates) /
+            static_cast<double>(
+                std::max<size_t>(1, abduced.value().original_query.NumPredicates())));
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "adb/abduction_ready_db.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace squid {
+
+Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::Build(
+    const Database& base, const AdbOptions& options) {
+  Stopwatch timer;
+  auto adb = std::unique_ptr<AbductionReadyDb>(new AbductionReadyDb());
+
+  // Alias all base tables.
+  for (const std::string& name : base.TableNames()) {
+    SQUID_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, base.GetShared(name));
+    SQUID_RETURN_NOT_OK(adb->db_.AttachTable(table));
+    adb->report_.base_rows += table->num_rows();
+  }
+  adb->report_.base_bytes = base.ApproxBytes();
+
+  // Schema-graph analysis and descriptor discovery.
+  SQUID_ASSIGN_OR_RETURN(SchemaGraph graph,
+                         SchemaGraph::Analyze(base, options.schema_graph));
+  adb->graph_ = std::move(graph);
+  adb->report_.num_descriptors = adb->graph_.descriptors().size();
+
+  // Primary-key indexes for every keyed relation (entities for context
+  // discovery, dimensions for display resolution and IQ7-style base queries
+  // over property relations).
+  for (const std::string& name : base.TableNames()) {
+    SQUID_ASSIGN_OR_RETURN(const Table* table, base.GetTable(name));
+    const auto& pk = table->schema().primary_key();
+    if (!pk) continue;
+    SQUID_ASSIGN_OR_RETURN(HashColumnIndex idx, HashColumnIndex::Build(*table, *pk));
+    adb->entity_pk_index_.emplace(name, std::move(idx));
+  }
+
+  // Materialize derived relations and compute statistics.
+  for (const PropertyDescriptor& desc : adb->graph_.descriptors()) {
+    if (adb->stats_.count(desc.id)) {
+      return Status::Internal("duplicate property descriptor id: " + desc.id);
+    }
+    SQUID_ASSIGN_OR_RETURN(const Table* etable, base.GetTable(desc.entity_relation));
+    if (desc.hops.empty()) {
+      SQUID_ASSIGN_OR_RETURN(PropertyStats stats,
+                             StatisticsBuilder::BuildBasic(base, desc));
+      adb->stats_.emplace(desc.id, std::move(stats));
+      continue;
+    }
+    SQUID_ASSIGN_OR_RETURN(std::shared_ptr<Table> derived,
+                           MaterializeDerivedRelation(base, desc));
+    if (options.max_derived_rows > 0 &&
+        derived->num_rows() > options.max_derived_rows) {
+      SQUID_LOG(Warn) << "skipping oversized derived relation " << desc.derived_table
+                      << " (" << derived->num_rows() << " rows)";
+      continue;
+    }
+    std::unordered_map<Value, double, ValueHash> totals;
+    SQUID_ASSIGN_OR_RETURN(
+        PropertyStats stats,
+        StatisticsBuilder::BuildFromDerived(*derived, etable->num_rows(), &totals));
+    SQUID_ASSIGN_OR_RETURN(HashColumnIndex entity_idx,
+                           HashColumnIndex::Build(*derived, "entity_id"));
+    adb->report_.derived_rows += derived->num_rows();
+    adb->report_.derived_bytes += derived->ApproxBytes();
+    ++adb->report_.num_derived_relations;
+    SQUID_RETURN_NOT_OK(adb->db_.AddTable(std::move(derived)));
+    adb->stats_.emplace(desc.id, std::move(stats));
+    adb->derived_entity_index_.emplace(desc.id, std::move(entity_idx));
+    adb->entity_totals_.emplace(desc.id, std::move(totals));
+  }
+
+  // Inverted column index over the base database.
+  SQUID_ASSIGN_OR_RETURN(InvertedColumnIndex inv, InvertedColumnIndex::Build(base));
+  adb->inverted_index_ = std::move(inv);
+
+  adb->report_.build_seconds = timer.ElapsedSeconds();
+  return adb;
+}
+
+Result<const PropertyStats*> AbductionReadyDb::StatsFor(
+    const std::string& descriptor_id) const {
+  auto it = stats_.find(descriptor_id);
+  if (it == stats_.end()) {
+    return Status::NotFound("no stats for descriptor '" + descriptor_id + "'");
+  }
+  return &it->second;
+}
+
+Result<size_t> AbductionReadyDb::EntityRowByKey(const std::string& relation,
+                                                const Value& key) const {
+  auto it = entity_pk_index_.find(relation);
+  if (it == entity_pk_index_.end()) {
+    return Status::NotFound("no PK index for entity relation '" + relation + "'");
+  }
+  const std::vector<size_t>* rows = it->second.Lookup(key);
+  if (rows == nullptr || rows->empty()) {
+    return Status::NotFound("no " + relation + " row with key " + key.ToString());
+  }
+  return (*rows)[0];
+}
+
+Result<Value> AbductionReadyDb::BasicValue(const PropertyDescriptor& desc,
+                                           size_t row) const {
+  if (!desc.hops.empty()) {
+    return Status::InvalidArgument("BasicValue on non-basic descriptor " + desc.id);
+  }
+  SQUID_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(desc.entity_relation));
+  const Table* current = table;
+  size_t current_row = row;
+  for (const DimHop& dim : desc.dims) {
+    SQUID_ASSIGN_OR_RETURN(const Column* from, current->ColumnByName(dim.from_attr));
+    if (from->IsNull(current_row)) return Value::Null();
+    SQUID_ASSIGN_OR_RETURN(size_t next_row,
+                           EntityRowByKeyOrDim(dim.dim_relation, dim.dim_key,
+                                               from->ValueAt(current_row)));
+    SQUID_ASSIGN_OR_RETURN(const Table* next, db_.GetTable(dim.dim_relation));
+    current = next;
+    current_row = next_row;
+  }
+  SQUID_ASSIGN_OR_RETURN(const Column* terminal,
+                         current->ColumnByName(desc.terminal_attr));
+  return terminal->ValueAt(current_row);
+}
+
+Result<std::vector<std::pair<Value, double>>> AbductionReadyDb::DerivedValues(
+    const PropertyDescriptor& desc, const Value& key) const {
+  auto it = derived_entity_index_.find(desc.id);
+  if (it == derived_entity_index_.end()) {
+    return Status::NotFound("no derived relation for descriptor '" + desc.id + "'");
+  }
+  std::vector<std::pair<Value, double>> out;
+  const std::vector<size_t>* rows = it->second.Lookup(key);
+  if (rows == nullptr) return out;
+  SQUID_ASSIGN_OR_RETURN(const Table* derived, db_.GetTable(desc.derived_table));
+  SQUID_ASSIGN_OR_RETURN(const Column* value_col, derived->ColumnByName("value"));
+  SQUID_ASSIGN_OR_RETURN(const Column* count_col, derived->ColumnByName("count"));
+  out.reserve(rows->size());
+  for (size_t r : *rows) {
+    out.emplace_back(value_col->ValueAt(r),
+                     static_cast<double>(count_col->Int64At(r)));
+  }
+  return out;
+}
+
+double AbductionReadyDb::EntityTotal(const PropertyDescriptor& desc,
+                                     const Value& key) const {
+  auto it = entity_totals_.find(desc.id);
+  if (it == entity_totals_.end()) return 0.0;
+  auto vit = it->second.find(key);
+  return vit == it->second.end() ? 0.0 : vit->second;
+}
+
+std::string AbductionReadyDb::DisplayValue(const PropertyDescriptor& desc,
+                                           const Value& v) const {
+  if (desc.kind == PropertyKind::kDerivedNumericBucket) {
+    auto idx = v.ToNumeric();
+    if (idx.ok()) {
+      size_t i = static_cast<size_t>(idx.value());
+      if (i < desc.bucket_thresholds.size()) {
+        return desc.terminal_attr + ">=" + Value(desc.bucket_thresholds[i]).ToString();
+      }
+    }
+    return v.ToString();
+  }
+  if (desc.kind == PropertyKind::kDerivedEntity) {
+    // Resolve the associate's first text-search attribute for display.
+    auto table = db_.GetTable(desc.terminal_relation);
+    if (table.ok()) {
+      const Schema& s = table.value()->schema();
+      std::string display_attr;
+      if (!s.text_search_attributes().empty()) {
+        display_attr = s.text_search_attributes()[0];
+      } else {
+        for (const auto& a : s.attributes()) {
+          if (a.type == ValueType::kString) {
+            display_attr = a.name;
+            break;
+          }
+        }
+      }
+      if (!display_attr.empty()) {
+        auto it = entity_pk_index_.find(desc.terminal_relation);
+        if (it != entity_pk_index_.end()) {
+          const std::vector<size_t>* rows = it->second.Lookup(v);
+          if (rows != nullptr && !rows->empty()) {
+            auto col = table.value()->ColumnByName(display_attr);
+            if (col.ok()) return col.value()->ValueAt((*rows)[0]).ToString();
+          }
+        }
+      }
+    }
+  }
+  return v.ToString();
+}
+
+Result<size_t> AbductionReadyDb::EntityRowByKeyOrDim(const std::string& relation,
+                                                     const std::string& key_attr,
+                                                     const Value& key) const {
+  // Entity relations have a prebuilt index; dimensions are probed directly.
+  auto it = entity_pk_index_.find(relation);
+  if (it != entity_pk_index_.end()) {
+    const std::vector<size_t>* rows = it->second.Lookup(key);
+    if (rows == nullptr || rows->empty()) {
+      return Status::NotFound("no " + relation + " row with key " + key.ToString());
+    }
+    return (*rows)[0];
+  }
+  SQUID_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(relation));
+  SQUID_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(key_attr));
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (!col->IsNull(r) && col->ValueAt(r) == key) return r;
+  }
+  return Status::NotFound("no " + relation + " row with key " + key.ToString());
+}
+
+}  // namespace squid

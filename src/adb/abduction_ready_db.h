@@ -1,0 +1,109 @@
+#ifndef SQUID_ADB_ABDUCTION_READY_DB_H_
+#define SQUID_ADB_ABDUCTION_READY_DB_H_
+
+/// \file abduction_ready_db.h
+/// \brief The abduction-ready database (αDB, §5): the original database plus
+/// materialized derived relations, precomputed semantic-property statistics,
+/// an inverted column index for entity lookup, and entity-keyed indexes that
+/// make per-example context discovery a sequence of point queries.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adb/derived_relation.h"
+#include "adb/schema_graph.h"
+#include "adb/statistics.h"
+#include "common/status.h"
+#include "storage/column_index.h"
+#include "storage/database.h"
+#include "storage/inverted_index.h"
+
+namespace squid {
+
+/// Options for αDB construction.
+struct AdbOptions {
+  SchemaGraphOptions schema_graph;
+  /// Skip materializing derived relations larger than this many rows
+  /// (0 = no limit). A safety valve for adversarial schemas.
+  size_t max_derived_rows = 0;
+};
+
+/// Build-time and size report (feeds the dataset description tables).
+struct AdbReport {
+  double build_seconds = 0;
+  size_t num_descriptors = 0;
+  size_t num_derived_relations = 0;
+  size_t derived_rows = 0;
+  size_t base_rows = 0;
+  size_t derived_bytes = 0;
+  size_t base_bytes = 0;
+};
+
+/// \brief The αDB. Owns derived tables; aliases the base tables.
+class AbductionReadyDb {
+ public:
+  /// Runs the full offline module of Fig. 4: schema-graph analysis, derived
+  /// relation materialization, selectivity precomputation, inverted-index
+  /// construction.
+  static Result<std::unique_ptr<AbductionReadyDb>> Build(
+      const Database& base, const AdbOptions& options = {});
+
+  /// Database containing base + derived relations (what abduced αDB-form
+  /// queries execute against).
+  const Database& database() const { return db_; }
+
+  const SchemaGraph& schema_graph() const { return graph_; }
+  const InvertedColumnIndex& inverted_index() const { return inverted_index_; }
+  const AdbReport& report() const { return report_; }
+
+  /// Stats for a descriptor (error when the descriptor is unknown).
+  Result<const PropertyStats*> StatsFor(const std::string& descriptor_id) const;
+
+  /// Row id of the entity with primary key `key` in `relation`.
+  Result<size_t> EntityRowByKey(const std::string& relation, const Value& key) const;
+
+  /// Value of an inline / dim-chain descriptor for the entity row `row`.
+  Result<Value> BasicValue(const PropertyDescriptor& desc, size_t row) const;
+
+  /// All (value, count) associations of the entity with key `key` under a
+  /// multi-valued / derived descriptor. Point query on the derived relation.
+  Result<std::vector<std::pair<Value, double>>> DerivedValues(
+      const PropertyDescriptor& desc, const Value& key) const;
+
+  /// Total association count of the entity under the descriptor (for
+  /// normalized association strengths); 0 when the entity has none.
+  double EntityTotal(const PropertyDescriptor& desc, const Value& key) const;
+
+  /// Renders a derived value for display: resolves kDerivedEntity keys to
+  /// the associate's first text attribute, bucket indexes to ">= t" labels.
+  std::string DisplayValue(const PropertyDescriptor& desc, const Value& v) const;
+
+ private:
+  AbductionReadyDb() : db_("adb") {}
+
+  /// Row lookup by key in an entity relation (indexed) or a dimension
+  /// relation (scanned; dimensions are small).
+  Result<size_t> EntityRowByKeyOrDim(const std::string& relation,
+                                     const std::string& key_attr,
+                                     const Value& key) const;
+
+  Database db_;
+  SchemaGraph graph_;
+  InvertedColumnIndex inverted_index_;
+  AdbReport report_;
+
+  // Per entity relation: PK hash index.
+  std::map<std::string, HashColumnIndex> entity_pk_index_;
+  // Per descriptor id: stats, entity->rows index on the derived relation,
+  // per-entity totals.
+  std::map<std::string, PropertyStats> stats_;
+  std::map<std::string, HashColumnIndex> derived_entity_index_;
+  std::map<std::string, std::unordered_map<Value, double, ValueHash>> entity_totals_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_ADB_ABDUCTION_READY_DB_H_

@@ -1,0 +1,156 @@
+#include "adb/derived_relation.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "storage/column_index.h"
+
+namespace squid {
+
+namespace {
+
+/// (entity key, terminal row) pair during traversal.
+struct Arrival {
+  Value entity_key;
+  size_t row;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> MaterializeDerivedRelation(
+    const Database& db, const PropertyDescriptor& desc) {
+  if (desc.hops.empty()) {
+    return Status::InvalidArgument("descriptor '" + desc.id +
+                                   "' has no fact hops; nothing to materialize");
+  }
+  SQUID_ASSIGN_OR_RETURN(const Table* entity, db.GetTable(desc.entity_relation));
+  SQUID_ASSIGN_OR_RETURN(const Column* entity_pk,
+                         entity->ColumnByName(desc.entity_key));
+
+  // Current frontier: per (entity key, row-in-current-relation).
+  const Table* current = entity;
+  std::string current_key_attr = desc.entity_key;
+  std::vector<Arrival> frontier;
+  frontier.reserve(entity->num_rows());
+  for (size_t r = 0; r < entity->num_rows(); ++r) {
+    if (entity_pk->IsNull(r)) continue;
+    frontier.push_back(Arrival{entity_pk->ValueAt(r), r});
+  }
+
+  // Traverse the fact hops.
+  for (size_t h = 0; h < desc.hops.size(); ++h) {
+    const FactHop& hop = desc.hops[h];
+    SQUID_ASSIGN_OR_RETURN(const Table* fact, db.GetTable(hop.fact_table));
+    SQUID_ASSIGN_OR_RETURN(HashColumnIndex fact_in,
+                           HashColumnIndex::Build(*fact, hop.in_attr));
+    SQUID_ASSIGN_OR_RETURN(const Column* fact_out, fact->ColumnByName(hop.out_attr));
+    SQUID_ASSIGN_OR_RETURN(const Table* next, db.GetTable(hop.next_relation));
+    SQUID_ASSIGN_OR_RETURN(HashColumnIndex next_pk,
+                           HashColumnIndex::Build(*next, hop.next_key));
+    SQUID_ASSIGN_OR_RETURN(const Column* current_key,
+                           current->ColumnByName(current_key_attr));
+
+    const bool arrives_at_origin = hop.next_relation == desc.entity_relation;
+    std::vector<Arrival> next_frontier;
+    next_frontier.reserve(frontier.size());
+    for (const Arrival& a : frontier) {
+      Value key = current_key->ValueAt(a.row);
+      if (key.is_null()) continue;
+      const std::vector<size_t>* fact_rows = fact_in.Lookup(key);
+      if (fact_rows == nullptr) continue;
+      for (size_t fr : *fact_rows) {
+        if (fact_out->IsNull(fr)) continue;
+        Value out_key = fact_out->ValueAt(fr);
+        // Skip self-arrivals on paths that loop back to the origin entity.
+        if (arrives_at_origin && out_key == a.entity_key) continue;
+        const std::vector<size_t>* next_rows = next_pk.Lookup(out_key);
+        if (next_rows == nullptr) continue;
+        for (size_t nr : *next_rows) {
+          next_frontier.push_back(Arrival{a.entity_key, nr});
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+    current = next;
+    current_key_attr = hop.next_key;
+  }
+
+  // Apply the FK-dim resolution chain.
+  for (const DimHop& dim : desc.dims) {
+    SQUID_ASSIGN_OR_RETURN(const Column* from, current->ColumnByName(dim.from_attr));
+    SQUID_ASSIGN_OR_RETURN(const Table* next, db.GetTable(dim.dim_relation));
+    SQUID_ASSIGN_OR_RETURN(HashColumnIndex next_pk,
+                           HashColumnIndex::Build(*next, dim.dim_key));
+    std::vector<Arrival> next_frontier;
+    next_frontier.reserve(frontier.size());
+    for (const Arrival& a : frontier) {
+      if (from->IsNull(a.row)) continue;
+      const std::vector<size_t>* next_rows = next_pk.Lookup(from->ValueAt(a.row));
+      if (next_rows == nullptr) continue;
+      for (size_t nr : *next_rows) {
+        next_frontier.push_back(Arrival{a.entity_key, nr});
+      }
+    }
+    frontier = std::move(next_frontier);
+    current = next;
+  }
+
+  SQUID_ASSIGN_OR_RETURN(const Column* terminal,
+                         current->ColumnByName(desc.terminal_attr));
+
+  // Aggregate counts per (entity, value), plus per-entity totals (the size
+  // of the entity's association portfolio, used by normalized association
+  // strengths). std::map keeps output deterministic.
+  std::map<Value, std::map<Value, int64_t>> counts;
+  std::map<Value, int64_t> totals;
+  if (desc.kind == PropertyKind::kDerivedNumericBucket) {
+    // value = bucket index i; count = #associates with attr >= thresholds[i].
+    for (const Arrival& a : frontier) {
+      if (terminal->IsNull(a.row)) continue;
+      double v = terminal->NumericAt(a.row);
+      ++totals[a.entity_key];
+      auto& per_entity = counts[a.entity_key];
+      for (size_t i = 0; i < desc.bucket_thresholds.size(); ++i) {
+        if (v >= desc.bucket_thresholds[i]) {
+          ++per_entity[Value(static_cast<int64_t>(i))];
+        }
+      }
+    }
+  } else {
+    for (const Arrival& a : frontier) {
+      if (terminal->IsNull(a.row)) continue;
+      ++totals[a.entity_key];
+      ++counts[a.entity_key][terminal->ValueAt(a.row)];
+    }
+  }
+
+  // Emit the derived table: (entity_id, value, count, frac) where frac is
+  // the portfolio-normalized association strength count / total.
+  ValueType entity_type = entity_pk->type();
+  ValueType value_type = desc.kind == PropertyKind::kDerivedNumericBucket
+                             ? ValueType::kInt64
+                             : terminal->type();
+  Schema schema(desc.derived_table,
+                {{"entity_id", entity_type},
+                 {"value", value_type},
+                 {"count", ValueType::kInt64},
+                 {"frac", ValueType::kDouble}});
+  schema.AddForeignKey(
+      ForeignKeyDef{"entity_id", desc.entity_relation, desc.entity_key});
+  auto table = std::make_shared<Table>(std::move(schema));
+  size_t total_rows = 0;
+  for (const auto& [_, per_entity] : counts) total_rows += per_entity.size();
+  table->Reserve(total_rows);
+  for (const auto& [entity_key, per_entity] : counts) {
+    double total = static_cast<double>(totals[entity_key]);
+    for (const auto& [value, count] : per_entity) {
+      double frac = total > 0 ? static_cast<double>(count) / total : 0.0;
+      SQUID_RETURN_NOT_OK(
+          table->AppendRow({entity_key, value, Value(count), Value(frac)}));
+    }
+  }
+  return table;
+}
+
+}  // namespace squid

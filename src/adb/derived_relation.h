@@ -1,0 +1,35 @@
+#ifndef SQUID_ADB_DERIVED_RELATION_H_
+#define SQUID_ADB_DERIVED_RELATION_H_
+
+/// \file derived_relation.h
+/// \brief Materializes derived relations (§5, Fig. 5): for a property
+/// descriptor with fact hops, produces the αDB table
+/// `(entity_id, value, count)` — e.g. persontogenre stores how many movies
+/// of each genre each person appeared in (paper query Q6).
+
+#include <memory>
+
+#include "adb/schema_graph.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+/// \brief Materializes the derived relation for `desc` against `db`.
+///
+/// The produced table has schema (entity_id, value, count):
+///  - entity_id: the entity's primary key value;
+///  - value: the terminal property value — a string for categorical
+///    descriptors, the associated entity's key for kDerivedEntity, and the
+///    bucket index for kDerivedNumericBucket (count of associates with
+///    attr >= bucket_thresholds[value]);
+///  - count: the association strength θ (number of path instances).
+///
+/// Traversals that return to the origin entity (e.g. co-actor paths) skip
+/// self-arrivals, so an entity is never its own associate.
+Result<std::shared_ptr<Table>> MaterializeDerivedRelation(
+    const Database& db, const PropertyDescriptor& desc);
+
+}  // namespace squid
+
+#endif  // SQUID_ADB_DERIVED_RELATION_H_

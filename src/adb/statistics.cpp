@@ -1,0 +1,167 @@
+#include "adb/statistics.h"
+
+#include <algorithm>
+
+#include "storage/column_index.h"
+
+namespace squid {
+
+namespace {
+
+/// Resolves the dim-chain value of `desc` for entity row `row`, returning
+/// NULL when any link is missing. `pk_indexes[i]` indexes dims[i]'s relation.
+Result<Value> ResolveDims(const Database& db, const PropertyDescriptor& desc,
+                          const Table& entity, size_t row,
+                          const std::vector<HashColumnIndex>& pk_indexes) {
+  const Table* current = &entity;
+  size_t current_row = row;
+  for (size_t i = 0; i < desc.dims.size(); ++i) {
+    const DimHop& dim = desc.dims[i];
+    SQUID_ASSIGN_OR_RETURN(const Column* from, current->ColumnByName(dim.from_attr));
+    if (from->IsNull(current_row)) return Value::Null();
+    const std::vector<size_t>* rows = pk_indexes[i].Lookup(from->ValueAt(current_row));
+    if (rows == nullptr || rows->empty()) return Value::Null();
+    SQUID_ASSIGN_OR_RETURN(const Table* next, db.GetTable(dim.dim_relation));
+    current = next;
+    current_row = (*rows)[0];
+  }
+  SQUID_ASSIGN_OR_RETURN(const Column* terminal,
+                         current->ColumnByName(desc.terminal_attr));
+  return terminal->ValueAt(current_row);
+}
+
+/// Fraction of `sorted` (ascending) that is >= theta.
+double SuffixFraction(const std::vector<double>& sorted, double theta, size_t total) {
+  if (total == 0) return 0.0;
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), theta);
+  return static_cast<double>(sorted.end() - it) / static_cast<double>(total);
+}
+
+}  // namespace
+
+size_t PropertyStats::domain_size() const {
+  if (!sorted_values_.empty()) {
+    size_t distinct = 0;
+    for (size_t i = 0; i < sorted_values_.size(); ++i) {
+      if (i == 0 || sorted_values_[i] != sorted_values_[i - 1]) ++distinct;
+    }
+    return distinct;
+  }
+  if (!value_counts_.empty()) return value_counts_.size();
+  return theta_by_value_.size();
+}
+
+double PropertyStats::SelectivityEquals(const Value& v) const {
+  if (total_entities_ == 0) return 0.0;
+  if (kind_ == PropertyKind::kInlineNumeric) {
+    auto num = v.ToNumeric();
+    if (!num.ok()) return 0.0;
+    return SelectivityRange(num.value(), num.value());
+  }
+  auto it = value_counts_.find(v);
+  if (it == value_counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_entities_);
+}
+
+double PropertyStats::SelectivityRange(double lo, double hi) const {
+  if (total_entities_ == 0 || sorted_values_.empty()) return 0.0;
+  auto begin = std::lower_bound(sorted_values_.begin(), sorted_values_.end(), lo);
+  auto end = std::upper_bound(sorted_values_.begin(), sorted_values_.end(), hi);
+  return static_cast<double>(end - begin) / static_cast<double>(total_entities_);
+}
+
+double PropertyStats::SelectivityDerived(const Value& v, double theta) const {
+  auto it = theta_by_value_.find(v);
+  if (it == theta_by_value_.end()) return 0.0;
+  return SuffixFraction(it->second, theta, total_entities_);
+}
+
+double PropertyStats::SelectivityDerivedNormalized(const Value& v, double frac) const {
+  auto it = theta_norm_by_value_.find(v);
+  if (it == theta_norm_by_value_.end()) return 0.0;
+  return SuffixFraction(it->second, frac, total_entities_);
+}
+
+size_t PropertyStats::EntitiesWithValue(const Value& v) const {
+  auto vit = value_counts_.find(v);
+  if (vit != value_counts_.end()) return vit->second;
+  auto tit = theta_by_value_.find(v);
+  if (tit != theta_by_value_.end()) return tit->second.size();
+  return 0;
+}
+
+Result<PropertyStats> StatisticsBuilder::BuildBasic(const Database& db,
+                                                    const PropertyDescriptor& desc) {
+  if (!desc.hops.empty()) {
+    return Status::InvalidArgument(
+        "BuildBasic called on descriptor with fact hops: " + desc.id);
+  }
+  SQUID_ASSIGN_OR_RETURN(const Table* entity, db.GetTable(desc.entity_relation));
+  PropertyStats stats;
+  stats.kind_ = desc.kind;
+  stats.total_entities_ = entity->num_rows();
+
+  std::vector<HashColumnIndex> pk_indexes;
+  for (const DimHop& dim : desc.dims) {
+    SQUID_ASSIGN_OR_RETURN(const Table* dt, db.GetTable(dim.dim_relation));
+    SQUID_ASSIGN_OR_RETURN(HashColumnIndex idx,
+                           HashColumnIndex::Build(*dt, dim.dim_key));
+    pk_indexes.push_back(std::move(idx));
+  }
+
+  for (size_t r = 0; r < entity->num_rows(); ++r) {
+    SQUID_ASSIGN_OR_RETURN(Value v, ResolveDims(db, desc, *entity, r, pk_indexes));
+    if (v.is_null()) continue;
+    if (desc.kind == PropertyKind::kInlineNumeric) {
+      SQUID_ASSIGN_OR_RETURN(double num, v.ToNumeric());
+      stats.sorted_values_.push_back(num);
+    } else {
+      ++stats.value_counts_[v];
+    }
+  }
+  if (desc.kind == PropertyKind::kInlineNumeric) {
+    std::sort(stats.sorted_values_.begin(), stats.sorted_values_.end());
+    if (!stats.sorted_values_.empty()) {
+      stats.domain_min_ = stats.sorted_values_.front();
+      stats.domain_max_ = stats.sorted_values_.back();
+    }
+  }
+  return stats;
+}
+
+Result<PropertyStats> StatisticsBuilder::BuildFromDerived(
+    const Table& derived, size_t total_entities,
+    std::unordered_map<Value, double, ValueHash>* entity_totals) {
+  PropertyStats stats;
+  stats.kind_ = PropertyKind::kDerivedCategorical;  // refined by caller if needed
+  stats.total_entities_ = total_entities;
+
+  SQUID_ASSIGN_OR_RETURN(const Column* entity_col, derived.ColumnByName("entity_id"));
+  SQUID_ASSIGN_OR_RETURN(const Column* value_col, derived.ColumnByName("value"));
+  SQUID_ASSIGN_OR_RETURN(const Column* count_col, derived.ColumnByName("count"));
+  SQUID_ASSIGN_OR_RETURN(const Column* frac_col, derived.ColumnByName("frac"));
+
+  entity_totals->clear();
+  entity_totals->reserve(total_entities);
+  for (size_t r = 0; r < derived.num_rows(); ++r) {
+    Value v = value_col->ValueAt(r);
+    double count = static_cast<double>(count_col->Int64At(r));
+    double frac = frac_col->DoubleAt(r);
+    stats.theta_by_value_[v].push_back(count);
+    stats.theta_norm_by_value_[v].push_back(frac);
+    // Recover the portfolio total from (count, frac); rows of one entity all
+    // agree on it.
+    if (count > 0 && frac > 0) {
+      (*entity_totals)[entity_col->ValueAt(r)] = count / frac;
+    }
+  }
+  for (auto& [_, thetas] : stats.theta_by_value_) {
+    std::sort(thetas.begin(), thetas.end());
+  }
+  for (auto& [_, thetas] : stats.theta_norm_by_value_) {
+    std::sort(thetas.begin(), thetas.end());
+  }
+  return stats;
+}
+
+}  // namespace squid

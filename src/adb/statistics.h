@@ -1,0 +1,95 @@
+#ifndef SQUID_ADB_STATISTICS_H_
+#define SQUID_ADB_STATISTICS_H_
+
+/// \file statistics.h
+/// \brief Precomputed semantic-property statistics (§5 "Smart selectivity
+/// computation"). For each property descriptor the αDB stores enough to
+/// answer, in O(log n):
+///  - categorical / multi-valued: ψ(attr = v);
+///  - numeric: ψ(lo <= attr <= hi) via prefix counts over sorted values,
+///    plus the domain extent used by the domain-coverage penalty δ(φ);
+///  - derived: ψ(value = v, count >= θ) via per-value sorted association
+///    strengths (suffix counts), in absolute or portfolio-normalized form.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adb/schema_graph.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+/// Statistics for one property descriptor.
+class PropertyStats {
+ public:
+  PropertyKind kind() const { return kind_; }
+
+  /// Number of entities in the descriptor's entity relation.
+  size_t total_entities() const { return total_entities_; }
+
+  /// Number of distinct property values observed.
+  size_t domain_size() const;
+
+  /// Domain extent (numeric descriptors; 0 when unavailable).
+  double domain_min() const { return domain_min_; }
+  double domain_max() const { return domain_max_; }
+
+  /// ψ(attr = v): fraction of entities with the value (categorical,
+  /// dim-chain, multi-valued descriptors).
+  double SelectivityEquals(const Value& v) const;
+
+  /// ψ(attr in [lo, hi]) for inline-numeric descriptors.
+  double SelectivityRange(double lo, double hi) const;
+
+  /// ψ(value = v, count >= theta) for derived descriptors.
+  double SelectivityDerived(const Value& v, double theta) const;
+
+  /// Same with θ as a fraction of the entity's total association count.
+  double SelectivityDerivedNormalized(const Value& v, double frac) const;
+
+  /// Number of entities that have any association for value v (θ >= 1).
+  size_t EntitiesWithValue(const Value& v) const;
+
+ private:
+  friend class StatisticsBuilder;
+
+  PropertyKind kind_ = PropertyKind::kInlineCategorical;
+  size_t total_entities_ = 0;
+
+  // Categorical-style: value -> #entities.
+  std::unordered_map<Value, size_t, ValueHash> value_counts_;
+
+  // Inline numeric: all non-null values, sorted ascending.
+  std::vector<double> sorted_values_;
+  double domain_min_ = 0;
+  double domain_max_ = 0;
+
+  // Derived: value -> sorted association strengths across entities
+  // (ascending), absolute and normalized by per-entity totals.
+  std::unordered_map<Value, std::vector<double>, ValueHash> theta_by_value_;
+  std::unordered_map<Value, std::vector<double>, ValueHash> theta_norm_by_value_;
+};
+
+/// \brief Builds PropertyStats for descriptors.
+class StatisticsBuilder {
+ public:
+  /// Stats for inline / dim-chain descriptors, computed from the entity
+  /// table (resolving FK-dim chains through `db`).
+  static Result<PropertyStats> BuildBasic(const Database& db,
+                                          const PropertyDescriptor& desc);
+
+  /// Stats for multi-valued / derived descriptors, computed from the
+  /// materialized derived relation (entity_id, value, count).
+  /// `entity_totals` maps entity key -> total association count, used for
+  /// normalized association strengths; it is also an output (filled here).
+  static Result<PropertyStats> BuildFromDerived(
+      const Table& derived, size_t total_entities,
+      std::unordered_map<Value, double, ValueHash>* entity_totals);
+};
+
+}  // namespace squid
+
+#endif  // SQUID_ADB_STATISTICS_H_

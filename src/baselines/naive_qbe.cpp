@@ -1,0 +1,23 @@
+#include "baselines/naive_qbe.h"
+
+#include "core/entity_lookup.h"
+
+namespace squid {
+
+Result<NaiveQbeResult> NaiveQbe(const AbductionReadyDb& adb,
+                                const std::vector<std::string>& examples) {
+  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
+                         LookupExamples(adb, examples));
+  const EntityMatch& match = matches.front();
+  NaiveQbeResult out;
+  out.relation = match.relation;
+  out.attribute = match.attribute;
+  SelectQuery q;
+  q.distinct = true;
+  q.from.push_back(TableRef{match.relation, match.relation});
+  q.select_list.push_back(SelectItem{{match.relation, match.attribute}});
+  out.query = Query::Single(std::move(q));
+  return out;
+}
+
+}  // namespace squid

@@ -1,0 +1,31 @@
+#ifndef SQUID_BASELINES_NAIVE_QBE_H_
+#define SQUID_BASELINES_NAIVE_QBE_H_
+
+/// \file naive_qbe.h
+/// \brief Structure-only QBE baseline: the behaviour the paper ascribes to
+/// traditional QBE systems (Example 1.1/1.2) — find the (relation,
+/// attribute) containing all examples and emit the generic project query
+/// (Q1/Q3), ignoring all semantic context.
+
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace squid {
+
+struct NaiveQbeResult {
+  std::string relation;
+  std::string attribute;
+  Query query;  // SELECT DISTINCT relation.attribute FROM relation
+};
+
+/// Runs the structural baseline against the αDB's inverted index.
+Result<NaiveQbeResult> NaiveQbe(const AbductionReadyDb& adb,
+                                const std::vector<std::string>& examples);
+
+}  // namespace squid
+
+#endif  // SQUID_BASELINES_NAIVE_QBE_H_

@@ -1,0 +1,63 @@
+#ifndef SQUID_BASELINES_TALOS_H_
+#define SQUID_BASELINES_TALOS_H_
+
+/// \file talos.h
+/// \brief TALOS-style query reverse engineering baseline (reference [55] of
+/// the paper; compared against in §7.5).
+///
+/// TALOS operates closed-world: the provided examples are the complete
+/// intended output. It (1) denormalizes the entity relation along its join
+/// paths (entity ⋈ association fact ⋈ associate ⋈ property links), (2)
+/// labels every denormalized ROW positive when its entity's projected value
+/// is among the examples — the label-propagation step that mislabels rows
+/// and causes the IQ1 failure the paper describes — (3) learns a decision
+/// tree over the denormalized attributes, and (4) extracts the positive
+/// leaf paths as a union of conjunctive predicates.
+
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "ml/decision_tree.h"
+
+namespace squid {
+
+struct TalosOptions {
+  DecisionTreeOptions tree;
+  /// Cap on denormalized rows (0 = unlimited); stratified downsampling keeps
+  /// all positive-entity rows.
+  size_t max_denormalized_rows = 300000;
+  uint64_t seed = 7;
+
+  TalosOptions() {
+    tree.max_depth = 30;
+    tree.min_samples_leaf = 1;
+  }
+};
+
+struct TalosResult {
+  /// Union of conjunctive rules extracted from positive leaves.
+  std::vector<Rule> rules;
+  /// Predicate-count metric of Figs. 14/15: join predicates of the
+  /// denormalization plus one predicate per rule condition.
+  size_t num_predicates = 0;
+  /// Entity keys classified positive (the reverse-engineered query output).
+  std::vector<Value> predicted_keys;
+  /// Wall-clock time for denormalization + training + prediction.
+  double seconds = 0;
+  /// Denormalized table size (diagnostics).
+  size_t denormalized_rows = 0;
+  size_t num_features = 0;
+};
+
+/// Runs the baseline: `positive_keys` is the complete intended output
+/// (closed world), as entity primary keys of `entity_relation`.
+Result<TalosResult> RunTalos(const AbductionReadyDb& adb,
+                             const std::string& entity_relation,
+                             const std::vector<Value>& positive_keys,
+                             const TalosOptions& options = {});
+
+}  // namespace squid
+
+#endif  // SQUID_BASELINES_TALOS_H_

@@ -1,0 +1,51 @@
+#ifndef SQUID_COMMON_LOGGING_H_
+#define SQUID_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging to stderr. Benchmarks keep stdout clean for
+/// result tables, so diagnostics go to stderr.
+
+#include <sstream>
+#include <string>
+
+namespace squid {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace squid
+
+#define SQUID_LOG(level)                                                      \
+  ::squid::internal::LogMessage(::squid::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal invariant check: prints and aborts. Used for programming errors only
+/// (never for data-dependent conditions, which return Status).
+#define SQUID_CHECK(cond)                                                     \
+  if (!(cond))                                                                \
+  ::squid::internal::LogMessage(::squid::LogLevel::kError, __FILE__, __LINE__) \
+      << "CHECK failed: " #cond " "
+
+#endif  // SQUID_COMMON_LOGGING_H_

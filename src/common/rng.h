@@ -1,0 +1,67 @@
+#ifndef SQUID_COMMON_RNG_H_
+#define SQUID_COMMON_RNG_H_
+
+/// \file rng.h
+/// \brief Seeded random number generation used by data generators, samplers,
+/// and the random-forest learner. All experiment randomness flows through
+/// this class so runs are reproducible.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace squid {
+
+/// \brief Deterministic pseudo-random generator with the distributions the
+/// library needs (uniform, normal, Zipf, sampling without replacement).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+  /// Normal deviate.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n), exponent `s` (s=0 is uniform).
+  /// Uses inverse-CDF sampling over the precomputable harmonic weights.
+  size_t Zipf(size_t n, double s);
+
+  /// Samples `k` distinct indices from [0, n) uniformly (Floyd's algorithm).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks one element index weighted by `weights` (must be non-negative,
+  /// not all zero).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cache for Zipf CDFs keyed by (n, s) of the most recent call; Zipf is
+  // typically called many times with identical parameters by the generators.
+  size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_COMMON_RNG_H_

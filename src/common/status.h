@@ -1,0 +1,123 @@
+#ifndef SQUID_COMMON_STATUS_H_
+#define SQUID_COMMON_STATUS_H_
+
+/// \file status.h
+/// \brief Status / Result<T> error handling, in the style used by Arrow and
+/// RocksDB: fallible operations return a Status (or a Result<T> carrying a
+/// value), never throw.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace squid {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotSupported,
+  kCorruption,
+  kIoError,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Use the
+/// SQUID_RETURN_NOT_OK macro to propagate errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "NotFound: relation 'person'".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A Status plus a value of type T on success.
+///
+/// Mirrors arrow::Result. Access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the contained value or `fallback` when not OK.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define SQUID_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::squid::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error status.
+#define SQUID_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto SQUID_CONCAT_(_res_, __LINE__) = (expr);          \
+  if (!SQUID_CONCAT_(_res_, __LINE__).ok())              \
+    return SQUID_CONCAT_(_res_, __LINE__).status();      \
+  lhs = std::move(SQUID_CONCAT_(_res_, __LINE__)).value()
+
+#define SQUID_CONCAT_INNER_(a, b) a##b
+#define SQUID_CONCAT_(a, b) SQUID_CONCAT_INNER_(a, b)
+
+}  // namespace squid
+
+#endif  // SQUID_COMMON_STATUS_H_

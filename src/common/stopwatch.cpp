@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only; this translation unit exists so the build exercises the header
+// under the library's warning flags.

@@ -1,0 +1,34 @@
+#ifndef SQUID_COMMON_STOPWATCH_H_
+#define SQUID_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing used by the experiment harness.
+
+#include <chrono>
+
+namespace squid {
+
+/// \brief Monotonic wall-clock stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef SQUID_COMMON_STRINGS_H_
+#define SQUID_COMMON_STRINGS_H_
+
+/// \file strings.h
+/// \brief Small string utilities shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace squid {
+
+/// Returns a lower-cased copy (ASCII only; sufficient for identifiers and
+/// the generated datasets).
+std::string ToLower(std::string_view s);
+
+/// Strips leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True when `s` and `t` are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view t);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace squid
+
+#endif  // SQUID_COMMON_STRINGS_H_

@@ -1,0 +1,167 @@
+#include "core/abduction_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace squid {
+
+Result<double> AbductionModel::Selectivity(const SemanticProperty& p) const {
+  const PropertyDescriptor* desc = p.descriptor;
+  if (desc == nullptr) return Status::InvalidArgument("property without descriptor");
+  SQUID_ASSIGN_OR_RETURN(const PropertyStats* stats, adb_->StatsFor(desc->id));
+  switch (desc->kind) {
+    case PropertyKind::kInlineCategorical:
+    case PropertyKind::kDimCategorical:
+      return stats->SelectivityEquals(p.value);
+    case PropertyKind::kInlineNumeric:
+      return stats->SelectivityRange(p.lo, p.hi);
+    case PropertyKind::kMultiValued: {
+      if (stats->total_entities() == 0) return 0.0;
+      return static_cast<double>(stats->EntitiesWithValue(p.value)) /
+             static_cast<double>(stats->total_entities());
+    }
+    case PropertyKind::kDerivedCategorical:
+    case PropertyKind::kDerivedNumericBucket:
+    case PropertyKind::kDerivedEntity:
+      if (config_.normalize_association && p.theta_norm >= 0) {
+        return stats->SelectivityDerivedNormalized(p.value, p.theta_norm);
+      }
+      return stats->SelectivityDerived(p.value, p.theta);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<double> AbductionModel::DomainCoverage(const SemanticProperty& p) const {
+  const PropertyDescriptor* desc = p.descriptor;
+  SQUID_ASSIGN_OR_RETURN(const PropertyStats* stats, adb_->StatsFor(desc->id));
+  if (desc->kind == PropertyKind::kInlineNumeric) {
+    double extent = stats->domain_max() - stats->domain_min();
+    if (extent <= 0) return 1.0;
+    return std::clamp((p.hi - p.lo) / extent, 0.0, 1.0);
+  }
+  // Single categorical/derived value: covers 1/|domain|.
+  size_t domain = stats->domain_size();
+  if (domain == 0) return 1.0;
+  return 1.0 / static_cast<double>(domain);
+}
+
+double AbductionModel::DeltaOf(double domain_coverage) const {
+  if (config_.gamma <= 0 || config_.eta <= 0) return 1.0;
+  double ratio = std::max(1.0, domain_coverage / config_.eta);
+  return 1.0 / std::pow(ratio, config_.gamma);
+}
+
+double AbductionModel::AlphaOf(const SemanticProperty& p) const {
+  if (!p.has_theta()) return 1.0;  // basic filters are always significant
+  // Entity-identity properties ("appeared in movie X") are not aggregates
+  // over an associate's property; like multi-valued basics they carry no
+  // meaningful association-strength distribution, so α does not apply.
+  if (p.descriptor != nullptr &&
+      p.descriptor->kind == PropertyKind::kDerivedEntity) {
+    return 1.0;
+  }
+  if (config_.normalize_association && p.theta_norm >= 0) {
+    return p.theta_norm >= config_.tau_a_normalized ? 1.0 : 0.0;
+  }
+  return p.theta >= config_.tau_a ? 1.0 : 0.0;
+}
+
+double AbductionModel::Skewness(const std::vector<double>& thetas) {
+  const size_t n = thetas.size();
+  if (n < 3) return 0.0;
+  double mean = 0;
+  for (double t : thetas) mean += t;
+  mean /= static_cast<double>(n);
+  double m2 = 0, m3 = 0;
+  for (double t : thetas) {
+    double d = t - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  double s = std::sqrt(m2 / static_cast<double>(n - 1));
+  if (s <= 0) return 0.0;
+  return static_cast<double>(n) * m3 /
+         (s * s * s * static_cast<double>(n - 1) * static_cast<double>(n - 2));
+}
+
+bool AbductionModel::IsOutlier(double theta, const std::vector<double>& thetas,
+                               double k) {
+  const size_t n = thetas.size();
+  if (n < 3) return true;  // Appendix B: all elements are outliers when n < 3
+  double mean = 0;
+  for (double t : thetas) mean += t;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (double t : thetas) var += (t - mean) * (t - mean);
+  double s = std::sqrt(var / static_cast<double>(n - 1));
+  return (theta - mean) > k * s;
+}
+
+void AbductionModel::ApplyOutlierImpact(std::vector<Filter>* filters) const {
+  if (!config_.use_outlier_impact) return;
+  // Group derived filters by family (same descriptor).
+  std::map<std::string, std::vector<double>> family_thetas;
+  for (const Filter& f : *filters) {
+    if (!f.property.has_theta()) continue;
+    if (f.property.descriptor->kind == PropertyKind::kDerivedEntity) continue;
+    double t = config_.normalize_association && f.property.theta_norm >= 0
+                   ? f.property.theta_norm
+                   : f.property.theta;
+    family_thetas[f.property.descriptor->id].push_back(t);
+  }
+  for (Filter& f : *filters) {
+    if (!f.property.has_theta() ||
+        f.property.descriptor->kind == PropertyKind::kDerivedEntity) {
+      f.lambda = 1.0;  // basic and identity filters
+      continue;
+    }
+    const std::vector<double>& thetas = family_thetas[f.property.descriptor->id];
+    double t = config_.normalize_association && f.property.theta_norm >= 0
+                   ? f.property.theta_norm
+                   : f.property.theta;
+    if (thetas.size() < 3) {
+      f.lambda = 1.0;  // skewness undefined; all elements treated as outliers
+      continue;
+    }
+    bool skewed = Skewness(thetas) > config_.tau_s;
+    f.lambda = (skewed && IsOutlier(t, thetas, config_.outlier_k)) ? 1.0 : 0.0;
+  }
+}
+
+Result<std::vector<Filter>> AbductionModel::AbduceFilters(
+    const std::vector<SemanticContext>& contexts, size_t num_examples) const {
+  std::vector<Filter> filters;
+  filters.reserve(contexts.size());
+  for (const SemanticContext& ctx : contexts) {
+    Filter f;
+    f.property = ctx.property;
+    SQUID_ASSIGN_OR_RETURN(f.selectivity, Selectivity(f.property));
+    SQUID_ASSIGN_OR_RETURN(double coverage, DomainCoverage(f.property));
+    f.delta = DeltaOf(coverage);
+    f.alpha = AlphaOf(f.property);
+    filters.push_back(std::move(f));
+  }
+  ApplyOutlierImpact(&filters);
+
+  // Algorithm 1: decide each filter independently.
+  const double n = static_cast<double>(num_examples);
+  for (Filter& f : filters) {
+    f.prior = config_.rho * f.delta * f.alpha * f.lambda;
+    f.include_score = f.prior;  // Pr*(x|φ) = 1
+    f.exclude_score = (1.0 - f.prior) * std::pow(f.selectivity, n);
+    f.included = f.include_score > f.exclude_score;
+  }
+  return filters;
+}
+
+double AbductionModel::LogPosterior(const std::vector<Filter>& filters) {
+  double log_p = 0;
+  constexpr double kFloor = 1e-300;
+  for (const Filter& f : filters) {
+    log_p += std::log(std::max(kFloor, std::max(f.include_score, f.exclude_score)));
+  }
+  return log_p;
+}
+
+}  // namespace squid

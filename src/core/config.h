@@ -1,0 +1,68 @@
+#ifndef SQUID_CORE_CONFIG_H_
+#define SQUID_CORE_CONFIG_H_
+
+/// \file config.h
+/// \brief SQuID tuning parameters (Fig. 21 of the paper plus the appendix
+/// parameters η, k). Defaults follow the paper's defaults.
+
+#include <cstddef>
+
+namespace squid {
+
+/// Parameters of the probabilistic abduction model.
+struct SquidConfig {
+  /// Base filter prior ρ (§4.2.2). Low ρ is pessimistic about including
+  /// filters (favors recall); high ρ is optimistic (favors precision).
+  double rho = 0.1;
+
+  /// Domain-coverage penalty exponent γ (Appendix A). 0 disables the
+  /// domain-selectivity impact δ(φ).
+  double gamma = 2.0;
+
+  /// Domain-coverage threshold η (Appendix A): coverage up to η is not
+  /// penalized.
+  double eta = 0.2;
+
+  /// Association-strength threshold τa (§4.2.2): derived filters with
+  /// θ < τa are insignificant (α(φ) = 0).
+  double tau_a = 5.0;
+
+  /// τa used instead when `normalize_association` is set (θ is then a
+  /// fraction of the entity's association portfolio).
+  double tau_a_normalized = 0.2;
+
+  /// Skewness threshold τs (Appendix B) for the outlier impact λ(φ).
+  double tau_s = 2.0;
+
+  /// Outlier constant k (Appendix B): θ is an outlier when θ - mean > k·s.
+  double outlier_k = 2.0;
+
+  /// When false, λ(φ) = 1 for all filters (the "τs = N/A" ablation of
+  /// Fig. 26).
+  bool use_outlier_impact = true;
+
+  /// Use portfolio-normalized association strengths (§7.4 case studies).
+  bool normalize_association = false;
+
+  /// Enable entity disambiguation (§6.1.1); Fig. 12 ablates this.
+  bool enable_disambiguation = true;
+
+  /// Cap on exhaustive disambiguation combinations before falling back to
+  /// greedy seeding.
+  size_t max_disambiguation_combos = 4096;
+
+  /// Optimistic preset used when SQuID acts as a QRE system (§7.5): high
+  /// filter prior, low association-strength threshold, no domain penalty.
+  static SquidConfig Optimistic() {
+    SquidConfig c;
+    c.rho = 0.9;
+    c.gamma = 0.0;
+    c.tau_a = 1.0;
+    c.use_outlier_impact = false;
+    return c;
+  }
+};
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_CONFIG_H_

@@ -1,0 +1,131 @@
+#include "core/context_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace squid {
+
+namespace {
+
+/// Discovers the context (if any) of a basic (no-hop) descriptor.
+Status AddBasicContext(const AbductionReadyDb& adb,
+                              const PropertyDescriptor& desc,
+                              const std::vector<size_t>& rows, size_t support,
+                              std::vector<SemanticContext>* out) {
+  if (desc.kind == PropertyKind::kInlineNumeric) {
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (size_t row : rows) {
+      SQUID_ASSIGN_OR_RETURN(Value v, adb.BasicValue(desc, row));
+      if (v.is_null()) return Status::OK();  // not shared by all
+      SQUID_ASSIGN_OR_RETURN(double num, v.ToNumeric());
+      if (first) {
+        lo = hi = num;
+        first = false;
+      } else {
+        lo = std::min(lo, num);
+        hi = std::max(hi, num);
+      }
+    }
+    if (first) return Status::OK();
+    SemanticContext ctx;
+    ctx.property.descriptor = &desc;
+    ctx.property.lo = lo;
+    ctx.property.hi = hi;
+    ctx.support = support;
+    out->push_back(std::move(ctx));
+    return Status::OK();
+  }
+  // Categorical: all examples must share the same value.
+  Value shared;
+  bool first = true;
+  for (size_t row : rows) {
+    SQUID_ASSIGN_OR_RETURN(Value v, adb.BasicValue(desc, row));
+    if (v.is_null()) return Status::OK();
+    if (first) {
+      shared = v;
+      first = false;
+    } else if (!(shared == v)) {
+      return Status::OK();
+    }
+  }
+  if (first) return Status::OK();
+  SemanticContext ctx;
+  ctx.property.descriptor = &desc;
+  ctx.property.value = shared;
+  ctx.support = support;
+  out->push_back(std::move(ctx));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<SemanticContext>> DiscoverContexts(
+    const AbductionReadyDb& adb, const std::string& entity_relation,
+    const std::vector<Value>& entity_keys, const SquidConfig& config) {
+  std::vector<SemanticContext> contexts;
+  if (entity_keys.empty()) {
+    return Status::InvalidArgument("no entity keys for context discovery");
+  }
+  const size_t support = entity_keys.size();
+
+  // Resolve rows once.
+  std::vector<size_t> rows;
+  rows.reserve(entity_keys.size());
+  for (const Value& key : entity_keys) {
+    SQUID_ASSIGN_OR_RETURN(size_t row, adb.EntityRowByKey(entity_relation, key));
+    rows.push_back(row);
+  }
+
+  for (const PropertyDescriptor* desc :
+       adb.schema_graph().DescriptorsFor(entity_relation)) {
+    if (desc->hops.empty()) {
+      SQUID_RETURN_NOT_OK(AddBasicContext(adb, *desc, rows, support, &contexts));
+      continue;
+    }
+    // Multi-valued / derived: intersect per-example association sets.
+    // Start with the first example's (value -> θ) map, then narrow.
+    SQUID_ASSIGN_OR_RETURN(auto first_values, adb.DerivedValues(*desc, entity_keys[0]));
+    if (first_values.empty()) continue;
+    std::unordered_map<Value, std::pair<double, double>, ValueHash> shared;
+    shared.reserve(first_values.size());
+    double total0 = adb.EntityTotal(*desc, entity_keys[0]);
+    for (const auto& [v, count] : first_values) {
+      double norm = total0 > 0 ? count / total0 : 0.0;
+      shared.emplace(v, std::make_pair(count, norm));
+    }
+    for (size_t i = 1; i < entity_keys.size() && !shared.empty(); ++i) {
+      SQUID_ASSIGN_OR_RETURN(auto values, adb.DerivedValues(*desc, entity_keys[i]));
+      double total = adb.EntityTotal(*desc, entity_keys[i]);
+      std::unordered_map<Value, std::pair<double, double>, ValueHash> narrowed;
+      narrowed.reserve(shared.size());
+      for (const auto& [v, count] : values) {
+        auto it = shared.find(v);
+        if (it == shared.end()) continue;
+        double norm = total > 0 ? count / total : 0.0;
+        narrowed.emplace(v, std::make_pair(std::min(it->second.first, count),
+                                           std::min(it->second.second, norm)));
+      }
+      shared = std::move(narrowed);
+    }
+    // Deterministic output order.
+    std::vector<std::pair<Value, std::pair<double, double>>> ordered(shared.begin(),
+                                                                     shared.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [v, theta] : ordered) {
+      SemanticContext ctx;
+      ctx.property.descriptor = desc;
+      ctx.property.value = v;
+      if (desc->derived) {
+        ctx.property.theta = theta.first;
+        if (config.normalize_association) ctx.property.theta_norm = theta.second;
+      }
+      ctx.support = support;
+      contexts.push_back(std::move(ctx));
+    }
+  }
+  return contexts;
+}
+
+}  // namespace squid

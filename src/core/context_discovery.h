@@ -1,0 +1,34 @@
+#ifndef SQUID_CORE_CONTEXT_DISCOVERY_H_
+#define SQUID_CORE_CONTEXT_DISCOVERY_H_
+
+/// \file context_discovery.h
+/// \brief Semantic context discovery (§6.1.2): derives the set X of semantic
+/// contexts — one per minimal valid filter — exhibited by the example
+/// entities, by point-querying the αDB per descriptor.
+
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/semantic_property.h"
+
+namespace squid {
+
+/// \brief Discovers all semantic contexts shared by the entities with keys
+/// `entity_keys` in `entity_relation`.
+///
+/// Per descriptor kind (§6.1.2):
+///  - basic categorical / dim-chain: a context when all examples share the
+///    value v;
+///  - basic numeric: the range [vmin, vmax] over the examples;
+///  - multi-valued / derived: one context per value present in EVERY
+///    example's association set, with θ = the minimum association strength
+///    (derived kinds only).
+Result<std::vector<SemanticContext>> DiscoverContexts(
+    const AbductionReadyDb& adb, const std::string& entity_relation,
+    const std::vector<Value>& entity_keys, const SquidConfig& config);
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_CONTEXT_DISCOVERY_H_

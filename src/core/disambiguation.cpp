@@ -1,0 +1,187 @@
+#include "core/disambiguation.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace squid {
+
+namespace {
+
+/// Entity primary-key value at `row` of `relation`.
+Result<Value> KeyAt(const AbductionReadyDb& adb, const std::string& relation,
+                    size_t row) {
+  SQUID_ASSIGN_OR_RETURN(const Table* table, adb.database().GetTable(relation));
+  const auto& pk = table->schema().primary_key();
+  if (!pk) return Status::InvalidArgument("relation '" + relation + "' has no PK");
+  SQUID_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(*pk));
+  return col->ValueAt(row);
+}
+
+/// Profile of (item -> weight): weight is 1 for basic items and the
+/// association strength for derived items (so ties favor stronger
+/// associations, per §6.1.1).
+using Profile = std::unordered_map<std::string, double>;
+
+Result<Profile> BuildProfile(const AbductionReadyDb& adb, const std::string& relation,
+                             size_t row) {
+  Profile profile;
+  SQUID_ASSIGN_OR_RETURN(Value key, KeyAt(adb, relation, row));
+  for (const PropertyDescriptor* desc : adb.schema_graph().DescriptorsFor(relation)) {
+    if (desc->hops.empty()) {
+      auto value = adb.BasicValue(*desc, row);
+      if (!value.ok() || value.value().is_null()) continue;
+      profile[desc->id + "\x1f" + value.value().ToString()] = 1.0;
+      continue;
+    }
+    auto values = adb.DerivedValues(*desc, key);
+    if (!values.ok()) continue;
+    for (const auto& [v, count] : values.value()) {
+      profile[desc->id + "\x1f" + v.ToString()] = count;
+    }
+  }
+  return profile;
+}
+
+/// Similarity of a combination: (#items shared by all, total shared weight).
+std::pair<double, double> ScoreCombination(const std::vector<const Profile*>& chosen) {
+  if (chosen.empty()) return {0, 0};
+  double shared = 0, weight = 0;
+  for (const auto& [item, w] : *chosen[0]) {
+    double min_w = w;
+    bool in_all = true;
+    for (size_t i = 1; i < chosen.size(); ++i) {
+      auto it = chosen[i]->find(item);
+      if (it == chosen[i]->end()) {
+        in_all = false;
+        break;
+      }
+      min_w = std::min(min_w, it->second);
+    }
+    if (in_all) {
+      shared += 1;
+      weight += min_w;
+    }
+  }
+  return {shared, weight};
+}
+
+bool BetterScore(const std::pair<double, double>& a,
+                 const std::pair<double, double>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second > b.second;
+}
+
+}  // namespace
+
+std::vector<std::string> EntityProfile(const AbductionReadyDb& adb,
+                                       const std::string& relation, size_t row) {
+  std::vector<std::string> out;
+  auto profile = BuildProfile(adb, relation, row);
+  if (!profile.ok()) return out;
+  out.reserve(profile.value().size());
+  for (const auto& [item, _] : profile.value()) out.push_back(item);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<Value>> DisambiguateEntities(const AbductionReadyDb& adb,
+                                                const EntityMatch& match,
+                                                const SquidConfig& config) {
+  const size_t n = match.candidate_rows.size();
+  std::vector<Value> keys(n);
+
+  bool ambiguous = false;
+  for (const auto& rows : match.candidate_rows) {
+    if (rows.empty()) return Status::InvalidArgument("example with no candidates");
+    if (rows.size() > 1) ambiguous = true;
+  }
+  if (!ambiguous || !config.enable_disambiguation) {
+    for (size_t i = 0; i < n; ++i) {
+      SQUID_ASSIGN_OR_RETURN(Value key,
+                             KeyAt(adb, match.relation, match.candidate_rows[i][0]));
+      keys[i] = key;
+    }
+    return keys;
+  }
+
+  // Build profiles for every candidate row.
+  std::vector<std::vector<Profile>> profiles(n);
+  for (size_t i = 0; i < n; ++i) {
+    profiles[i].reserve(match.candidate_rows[i].size());
+    for (size_t row : match.candidate_rows[i]) {
+      SQUID_ASSIGN_OR_RETURN(Profile p, BuildProfile(adb, match.relation, row));
+      profiles[i].push_back(std::move(p));
+    }
+  }
+
+  std::vector<size_t> best(n, 0);
+  if (match.NumCombinations() <= static_cast<double>(config.max_disambiguation_combos)) {
+    // Exhaustive enumeration (§6.1.1: "the examples are typically few").
+    std::vector<size_t> current(n, 0);
+    std::pair<double, double> best_score{-1, -1};
+    while (true) {
+      std::vector<const Profile*> chosen(n);
+      for (size_t i = 0; i < n; ++i) chosen[i] = &profiles[i][current[i]];
+      auto score = ScoreCombination(chosen);
+      if (BetterScore(score, best_score)) {
+        best_score = score;
+        best = current;
+      }
+      // Advance the mixed-radix counter.
+      size_t d = 0;
+      while (d < n && ++current[d] == match.candidate_rows[d].size()) {
+        current[d] = 0;
+        ++d;
+      }
+      if (d == n) break;
+    }
+  } else {
+    // Greedy with seeds: order examples by ambiguity; try each candidate of
+    // the most constrained ambiguous example as a seed.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return match.candidate_rows[a].size() < match.candidate_rows[b].size();
+    });
+    std::pair<double, double> best_score{-1, -1};
+    size_t seed_example = order[0];
+    for (size_t seed = 0; seed < profiles[seed_example].size(); ++seed) {
+      std::vector<size_t> current(n, 0);
+      current[seed_example] = seed;
+      std::vector<const Profile*> chosen;
+      chosen.push_back(&profiles[seed_example][seed]);
+      for (size_t oi = 0; oi < n; ++oi) {
+        size_t ex = order[oi];
+        if (ex == seed_example) continue;
+        std::pair<double, double> local_best{-1, -1};
+        size_t local_pick = 0;
+        for (size_t c = 0; c < profiles[ex].size(); ++c) {
+          chosen.push_back(&profiles[ex][c]);
+          auto score = ScoreCombination(chosen);
+          chosen.pop_back();
+          if (BetterScore(score, local_best)) {
+            local_best = score;
+            local_pick = c;
+          }
+        }
+        current[ex] = local_pick;
+        chosen.push_back(&profiles[ex][local_pick]);
+      }
+      auto score = ScoreCombination(chosen);
+      if (BetterScore(score, best_score)) {
+        best_score = score;
+        best = current;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    SQUID_ASSIGN_OR_RETURN(
+        Value key, KeyAt(adb, match.relation, match.candidate_rows[i][best[i]]));
+    keys[i] = key;
+  }
+  return keys;
+}
+
+}  // namespace squid

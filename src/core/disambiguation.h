@@ -1,0 +1,40 @@
+#ifndef SQUID_CORE_DISAMBIGUATION_H_
+#define SQUID_CORE_DISAMBIGUATION_H_
+
+/// \file disambiguation.h
+/// \brief Entity disambiguation (§6.1.1): when an example string matches
+/// several rows (e.g. four movies titled "Titanic"), pick the mapping that
+/// maximizes the semantic similarity across the example set.
+
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/entity_lookup.h"
+
+namespace squid {
+
+/// \brief Resolves an EntityMatch to one entity key per example.
+///
+/// Scoring follows the paper's insight that "the provided examples are more
+/// likely to be alike": a candidate combination is scored by the number of
+/// (property, value) items shared by ALL chosen entities, with total derived
+/// association strength as a tiebreaker. All combinations are enumerated when
+/// their number is at most `config.max_disambiguation_combos`; otherwise a
+/// seeded greedy pass is used. With `config.enable_disambiguation == false`
+/// the first candidate row of each example is chosen (the "w/o DA" ablation
+/// of Fig. 12).
+Result<std::vector<Value>> DisambiguateEntities(const AbductionReadyDb& adb,
+                                                const EntityMatch& match,
+                                                const SquidConfig& config);
+
+/// Exposed for tests: the per-entity profile used by the similarity score —
+/// encoded (descriptor, value) items of the entity's basic and associated
+/// properties.
+std::vector<std::string> EntityProfile(const AbductionReadyDb& adb,
+                                       const std::string& relation, size_t row);
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_DISAMBIGUATION_H_

@@ -1,0 +1,65 @@
+#include "core/entity_lookup.h"
+
+#include <algorithm>
+#include <map>
+
+namespace squid {
+
+double EntityMatch::NumCombinations() const {
+  double combos = 1;
+  for (const auto& rows : candidate_rows) {
+    combos *= static_cast<double>(rows.size());
+  }
+  return combos;
+}
+
+Result<std::vector<EntityMatch>> LookupExamples(
+    const AbductionReadyDb& adb, const std::vector<std::string>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no example tuples provided");
+  }
+  // (relation, attribute) -> per-example candidate rows.
+  std::map<std::pair<std::string, std::string>, std::vector<std::vector<size_t>>>
+      candidates;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const std::vector<Posting>* postings = adb.inverted_index().Lookup(examples[i]);
+    if (postings == nullptr) {
+      return Status::NotFound("example '" + examples[i] +
+                              "' does not occur in any indexed attribute");
+    }
+    for (const Posting& p : *postings) {
+      auto& per_example = candidates[{p.relation, p.attribute}];
+      if (per_example.size() < examples.size()) per_example.resize(examples.size());
+      per_example[i].push_back(p.row);
+    }
+  }
+
+  std::vector<EntityMatch> matches;
+  for (auto& [key, rows] : candidates) {
+    bool covers_all = rows.size() == examples.size() &&
+                      std::all_of(rows.begin(), rows.end(),
+                                  [](const std::vector<size_t>& r) { return !r.empty(); });
+    if (!covers_all) continue;
+    EntityMatch match;
+    match.relation = key.first;
+    match.attribute = key.second;
+    match.candidate_rows = std::move(rows);
+    matches.push_back(std::move(match));
+  }
+  if (matches.empty()) {
+    return Status::NotFound("no single (relation, attribute) contains all examples");
+  }
+  // Entity relations first; then fewer total candidates (less ambiguity).
+  std::stable_sort(matches.begin(), matches.end(),
+                   [&](const EntityMatch& a, const EntityMatch& b) {
+                     bool ae = adb.schema_graph().KindOf(a.relation) ==
+                               RelationKind::kEntity;
+                     bool be = adb.schema_graph().KindOf(b.relation) ==
+                               RelationKind::kEntity;
+                     if (ae != be) return ae;
+                     return a.NumCombinations() < b.NumCombinations();
+                   });
+  return matches;
+}
+
+}  // namespace squid

@@ -1,0 +1,38 @@
+#ifndef SQUID_CORE_ENTITY_LOOKUP_H_
+#define SQUID_CORE_ENTITY_LOOKUP_H_
+
+/// \file entity_lookup.h
+/// \brief Matching user-provided example strings to database entities via
+/// the αDB's inverted column index (§5 "Entity lookup", §6.1).
+
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+
+namespace squid {
+
+/// \brief One candidate interpretation of the example set: a
+/// (relation, attribute) pair that contains every example, with the
+/// candidate rows per example (several rows per example = ambiguity).
+struct EntityMatch {
+  std::string relation;
+  std::string attribute;
+  /// candidate_rows[i] lists the rows of `relation` whose `attribute`
+  /// equals example i (case-insensitive).
+  std::vector<std::vector<size_t>> candidate_rows;
+
+  /// Total number of candidate combinations (product of per-example counts).
+  double NumCombinations() const;
+};
+
+/// Finds all (relation, attribute) pairs that contain every example.
+/// Results are ordered: entity relations first, then by relation name.
+/// Returns NotFound when no pair covers all examples.
+Result<std::vector<EntityMatch>> LookupExamples(
+    const AbductionReadyDb& adb, const std::vector<std::string>& examples);
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_ENTITY_LOOKUP_H_

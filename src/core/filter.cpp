@@ -1,0 +1,22 @@
+#include "core/filter.h"
+
+#include "common/strings.h"
+
+namespace squid {
+
+std::string Filter::ToString(const AbductionReadyDb& adb) const {
+  return StrFormat(
+      "%s psi=%.4g delta=%.3g alpha=%g lambda=%g prior=%.4g incl=%.4g excl=%.4g -> %s",
+      property.ToString(adb).c_str(), selectivity, delta, alpha, lambda, prior,
+      include_score, exclude_score, included ? "INCLUDE" : "exclude");
+}
+
+std::vector<const Filter*> IncludedFilters(const std::vector<Filter>& filters) {
+  std::vector<const Filter*> out;
+  for (const auto& f : filters) {
+    if (f.included) out.push_back(&f);
+  }
+  return out;
+}
+
+}  // namespace squid

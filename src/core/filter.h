@@ -1,0 +1,46 @@
+#ifndef SQUID_CORE_FILTER_H_
+#define SQUID_CORE_FILTER_H_
+
+/// \file filter.h
+/// \brief Semantic property filters φp (§3.1–3.2) with the components of the
+/// filter-event prior (§4.2.2) and the include/exclude decision scores of
+/// Algorithm 1.
+
+#include <string>
+#include <vector>
+
+#include "core/semantic_property.h"
+
+namespace squid {
+
+/// \brief A minimal valid filter with its abduction state.
+///
+/// Validity and minimality hold by construction: filters are instantiated
+/// from semantic contexts shared by all examples, with tightest bounds
+/// (numeric ranges) and the minimum association strength (derived).
+struct Filter {
+  SemanticProperty property;
+
+  // Components of the query posterior (Equation 5).
+  double selectivity = 1.0;  // ψ(φ)
+  double delta = 1.0;        // domain-selectivity impact δ(φ)
+  double alpha = 1.0;        // association-strength impact α(φ)
+  double lambda = 1.0;       // outlier impact λ(φ)
+  double prior = 0.0;        // Pr*(φ) = ρ·δ·α·λ
+
+  // Algorithm 1 decision scores: include = Pr*(φ)·Pr*(x|φ) = prior;
+  // exclude = (1 − Pr*(φ))·ψ(φ)^|E|.
+  double include_score = 0.0;
+  double exclude_score = 0.0;
+  bool included = false;
+
+  /// Diagnostic rendering for logs and the CLI example.
+  std::string ToString(const AbductionReadyDb& adb) const;
+};
+
+/// Included filters only.
+std::vector<const Filter*> IncludedFilters(const std::vector<Filter>& filters);
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_FILTER_H_

@@ -1,0 +1,232 @@
+#include "core/query_builder.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace squid {
+
+namespace {
+
+/// Hands out table aliases: the bare relation name on first use, then
+/// name_2, name_3, ... for self-joins. Aliases are globally unique even when
+/// relation names themselves end in such suffixes (e.g. tables "t" and
+/// "t_2" both joined twice).
+class AliasPool {
+ public:
+  std::string Next(const std::string& relation) {
+    size_t n = ++uses_[relation];
+    std::string alias = n == 1 ? relation : relation + "_" + std::to_string(n);
+    while (!issued_.insert(alias).second) {
+      n = ++uses_[relation];
+      alias = relation + "_" + std::to_string(n);
+    }
+    return alias;
+  }
+
+ private:
+  std::map<std::string, size_t> uses_;
+  std::set<std::string> issued_;
+};
+
+Result<std::string> PrimaryKeyOf(const Database& db, const std::string& relation) {
+  SQUID_ASSIGN_OR_RETURN(const Table* table, db.GetTable(relation));
+  const auto& pk = table->schema().primary_key();
+  if (!pk) return Status::InvalidArgument("relation '" + relation + "' has no PK");
+  return *pk;
+}
+
+/// Appends the FK-dim chain of `desc` starting from `from_alias` (which is
+/// an alias of the relation the chain starts at); returns the alias holding
+/// the terminal attribute.
+std::string AppendDimChain(const PropertyDescriptor& desc,
+                           const std::string& from_alias, AliasPool* aliases,
+                           SelectQuery* block) {
+  std::string current = from_alias;
+  for (const DimHop& dim : desc.dims) {
+    std::string next = aliases->Next(dim.dim_relation);
+    block->from.push_back(TableRef{dim.dim_relation, next});
+    block->join_predicates.push_back(
+        JoinPredicate{{current, dim.from_attr}, {next, dim.dim_key}});
+    current = next;
+  }
+  return current;
+}
+
+/// Appends the fact-hop path of `desc` starting from the entity alias;
+/// returns the alias of the path's final relation (before dims).
+std::string AppendHopChain(const PropertyDescriptor& desc,
+                           const std::string& entity_alias,
+                           const std::string& entity_pk, AliasPool* aliases,
+                           SelectQuery* block) {
+  std::string current = entity_alias;
+  std::string current_key = entity_pk;
+  for (const FactHop& hop : desc.hops) {
+    std::string fact = aliases->Next(hop.fact_table);
+    block->from.push_back(TableRef{hop.fact_table, fact});
+    block->join_predicates.push_back(
+        JoinPredicate{{fact, hop.in_attr}, {current, current_key}});
+    std::string next = aliases->Next(hop.next_relation);
+    block->from.push_back(TableRef{hop.next_relation, next});
+    block->join_predicates.push_back(
+        JoinPredicate{{fact, hop.out_attr}, {next, hop.next_key}});
+    current = next;
+    current_key = hop.next_key;
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<Query> QueryBuilder::BuildAdbQuery(const std::string& entity_relation,
+                                          const std::string& projection_attr,
+                                          const std::vector<Filter>& filters) const {
+  SQUID_ASSIGN_OR_RETURN(std::string pk, PrimaryKeyOf(adb_->database(), entity_relation));
+  AliasPool aliases;
+  SelectQuery block;
+  block.distinct = true;
+  std::string entity_alias = aliases.Next(entity_relation);
+  block.from.push_back(TableRef{entity_relation, entity_alias});
+  block.select_list.push_back(SelectItem{{entity_alias, projection_attr}});
+
+  for (const Filter& f : filters) {
+    if (!f.included) continue;
+    const PropertyDescriptor& desc = *f.property.descriptor;
+    switch (desc.kind) {
+      case PropertyKind::kInlineCategorical:
+        block.where.push_back(Predicate::Compare({entity_alias, desc.terminal_attr},
+                                                 CompareOp::kEq, f.property.value));
+        break;
+      case PropertyKind::kInlineNumeric:
+        block.where.push_back(Predicate::Between({entity_alias, desc.terminal_attr},
+                                                 Value(f.property.lo),
+                                                 Value(f.property.hi)));
+        break;
+      case PropertyKind::kDimCategorical: {
+        std::string terminal = AppendDimChain(desc, entity_alias, &aliases, &block);
+        block.where.push_back(Predicate::Compare({terminal, desc.terminal_attr},
+                                                 CompareOp::kEq, f.property.value));
+        break;
+      }
+      case PropertyKind::kMultiValued:
+      case PropertyKind::kDerivedCategorical:
+      case PropertyKind::kDerivedNumericBucket:
+      case PropertyKind::kDerivedEntity: {
+        std::string d = aliases.Next(desc.derived_table);
+        block.from.push_back(TableRef{desc.derived_table, d});
+        block.join_predicates.push_back(
+            JoinPredicate{{d, "entity_id"}, {entity_alias, pk}});
+        block.where.push_back(
+            Predicate::Compare({d, "value"}, CompareOp::kEq, f.property.value));
+        if (desc.derived) {
+          if (config_.normalize_association && f.property.theta_norm >= 0) {
+            block.where.push_back(Predicate::Compare({d, "frac"}, CompareOp::kGe,
+                                                     Value(f.property.theta_norm)));
+          } else {
+            block.where.push_back(Predicate::Compare({d, "count"}, CompareOp::kGe,
+                                                     Value(f.property.theta)));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Query::Single(std::move(block));
+}
+
+Result<Query> QueryBuilder::BuildOriginalQuery(const std::string& entity_relation,
+                                               const std::string& projection_attr,
+                                               const std::vector<Filter>& filters) const {
+  SQUID_ASSIGN_OR_RETURN(std::string pk, PrimaryKeyOf(adb_->database(), entity_relation));
+  Query query;
+
+  // Main block: basic filters (inline, dim-chain, multi-valued).
+  AliasPool main_aliases;
+  SelectQuery main_block;
+  main_block.distinct = true;
+  std::string entity_alias = main_aliases.Next(entity_relation);
+  main_block.from.push_back(TableRef{entity_relation, entity_alias});
+  main_block.select_list.push_back(SelectItem{{entity_alias, projection_attr}});
+  bool has_basic = false;
+
+  std::vector<const Filter*> derived_filters;
+  for (const Filter& f : filters) {
+    if (!f.included) continue;
+    const PropertyDescriptor& desc = *f.property.descriptor;
+    switch (desc.kind) {
+      case PropertyKind::kInlineCategorical:
+        main_block.where.push_back(Predicate::Compare(
+            {entity_alias, desc.terminal_attr}, CompareOp::kEq, f.property.value));
+        has_basic = true;
+        break;
+      case PropertyKind::kInlineNumeric:
+        main_block.where.push_back(Predicate::Between(
+            {entity_alias, desc.terminal_attr}, Value(f.property.lo),
+            Value(f.property.hi)));
+        has_basic = true;
+        break;
+      case PropertyKind::kDimCategorical: {
+        std::string terminal =
+            AppendDimChain(desc, entity_alias, &main_aliases, &main_block);
+        main_block.where.push_back(Predicate::Compare(
+            {terminal, desc.terminal_attr}, CompareOp::kEq, f.property.value));
+        has_basic = true;
+        break;
+      }
+      case PropertyKind::kMultiValued: {
+        std::string far = AppendHopChain(desc, entity_alias, pk, &main_aliases,
+                                         &main_block);
+        std::string terminal = AppendDimChain(desc, far, &main_aliases, &main_block);
+        main_block.where.push_back(Predicate::Compare(
+            {terminal, desc.terminal_attr}, CompareOp::kEq, f.property.value));
+        has_basic = true;
+        break;
+      }
+      case PropertyKind::kDerivedCategorical:
+      case PropertyKind::kDerivedNumericBucket:
+      case PropertyKind::kDerivedEntity:
+        derived_filters.push_back(&f);
+        break;
+    }
+  }
+
+  // One GROUP BY / HAVING branch per derived filter (the SPJA^I shape of
+  // paper queries Q4 and DQ2).
+  std::vector<SelectQuery> branches;
+  for (const Filter* f : derived_filters) {
+    const PropertyDescriptor& desc = *f->property.descriptor;
+    AliasPool aliases;
+    SelectQuery block;
+    block.distinct = false;  // grouping already yields one row per entity
+    std::string e = aliases.Next(entity_relation);
+    block.from.push_back(TableRef{entity_relation, e});
+    block.select_list.push_back(SelectItem{{e, projection_attr}});
+    std::string far = AppendHopChain(desc, e, pk, &aliases, &block);
+    std::string terminal = AppendDimChain(desc, far, &aliases, &block);
+    if (desc.kind == PropertyKind::kDerivedNumericBucket) {
+      auto idx = f->property.value.ToNumeric();
+      size_t bucket = idx.ok() ? static_cast<size_t>(idx.value()) : 0;
+      double threshold = bucket < desc.bucket_thresholds.size()
+                             ? desc.bucket_thresholds[bucket]
+                             : 0.0;
+      block.where.push_back(Predicate::Compare({terminal, desc.terminal_attr},
+                                               CompareOp::kGe, Value(threshold)));
+    } else {
+      block.where.push_back(Predicate::Compare({terminal, desc.terminal_attr},
+                                               CompareOp::kEq, f->property.value));
+    }
+    block.group_by.push_back(ColumnRef{e, pk});
+    block.having = HavingCount{CompareOp::kGe, f->property.theta};
+    branches.push_back(std::move(block));
+  }
+
+  // Assemble: drop the unfiltered main block when derived branches exist and
+  // the main block carries no predicates (it would be a no-op intersectand).
+  if (has_basic || branches.empty()) {
+    query.branches.push_back(std::move(main_block));
+  }
+  for (auto& b : branches) query.branches.push_back(std::move(b));
+  return query;
+}
+
+}  // namespace squid

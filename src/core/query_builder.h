@@ -1,0 +1,49 @@
+#ifndef SQUID_CORE_QUERY_BUILDER_H_
+#define SQUID_CORE_QUERY_BUILDER_H_
+
+/// \file query_builder.h
+/// \brief Builds executable queries from the abduced base query + filters
+/// (§6.2). Two equivalent forms are produced:
+///  - the αDB SPJ form (paper Q5): a single select block joining the entity
+///    relation with derived relations and dimension chains;
+///  - the original-schema SPJAI form (paper Q4): basic filters in the main
+///    block, one GROUP BY ... HAVING count(*) >= θ branch per derived
+///    filter, combined with INTERSECT.
+/// Joins not needed by the included filters are omitted.
+
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/filter.h"
+#include "sql/ast.h"
+
+namespace squid {
+
+/// \brief Builds both query forms for a base query + included filters.
+class QueryBuilder {
+ public:
+  QueryBuilder(const AbductionReadyDb* adb, SquidConfig config)
+      : adb_(adb), config_(std::move(config)) {}
+
+  /// αDB SPJ form: SELECT DISTINCT e.<projection> FROM <entity> e [, derived
+  /// relations, dims] WHERE <joins + predicates>.
+  Result<Query> BuildAdbQuery(const std::string& entity_relation,
+                              const std::string& projection_attr,
+                              const std::vector<Filter>& filters) const;
+
+  /// Original-schema SPJAI form with INTERSECT branches for derived filters.
+  Result<Query> BuildOriginalQuery(const std::string& entity_relation,
+                                   const std::string& projection_attr,
+                                   const std::vector<Filter>& filters) const;
+
+ private:
+  const AbductionReadyDb* adb_;
+  SquidConfig config_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_QUERY_BUILDER_H_

@@ -1,0 +1,24 @@
+#include "core/semantic_property.h"
+
+#include "common/strings.h"
+
+namespace squid {
+
+std::string SemanticProperty::ToString(const AbductionReadyDb& adb) const {
+  if (descriptor == nullptr) return "<?>";
+  std::string out = "<" + descriptor->display_name + ", ";
+  if (is_numeric_range()) {
+    out += "[" + Value(lo).ToString() + "," + Value(hi).ToString() + "]";
+  } else {
+    out += adb.DisplayValue(*descriptor, value);
+  }
+  out += ", ";
+  out += has_theta() ? Value(theta).ToString() : "_";
+  if (theta_norm >= 0) {
+    out += StrFormat(" (%.2f of portfolio)", theta_norm);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace squid

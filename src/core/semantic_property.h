@@ -1,0 +1,60 @@
+#ifndef SQUID_CORE_SEMANTIC_PROPERTY_H_
+#define SQUID_CORE_SEMANTIC_PROPERTY_H_
+
+/// \file semantic_property.h
+/// \brief Semantic properties p = ⟨A, V, θ⟩ (§3.1): a property descriptor A
+/// instantiated with a concrete value (or numeric range) V and, for derived
+/// properties, an association strength θ.
+
+#include <string>
+
+#include "adb/abduction_ready_db.h"
+#include "adb/schema_graph.h"
+#include "storage/value.h"
+
+namespace squid {
+
+/// \brief One semantic property of the example entities.
+struct SemanticProperty {
+  /// θ placeholder for basic properties (θ = ⊥ in the paper).
+  static constexpr double kNoTheta = -1.0;
+
+  const PropertyDescriptor* descriptor = nullptr;
+
+  /// Categorical / multi-valued / derived value (bucket index for
+  /// kDerivedNumericBucket). Unused (null) for numeric ranges.
+  Value value;
+
+  /// Inclusive numeric range for kInlineNumeric minimal filters (§3.2:
+  /// tightest bounds over the examples).
+  double lo = 0;
+  double hi = 0;
+
+  /// Association strength: minimum count across the examples (§6.1.2);
+  /// kNoTheta for basic properties.
+  double theta = kNoTheta;
+
+  /// Portfolio-normalized association strength (minimum across examples);
+  /// kNoTheta when not applicable.
+  double theta_norm = kNoTheta;
+
+  bool has_theta() const { return theta >= 0; }
+  bool is_numeric_range() const {
+    return descriptor != nullptr && descriptor->kind == PropertyKind::kInlineNumeric;
+  }
+
+  /// Paper-style rendering, e.g. "<genre.name, Comedy, 30>" or
+  /// "<age, [50,90], _>". Resolves display values through the αDB.
+  std::string ToString(const AbductionReadyDb& adb) const;
+};
+
+/// \brief Semantic context x = (p, |E|) (§4.1): the property together with
+/// the number of examples it was observed in.
+struct SemanticContext {
+  SemanticProperty property;
+  size_t support = 0;  // |E|
+};
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_SEMANTIC_PROPERTY_H_

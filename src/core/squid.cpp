@@ -1,0 +1,75 @@
+#include "core/squid.h"
+
+#include "core/context_discovery.h"
+#include "core/disambiguation.h"
+#include "core/entity_lookup.h"
+
+namespace squid {
+
+size_t AbducedQuery::NumIncludedFilters() const {
+  size_t n = 0;
+  for (const auto& f : filters) {
+    if (f.included) ++n;
+  }
+  return n;
+}
+
+Result<AbducedQuery> Squid::DiscoverForEntities(
+    const std::string& entity_relation, const std::string& projection_attr,
+    const std::vector<Value>& entity_keys) const {
+  AbducedQuery out;
+  out.entity_relation = entity_relation;
+  out.projection_attr = projection_attr;
+  out.entity_keys = entity_keys;
+
+  SQUID_ASSIGN_OR_RETURN(
+      std::vector<SemanticContext> contexts,
+      DiscoverContexts(*adb_, entity_relation, entity_keys, config_));
+  AbductionModel model(adb_, config_);
+  SQUID_ASSIGN_OR_RETURN(out.filters,
+                         model.AbduceFilters(contexts, entity_keys.size()));
+  out.log_posterior = AbductionModel::LogPosterior(out.filters);
+
+  QueryBuilder builder(adb_, config_);
+  SQUID_ASSIGN_OR_RETURN(
+      out.adb_query, builder.BuildAdbQuery(entity_relation, projection_attr,
+                                           out.filters));
+  SQUID_ASSIGN_OR_RETURN(
+      out.original_query,
+      builder.BuildOriginalQuery(entity_relation, projection_attr, out.filters));
+  return out;
+}
+
+Result<AbducedQuery> Squid::Discover(const std::vector<std::string>& examples) const {
+  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
+                         LookupExamples(*adb_, examples));
+  bool have_best = false;
+  AbducedQuery best;
+  Status last_error = Status::OK();
+  for (const EntityMatch& match : matches) {
+    auto keys = DisambiguateEntities(*adb_, match, config_);
+    if (!keys.ok()) {
+      last_error = keys.status();
+      continue;
+    }
+    auto abduced =
+        DiscoverForEntities(match.relation, match.attribute, keys.value());
+    if (!abduced.ok()) {
+      last_error = abduced.status();
+      continue;
+    }
+    // Rank candidate base queries by posterior; ties favor the earlier match
+    // (entity relations first, then least ambiguity — see LookupExamples).
+    if (!have_best || abduced.value().log_posterior > best.log_posterior) {
+      best = std::move(abduced).value();
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    if (!last_error.ok()) return last_error;
+    return Status::NotFound("no candidate base query could be abduced");
+  }
+  return best;
+}
+
+}  // namespace squid

@@ -1,0 +1,85 @@
+#ifndef SQUID_CORE_SQUID_H_
+#define SQUID_CORE_SQUID_H_
+
+/// \file squid.h
+/// \brief End-to-end query intent discovery (Fig. 4's online module): entity
+/// lookup and disambiguation, semantic-context discovery, query abduction,
+/// and query construction. This is the library's primary public API.
+///
+/// Typical use:
+/// \code
+///   auto adb = AbductionReadyDb::Build(db).value();          // offline
+///   Squid squid(adb.get());
+///   auto abduced = squid.Discover({"Dan Suciu", "Sam Madden"});
+///   std::cout << ToSql(abduced.value().original_query);
+/// \endcode
+
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "core/abduction_model.h"
+#include "core/config.h"
+#include "core/filter.h"
+#include "core/query_builder.h"
+#include "sql/ast.h"
+
+namespace squid {
+
+/// \brief Result of query intent discovery.
+struct AbducedQuery {
+  /// Base-query structure: the matched entity relation and projection
+  /// attribute (§6.2).
+  std::string entity_relation;
+  std::string projection_attr;
+
+  /// Disambiguated entity keys, one per example.
+  std::vector<Value> entity_keys;
+
+  /// All minimal valid filters with their abduction state (included or not).
+  std::vector<Filter> filters;
+
+  /// The abduced query in αDB SPJ form (executes against
+  /// AbductionReadyDb::database()).
+  Query adb_query;
+
+  /// The equivalent SPJAI query on the original schema.
+  Query original_query;
+
+  /// Log posterior score of the decided filter set (per fixed base query).
+  double log_posterior = 0;
+
+  /// Number of included filters.
+  size_t NumIncludedFilters() const;
+};
+
+/// \brief SQuID's online module.
+class Squid {
+ public:
+  explicit Squid(const AbductionReadyDb* adb, SquidConfig config = {})
+      : adb_(adb), config_(std::move(config)) {}
+
+  const SquidConfig& config() const { return config_; }
+  void set_config(SquidConfig config) { config_ = std::move(config); }
+
+  /// Full pipeline from raw example strings: looks the examples up in the
+  /// inverted index, disambiguates, and abduces the most probable query.
+  /// When several (relation, attribute) base queries cover all examples,
+  /// each is abduced and the one with the highest log posterior wins.
+  Result<AbducedQuery> Discover(const std::vector<std::string>& examples) const;
+
+  /// Abduces for an already-resolved example set: entities `entity_keys` of
+  /// `entity_relation`, projecting `projection_attr`.
+  Result<AbducedQuery> DiscoverForEntities(const std::string& entity_relation,
+                                           const std::string& projection_attr,
+                                           const std::vector<Value>& entity_keys) const;
+
+ private:
+  const AbductionReadyDb* adb_;
+  SquidConfig config_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_CORE_SQUID_H_

@@ -1,0 +1,140 @@
+#include "datagen/adult_generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace squid {
+
+namespace {
+
+const char* kWorkclass[] = {"Private", "Self-emp", "Federal-gov", "Local-gov",
+                            "State-gov", "Without-pay"};
+const double kWorkclassW[] = {0.70, 0.11, 0.04, 0.07, 0.05, 0.03};
+const char* kEducation[] = {"HS-grad",   "Some-college", "Bachelors", "Masters",
+                            "Assoc",     "11th",         "10th",      "Doctorate",
+                            "Prof-school", "9th"};
+const double kEducationW[] = {0.32, 0.22, 0.17, 0.06, 0.08, 0.04, 0.03, 0.015,
+                              0.02, 0.025};
+const char* kMarital[] = {"Married-civ-spouse", "Never-married", "Divorced",
+                          "Separated", "Widowed"};
+const double kMaritalW[] = {0.46, 0.33, 0.14, 0.03, 0.04};
+const char* kOccupation[] = {"Craft-repair",    "Prof-specialty", "Exec-managerial",
+                             "Adm-clerical",    "Sales",          "Other-service",
+                             "Machine-op-inspct", "Transport-moving",
+                             "Protective-serv", "Tech-support"};
+const double kOccupationW[] = {0.13, 0.13, 0.13, 0.12, 0.11, 0.10, 0.07, 0.05,
+                               0.02, 0.03};
+const char* kRelationship[] = {"Husband", "Not-in-family", "Own-child",
+                               "Unmarried", "Wife", "Other-relative"};
+const double kRelationshipW[] = {0.40, 0.26, 0.16, 0.11, 0.05, 0.03};
+const char* kRace[] = {"White", "Black", "Asian-Pac-Islander", "Amer-Indian",
+                       "Other"};
+const double kRaceW[] = {0.85, 0.10, 0.03, 0.01, 0.01};
+const char* kSex[] = {"Male", "Female"};
+const double kSexW[] = {0.67, 0.33};
+const char* kCountry[] = {"United-States", "Mexico", "Philippines", "Germany",
+                          "Canada", "India", "England", "Cuba", "China", "Italy"};
+const double kCountryW[] = {0.90, 0.02, 0.01, 0.005, 0.005, 0.01, 0.005, 0.005,
+                            0.02, 0.02};
+const char* kIncome[] = {"<=50K", ">50K"};
+
+size_t Pick(Rng* rng, const double* weights, size_t n) {
+  std::vector<double> w(weights, weights + n);
+  return rng->WeightedIndex(w);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> GenerateAdult(const AdultOptions& options) {
+  Rng rng(options.seed);
+  auto db = std::make_unique<Database>("adult");
+
+  Schema s("adult", {{"id", ValueType::kInt64},
+                     {"name", ValueType::kString},
+                     {"age", ValueType::kInt64},
+                     {"workclass", ValueType::kString},
+                     {"fnlwgt", ValueType::kInt64},
+                     {"education", ValueType::kString},
+                     {"maritalstatus", ValueType::kString},
+                     {"occupation", ValueType::kString},
+                     {"relationship", ValueType::kString},
+                     {"race", ValueType::kString},
+                     {"sex", ValueType::kString},
+                     {"capitalgain", ValueType::kInt64},
+                     {"capitalloss", ValueType::kInt64},
+                     {"hoursperweek", ValueType::kInt64},
+                     {"nativecountry", ValueType::kString},
+                     {"income", ValueType::kString}});
+  s.set_primary_key("id");
+  s.set_entity(true);
+  for (const char* attr : {"age", "workclass", "fnlwgt", "education",
+                           "maritalstatus", "occupation", "relationship", "race",
+                           "sex", "capitalgain", "capitalloss", "hoursperweek",
+                           "nativecountry", "income"}) {
+    s.AddPropertyAttribute(attr);
+  }
+  s.AddTextSearchAttribute("name");
+  SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
+
+  const size_t base_rows = options.num_rows;
+  const size_t total = base_rows * std::max<size_t>(1, options.scale_factor);
+  t->Reserve(total);
+  int64_t id = 1;
+  for (size_t rep = 0; rep < std::max<size_t>(1, options.scale_factor); ++rep) {
+    // Each replica re-seeds identically so the joint distribution is
+    // preserved across scale factors (rows differ only in id/name).
+    Rng rep_rng(options.seed + 1);
+    for (size_t i = 0; i < base_rows; ++i) {
+      int64_t age = std::clamp<int64_t>(
+          static_cast<int64_t>(rep_rng.Normal(39, 13)), 17, 90);
+      size_t marital = Pick(&rep_rng, kMaritalW, std::size(kMaritalW));
+      size_t sex = Pick(&rep_rng, kSexW, std::size(kSexW));
+      size_t relationship;
+      if (std::string(kMarital[marital]) == "Married-civ-spouse") {
+        relationship = sex == 0 ? 0 : 4;  // Husband / Wife
+      } else {
+        relationship = 1 + static_cast<size_t>(rep_rng.UniformInt(0, 2));
+      }
+      int64_t gain = rep_rng.Bernoulli(0.08)
+                         ? rep_rng.UniformInt(114, 99999)
+                         : 0;
+      int64_t loss = (gain == 0 && rep_rng.Bernoulli(0.05))
+                         ? rep_rng.UniformInt(155, 4356)
+                         : 0;
+      int64_t hours = std::clamp<int64_t>(
+          static_cast<int64_t>(rep_rng.Normal(40, 12)), 1, 99);
+      size_t edu = Pick(&rep_rng, kEducationW, std::size(kEducationW));
+      bool high_income =
+          rep_rng.Bernoulli(0.1 + (edu == 2 || edu == 3 || edu == 7 ? 0.25 : 0) +
+                            (age > 35 ? 0.08 : 0) + (gain > 5000 ? 0.4 : 0));
+      SQUID_RETURN_NOT_OK(t->AppendRow({
+          Value(id),
+          Value(StrFormat("Resident %06lld", static_cast<long long>(id))),
+          Value(age),
+          Value(std::string(kWorkclass[Pick(&rep_rng, kWorkclassW,
+                                            std::size(kWorkclassW))])),
+          Value(rep_rng.UniformInt(20000, 500000)),
+          Value(std::string(kEducation[edu])),
+          Value(std::string(kMarital[marital])),
+          Value(std::string(kOccupation[Pick(&rep_rng, kOccupationW,
+                                             std::size(kOccupationW))])),
+          Value(std::string(kRelationship[relationship])),
+          Value(std::string(kRace[Pick(&rep_rng, kRaceW, std::size(kRaceW))])),
+          Value(std::string(kSex[sex])),
+          Value(gain),
+          Value(loss),
+          Value(hours),
+          Value(std::string(
+              kCountry[Pick(&rep_rng, kCountryW, std::size(kCountryW))])),
+          Value(std::string(kIncome[high_income ? 1 : 0])),
+      }));
+      ++id;
+    }
+  }
+  (void)rng;
+  return db;
+}
+
+}  // namespace squid

@@ -1,0 +1,32 @@
+#ifndef SQUID_DATAGEN_ADULT_GENERATOR_H_
+#define SQUID_DATAGEN_ADULT_GENERATOR_H_
+
+/// \file adult_generator.h
+/// \brief Synthetic census-like single-relation dataset with the standard
+/// Adult attributes (Fig. 18: one relation, mixed categorical / numeric).
+/// Used by the Fig. 14 QRE comparison and the Fig. 16 PU-learning
+/// comparison. Attribute marginals approximate the well-known census
+/// distributions; a synthetic unique `name` column serves as the projection
+/// attribute (the paper's AQ queries SELECT DISTINCT name).
+
+#include <memory>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+struct AdultOptions {
+  uint64_t seed = 44;
+  size_t num_rows = 16000;
+  /// Replication factor for the Fig. 16(b) scalability sweep: rows are
+  /// replicated with fresh names, preserving the joint distribution.
+  size_t scale_factor = 1;
+};
+
+/// Generates the `adult` relation inside a fresh database.
+Result<std::unique_ptr<Database>> GenerateAdult(const AdultOptions& options = {});
+
+}  // namespace squid
+
+#endif  // SQUID_DATAGEN_ADULT_GENERATOR_H_

@@ -1,0 +1,80 @@
+#include "datagen/cohorts.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace squid {
+
+CohortList BuildCohortList(const std::vector<std::string>& cohort,
+                           const std::vector<double>& popularity,
+                           const std::vector<std::string>& universe,
+                           const CohortListOptions& options) {
+  Rng rng(options.seed);
+  CohortList out;
+  if (cohort.empty()) return out;
+
+  // Rank cohort members by popularity (descending).
+  std::vector<size_t> order(cohort.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double pa = a < popularity.size() ? popularity[a] : 0;
+    double pb = b < popularity.size() ? popularity[b] : 0;
+    return pa > pb;
+  });
+
+  const size_t want = std::min(options.list_size, cohort.size());
+  std::unordered_set<std::string> chosen;
+  size_t guard = 0;
+  while (chosen.size() < want && guard++ < want * 50) {
+    size_t rank = rng.Zipf(order.size(), options.popularity_bias);
+    chosen.insert(cohort[order[rank]]);
+  }
+  out.names.assign(chosen.begin(), chosen.end());
+  std::sort(out.names.begin(), out.names.end());
+
+  // Off-cohort noise: entities that appear on human lists but do not match
+  // the intent.
+  size_t noise = static_cast<size_t>(options.noise_fraction *
+                                     static_cast<double>(out.names.size()));
+  for (size_t i = 0; i < noise && !universe.empty(); ++i) {
+    out.names.push_back(universe[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(universe.size()) - 1))]);
+  }
+  rng.Shuffle(&out.names);
+
+  // Popularity mask: the cohort's more popular half plus a slice of the
+  // universe — evaluated outputs are filtered to this set (Appendix D).
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < order.size() * 3 / 4) out.popularity_mask.insert(cohort[order[i]]);
+  }
+  for (const std::string& name : out.names) out.popularity_mask.insert(name);
+  return out;
+}
+
+Status PersonPopularity(const Database& db, std::vector<std::string>* names,
+                        std::vector<double>* scores) {
+  names->clear();
+  scores->clear();
+  SQUID_ASSIGN_OR_RETURN(const Table* person, db.GetTable("person"));
+  SQUID_ASSIGN_OR_RETURN(const Table* castinfo, db.GetTable("castinfo"));
+  SQUID_ASSIGN_OR_RETURN(const Column* pid, person->ColumnByName("id"));
+  SQUID_ASSIGN_OR_RETURN(const Column* pname, person->ColumnByName("name"));
+  SQUID_ASSIGN_OR_RETURN(const Column* cast_pid, castinfo->ColumnByName("person_id"));
+
+  std::unordered_map<int64_t, double> credits;
+  for (size_t r = 0; r < castinfo->num_rows(); ++r) {
+    if (!cast_pid->IsNull(r)) credits[cast_pid->Int64At(r)] += 1;
+  }
+  names->reserve(person->num_rows());
+  scores->reserve(person->num_rows());
+  for (size_t r = 0; r < person->num_rows(); ++r) {
+    if (pid->IsNull(r) || pname->IsNull(r)) continue;
+    names->push_back(pname->StringAt(r));
+    auto it = credits.find(pid->Int64At(r));
+    scores->push_back(it == credits.end() ? 0 : it->second);
+  }
+  return Status::OK();
+}
+
+}  // namespace squid

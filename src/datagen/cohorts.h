@@ -1,0 +1,55 @@
+#ifndef SQUID_DATAGEN_COHORTS_H_
+#define SQUID_DATAGEN_COHORTS_H_
+
+/// \file cohorts.h
+/// \brief Simulated "public list" example sets for the §7.4 case studies.
+///
+/// The paper's case studies draw examples from human-created lists, which
+/// are biased toward well-known entities and omit obscure ones; the paper
+/// counters the bias with "popularity masks" (Appendix D, footnote 14).
+/// This module reproduces that setting: it samples a noisy, popularity-
+/// biased example list from a planted cohort, and builds the popularity
+/// mask used to filter both the examples and the evaluated query outputs.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+struct CohortListOptions {
+  /// Fraction of list entries that are off-cohort noise (list quirks).
+  double noise_fraction = 0.05;
+  /// Popularity bias exponent: cohort members are ranked by an external
+  /// popularity score and sampled with Zipf(s) over that ranking.
+  double popularity_bias = 0.6;
+  size_t list_size = 200;
+  uint64_t seed = 11;
+};
+
+/// \brief A simulated public list plus the popularity mask.
+struct CohortList {
+  std::vector<std::string> names;                   // the "list"
+  std::unordered_set<std::string> popularity_mask;  // allowed entities
+};
+
+/// Builds a list from `cohort` (entity display names), ranking popularity by
+/// `popularity` (same order as cohort; larger = more popular). `universe`
+/// supplies noise entries and the mask's non-cohort portion.
+CohortList BuildCohortList(const std::vector<std::string>& cohort,
+                           const std::vector<double>& popularity,
+                           const std::vector<std::string>& universe,
+                           const CohortListOptions& options);
+
+/// Popularity score for every person in an IMDb-schema database: the number
+/// of castinfo credits. Fills names and scores in parallel order.
+Status PersonPopularity(const Database& db, std::vector<std::string>* names,
+                        std::vector<double>* scores);
+
+}  // namespace squid
+
+#endif  // SQUID_DATAGEN_COHORTS_H_

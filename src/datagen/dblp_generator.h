@@ -1,0 +1,53 @@
+#ifndef SQUID_DATAGEN_DBLP_GENERATOR_H_
+#define SQUID_DATAGEN_DBLP_GENERATOR_H_
+
+/// \file dblp_generator.h
+/// \brief Synthetic DBLP-schema dataset (14 relations, per the Fig. 18
+/// description): entities author / publication; dimensions venue /
+/// affiliation / country / area / keyword / series / award; facts writes /
+/// pubtokeyword / citation / pc_member / authoraward.
+///
+/// Planted structures back the DBLP benchmark queries (Fig. 20) and the
+/// prolific-researcher case study (Fig. 13(c)): authors with many
+/// publications at the two flagship database venues (DQ2), a trio that
+/// co-authors repeatedly (DQ4), cross-affiliation collaborations with two
+/// named labs (DQ1), and USA–Canada co-authored publications (DQ5).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+struct DblpOptions {
+  uint64_t seed = 43;
+  double scale = 1.0;
+  size_t num_authors = 3000;
+  size_t num_publications = 6000;
+  size_t num_affiliations = 120;
+  double avg_authors_per_pub = 2.8;
+};
+
+struct DblpManifest {
+  std::string venue_sigmod;  // "SIGMOD"-like flagship venue
+  std::string venue_vldb;    // second flagship venue
+  std::string lab_a;         // DQ1 affiliation A
+  std::string lab_b;         // DQ1 affiliation B
+  std::vector<std::string> trio;             // DQ4 authors
+  std::vector<std::string> prolific_authors; // DQ2 / case-study cohort
+};
+
+struct DblpData {
+  std::unique_ptr<Database> db;
+  DblpManifest manifest;
+};
+
+/// Generates the dataset. Deterministic for a fixed option set.
+Result<DblpData> GenerateDblp(const DblpOptions& options = {});
+
+}  // namespace squid
+
+#endif  // SQUID_DATAGEN_DBLP_GENERATOR_H_

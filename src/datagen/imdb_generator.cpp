@@ -1,0 +1,767 @@
+#include "datagen/imdb_generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace squid {
+
+namespace {
+
+// Dimension domains (all names are synthetic; Zipf draws give them skew).
+const char* kGenres[] = {"Comedy",  "Drama",     "Action",    "Thriller", "SciFi",
+                         "Horror",  "Romance",   "Animation", "Crime",    "Fantasy",
+                         "Mystery", "Adventure", "Family",    "War",      "Western",
+                         "Musical", "Biography", "Documentary"};
+const char* kCountries[] = {"USA",     "UK",     "Canada",  "India",  "Russia",
+                            "Japan",   "France", "Germany", "Italy",  "Spain",
+                            "China",   "Brazil", "Mexico",  "Sweden", "Norway",
+                            "Poland",  "Turkey", "Egypt",   "Kenya",  "Australia",
+                            "Ireland", "Greece", "Austria", "Chile",  "Peru"};
+const char* kLanguages[] = {"English",    "Japanese", "Russian", "Hindi",
+                            "French",     "German",   "Spanish", "Italian",
+                            "Mandarin",   "Portuguese", "Swedish", "Polish",
+                            "Turkish",    "Arabic",   "Greek"};
+const char* kRoles[] = {"actor", "actress", "director", "producer", "writer",
+                        "cinematographer"};
+const char* kCertificates[] = {"G", "PG", "PG-13", "R", "NC-17", "Unrated"};
+
+const char* kFirstNames[] = {
+    "Avery", "Blake", "Casey", "Devon", "Ellis",  "Finley", "Gray",   "Harper",
+    "Indra", "Jules", "Kai",   "Logan", "Mika",   "Noor",   "Oakley", "Parker",
+    "Quinn", "Reese", "Sage",  "Tatum", "Uma",    "Vale",   "Wren",   "Xen",
+    "Yael",  "Zion",  "Arlo",  "Briar", "Cove",   "Dune"};
+const char* kLastNames[] = {
+    "Abbott",   "Barlow",   "Calder", "Draper", "Easton", "Fletcher", "Garner",
+    "Hollis",   "Ivers",    "Jagger", "Keller", "Landry", "Mercer",   "Norwood",
+    "Oakes",    "Presley",  "Quimby", "Ramsey", "Sutton", "Thorne",   "Underhill",
+    "Vaughn",   "Whitaker", "Xiong",  "Yates",  "Zimmer", "Ashford",  "Bellamy",
+    "Crawford", "Donovan"};
+const char* kTitleAdjectives[] = {
+    "Silent",  "Crimson", "Hidden", "Golden",  "Broken",   "Endless", "Frozen",
+    "Burning", "Distant", "Hollow", "Savage",  "Gentle",   "Electric", "Midnight",
+    "Scarlet", "Iron",    "Velvet", "Wild",    "Lonely",   "Radiant"};
+const char* kTitleNouns[] = {
+    "Horizon", "Echo",    "River",  "Empire", "Garden",   "Voyage", "Shadow",
+    "Harbor",  "Signal",  "Crown",  "Meadow", "Station",  "Mirror", "Canyon",
+    "Lantern", "Orchard", "Summit", "Tide",   "Fortress", "Compass"};
+
+size_t GenreIndex(const char* name) {
+  for (size_t i = 0; i < std::size(kGenres); ++i) {
+    if (std::string(kGenres[i]) == name) return i;
+  }
+  return 0;
+}
+size_t CountryIndex(const char* name) {
+  for (size_t i = 0; i < std::size(kCountries); ++i) {
+    if (std::string(kCountries[i]) == name) return i;
+  }
+  return 0;
+}
+size_t LanguageIndex(const char* name) {
+  for (size_t i = 0; i < std::size(kLanguages); ++i) {
+    if (std::string(kLanguages[i]) == name) return i;
+  }
+  return 0;
+}
+size_t RoleIndex(const char* name) {
+  for (size_t i = 0; i < std::size(kRoles); ++i) {
+    if (std::string(kRoles[i]) == name) return i;
+  }
+  return 0;
+}
+
+/// In-memory staging before table emission.
+struct PersonRow {
+  int64_t id = 0;
+  std::string name;
+  std::string gender;
+  int64_t birth_year = 1970;
+  int64_t country_id = 1;
+};
+struct MovieRow {
+  int64_t id = 0;
+  std::string title;
+  int64_t year = 2000;
+  int64_t runtime = 100;
+  double rating = 6.0;
+  int64_t certificate_id = 1;
+  std::vector<size_t> genres;
+  std::vector<size_t> countries;
+  std::vector<size_t> languages;
+  std::vector<size_t> keywords;
+  std::vector<int64_t> companies;
+};
+struct CastRow {
+  int64_t person_id;
+  int64_t movie_id;
+  size_t role;
+};
+
+Schema DimensionSchema(const std::string& name) {
+  Schema s(name, {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  s.set_primary_key("id");
+  s.AddPropertyAttribute("name");
+  s.AddTextSearchAttribute("name");
+  return s;
+}
+
+Status EmitDimension(Database* db, const std::string& name,
+                     const char* const* values, size_t count) {
+  SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema(name)));
+  for (size_t i = 0; i < count; ++i) {
+    SQUID_RETURN_NOT_OK(t->AppendRow(
+        {Value(static_cast<int64_t>(i + 1)), Value(std::string(values[i]))}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ImdbOptions SmImdbOptions() {
+  ImdbOptions o;
+  o.scale = 0.1;
+  return o;
+}
+
+ImdbOptions BsImdbOptions() {
+  ImdbOptions o;
+  o.duplicate_entities = true;
+  return o;
+}
+
+ImdbOptions BdImdbOptions() {
+  ImdbOptions o;
+  o.duplicate_entities = true;
+  o.dense_duplicates = true;
+  return o;
+}
+
+Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
+  Rng rng(options.seed);
+  ImdbData out;
+  out.db = std::make_unique<Database>("imdb");
+  Database* db = out.db.get();
+  ImdbManifest& manifest = out.manifest;
+
+  const size_t num_persons =
+      std::max<size_t>(400, static_cast<size_t>(options.num_persons * options.scale));
+  const size_t num_movies =
+      std::max<size_t>(300, static_cast<size_t>(options.num_movies * options.scale));
+  const size_t num_companies = std::max<size_t>(
+      20, static_cast<size_t>(options.num_companies * options.scale));
+  const size_t num_keywords = std::max<size_t>(
+      30,
+      static_cast<size_t>(options.num_keywords * std::min(1.0, options.scale * 2)));
+
+  // ---- Stage 1: persons. ----
+  std::vector<PersonRow> persons;
+  persons.reserve(num_persons);
+  std::unordered_set<std::string> used_names;
+  auto fresh_name = [&](const char* fallback_prefix, size_t i) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string name =
+          std::string(
+              kFirstNames[rng.UniformInt(0, std::size(kFirstNames) - 1)]) +
+          " " + kLastNames[rng.UniformInt(0, std::size(kLastNames) - 1)];
+      if (!used_names.count(name)) {
+        used_names.insert(name);
+        return name;
+      }
+    }
+    std::string name = StrFormat("%s %05zu", fallback_prefix, i);
+    used_names.insert(name);
+    return name;
+  };
+  for (size_t i = 0; i < num_persons; ++i) {
+    PersonRow p;
+    p.id = static_cast<int64_t>(i + 1);
+    // ~3% of persons share a name with an earlier person; these ambiguous
+    // names exercise entity disambiguation (Fig. 12).
+    if (i > 50 && rng.Bernoulli(0.03)) {
+      p.name = persons[static_cast<size_t>(
+                           rng.UniformInt(0, static_cast<int64_t>(i) - 1))]
+                   .name;
+    } else {
+      p.name = fresh_name("Person", i);
+    }
+    p.gender = rng.Bernoulli(0.55) ? "Male" : "Female";
+    p.birth_year = 1935 + rng.UniformInt(0, 64);
+    p.country_id = static_cast<int64_t>(rng.Zipf(std::size(kCountries), 1.1) + 1);
+    persons.push_back(std::move(p));
+  }
+
+  // ---- Stage 2: movies. ----
+  std::vector<MovieRow> movies;
+  movies.reserve(num_movies);
+  std::unordered_set<std::string> used_titles;
+  auto fresh_title = [&](size_t i) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string title =
+          std::string("The ") +
+          kTitleAdjectives[rng.UniformInt(0, std::size(kTitleAdjectives) - 1)] +
+          " " + kTitleNouns[rng.UniformInt(0, std::size(kTitleNouns) - 1)];
+      if (!used_titles.count(title)) {
+        used_titles.insert(title);
+        return title;
+      }
+    }
+    std::string title = StrFormat("Feature %05zu", i);
+    used_titles.insert(title);
+    return title;
+  };
+  for (size_t i = 0; i < num_movies; ++i) {
+    MovieRow m;
+    m.id = static_cast<int64_t>(i + 1);
+    if (i > 50 && rng.Bernoulli(0.04)) {
+      m.title = movies[static_cast<size_t>(
+                           rng.UniformInt(0, static_cast<int64_t>(i) - 1))]
+                    .title;
+    } else {
+      m.title = fresh_title(i);
+    }
+    m.year = rng.Bernoulli(0.7) ? 1990 + rng.UniformInt(0, 30)
+                                : 1950 + rng.UniformInt(0, 39);
+    m.runtime = 70 + rng.UniformInt(0, 120);
+    m.rating = std::clamp(rng.Normal(6.2, 1.4), 1.0, 10.0);
+    m.certificate_id =
+        static_cast<int64_t>(rng.Zipf(std::size(kCertificates), 0.8) + 1);
+    size_t ngenres = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+    std::set<size_t> gset;
+    while (gset.size() < ngenres) gset.insert(rng.Zipf(std::size(kGenres), 0.9));
+    m.genres.assign(gset.begin(), gset.end());
+    std::set<size_t> cset;
+    cset.insert(rng.Zipf(std::size(kCountries), 1.2));
+    if (rng.Bernoulli(0.25)) cset.insert(rng.Zipf(std::size(kCountries), 1.2));
+    m.countries.assign(cset.begin(), cset.end());
+    // Language correlates with the production country.
+    size_t country0 = m.countries[0];
+    size_t lang;
+    if (country0 == CountryIndex("Japan") && rng.Bernoulli(0.9)) {
+      lang = LanguageIndex("Japanese");
+    } else if (country0 == CountryIndex("Russia") && rng.Bernoulli(0.9)) {
+      lang = LanguageIndex("Russian");
+    } else if (country0 == CountryIndex("India") && rng.Bernoulli(0.8)) {
+      lang = LanguageIndex("Hindi");
+    } else if (country0 == CountryIndex("France") && rng.Bernoulli(0.8)) {
+      lang = LanguageIndex("French");
+    } else {
+      lang = rng.Bernoulli(0.75) ? LanguageIndex("English")
+                                 : rng.Zipf(std::size(kLanguages), 1.0);
+    }
+    m.languages.push_back(lang);
+    if (rng.Bernoulli(0.1)) {
+      m.languages.push_back(rng.Zipf(std::size(kLanguages), 1.0));
+    }
+    size_t nkw = 2 + static_cast<size_t>(rng.UniformInt(0, 2));
+    std::set<size_t> kwset;
+    while (kwset.size() < nkw) kwset.insert(rng.Zipf(num_keywords, 0.8));
+    m.keywords.assign(kwset.begin(), kwset.end());
+    m.companies.push_back(static_cast<int64_t>(rng.Zipf(num_companies, 1.0) + 1));
+    movies.push_back(std::move(m));
+  }
+
+  // ---- Stage 3: cast associations (Zipf popularity on both sides). ----
+  std::vector<CastRow> cast;
+  const size_t total_appearances = static_cast<size_t>(
+      options.avg_appearances * static_cast<double>(num_persons));
+  cast.reserve(total_appearances + num_persons * 2);
+  // Dedupe on (person, movie, role): a person may hold several roles in one
+  // movie (e.g. directing and acting), but not the same role twice.
+  std::set<std::tuple<int64_t, int64_t, size_t>> cast_seen;
+  auto add_cast = [&](int64_t person_id, int64_t movie_id, size_t role) {
+    if (!cast_seen.insert({person_id, movie_id, role}).second) return false;
+    cast.push_back(CastRow{person_id, movie_id, role});
+    return true;
+  };
+  for (size_t i = 0; i < total_appearances; ++i) {
+    size_t p = rng.Zipf(num_persons, 0.8);
+    size_t m = rng.Zipf(num_movies, 0.7);
+    size_t role = rng.Bernoulli(0.85)
+                      ? (persons[p].gender == "Male" ? RoleIndex("actor")
+                                                     : RoleIndex("actress"))
+                      : rng.Zipf(std::size(kRoles), 0.5);
+    add_cast(persons[p].id, movies[m].id, role);
+  }
+  for (const MovieRow& m : movies) {
+    size_t p = rng.Zipf(num_persons, 0.6);
+    add_cast(persons[p].id, m.id, RoleIndex("director"));
+  }
+
+  // ---- Stage 4: planted structures (Fig. 19 / case studies). ----
+  // Planted entities take indexes from the back so Zipf hubs (front indexes)
+  // keep their organic association mass.
+  size_t next_person = num_persons - 1;
+  size_t next_movie = num_movies - 1;
+  auto claim_person = [&](const std::string& name) -> PersonRow& {
+    PersonRow& p = persons[next_person--];
+    used_names.insert(name);
+    p.name = name;
+    return p;
+  };
+  auto claim_movie = [&](const std::string& title) -> MovieRow& {
+    MovieRow& m = movies[next_movie--];
+    used_titles.insert(title);
+    m.title = title;
+    return m;
+  };
+
+  // IQ1: hub movie with a large cast.
+  {
+    MovieRow& hub = claim_movie("The Grand Heist");
+    manifest.hub_movie_title = hub.title;
+    hub.year = 1994;
+    hub.genres = {GenreIndex("Crime"), GenreIndex("Drama")};
+    size_t cast_size = std::max<size_t>(40, num_persons / 60);
+    for (size_t i = 0; i < cast_size; ++i) {
+      size_t p = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_persons) - 1));
+      add_cast(persons[p].id, hub.id,
+               persons[p].gender == "Male" ? RoleIndex("actor")
+                                           : RoleIndex("actress"));
+    }
+  }
+
+  // IQ2: trilogy with a shared cast.
+  {
+    std::vector<size_t> shared_cast;
+    for (size_t i = 0; i < 20; ++i) {
+      shared_cast.push_back(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_persons) - 1)));
+    }
+    for (int part = 1; part <= 3; ++part) {
+      MovieRow& m = claim_movie("Rings of Dawn " + std::string(part, 'I'));
+      manifest.trilogy.push_back(m.title);
+      m.year = 2000 + part;
+      m.genres = {GenreIndex("Fantasy"), GenreIndex("Adventure")};
+      m.countries = {CountryIndex("USA")};
+      for (size_t p : shared_cast) {
+        add_cast(persons[p].id, m.id,
+                 persons[p].gender == "Male" ? RoleIndex("actor")
+                                             : RoleIndex("actress"));
+      }
+      for (size_t i = 0; i < 10; ++i) {
+        size_t p = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(num_persons) - 1));
+        add_cast(persons[p].id, m.id, RoleIndex("actor"));
+      }
+    }
+  }
+
+  // IQ5: co-starring pair; their joint movies share language and era.
+  {
+    PersonRow& a = claim_person("Tomas Crane");
+    PersonRow& b = claim_person("Nicola Kidwell");
+    manifest.costar_a = a.name;
+    manifest.costar_b = b.name;
+    a.gender = "Male";
+    b.gender = "Female";
+    for (size_t i = 0; i < 12; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.year = 1992 + static_cast<int64_t>(i * 2);
+      m.languages = {LanguageIndex("English")};
+      add_cast(a.id, m.id, RoleIndex("actor"));
+      add_cast(b.id, m.id, RoleIndex("actress"));
+    }
+  }
+
+  // IQ6: prolific director who also acts in many of his movies.
+  {
+    PersonRow& d = claim_person("Clint Westwood");
+    manifest.director_name = d.name;
+    d.gender = "Male";
+    for (size_t i = 0; i < 36; ++i) {
+      MovieRow& m = movies[next_movie--];
+      add_cast(d.id, m.id, RoleIndex("director"));
+      if (i < 22) add_cast(d.id, m.id, RoleIndex("actor"));
+    }
+  }
+
+  // IQ8: prolific actor.
+  {
+    PersonRow& a = claim_person("Alfredo Pacini");
+    manifest.prolific_actor = a.name;
+    a.gender = "Male";
+    size_t n = std::min<size_t>(71, num_movies / 4);
+    size_t added = 0;
+    while (added < n) {
+      size_t m = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_movies) - 1));
+      if (add_cast(a.id, movies[m].id, RoleIndex("actor"))) ++added;
+    }
+  }
+
+  // IQ10: actors of > 10 recent (> 2010) Russian movies. The intended query
+  // compounds two conditions and is outside SQuID's search space (§7.3): a
+  // confounder cohort with many OLD Russian movies satisfies the separate
+  // "many Russian movies" and (via other countries) "many recent movies"
+  // filters without satisfying the compound, so SQuID's precision drops.
+  {
+    size_t cohort = std::max<size_t>(12, num_persons / 120);
+    std::vector<size_t> ru_recent, ru_old;
+    for (size_t i = 0; i < 40; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.countries = {CountryIndex("Russia")};
+      m.languages = {LanguageIndex("Russian")};
+      m.year = 2011 + rng.UniformInt(0, 8);
+      ru_recent.push_back(static_cast<size_t>(m.id - 1));
+    }
+    for (size_t i = 0; i < 40; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.countries = {CountryIndex("Russia")};
+      m.languages = {LanguageIndex("Russian")};
+      m.year = 1992 + rng.UniformInt(0, 17);  // before 2010
+      ru_old.push_back(static_cast<size_t>(m.id - 1));
+    }
+    for (size_t k = 0; k < cohort; ++k) {
+      PersonRow& p = persons[next_person--];
+      size_t added = 0;
+      while (added < 13) {
+        size_t m = ru_recent[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ru_recent.size()) - 1))];
+        if (add_cast(p.id, movies[m].id, RoleIndex("actor"))) ++added;
+      }
+    }
+    // Confounders: prolific in OLD Russian cinema only.
+    for (size_t k = 0; k < cohort; ++k) {
+      PersonRow& p = persons[next_person--];
+      size_t added = 0;
+      while (added < 13) {
+        size_t m = ru_old[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(ru_old.size()) - 1))];
+        if (add_cast(p.id, movies[m].id, RoleIndex("actor"))) ++added;
+      }
+    }
+  }
+
+  // IQ12/IQ13/IQ16: studio cohorts.
+  {
+    manifest.disney_company = "Wald Dimension Pictures";
+    manifest.pixar_company = "Pixcel Studios";
+    size_t disney_n = std::max<size_t>(30, num_movies / 15);
+    size_t pixar_n = std::max<size_t>(15, num_movies / 75);
+    for (size_t i = 0; i < disney_n; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.companies = {1};
+      if (rng.Bernoulli(0.5)) {
+        m.genres = {GenreIndex("Family"), GenreIndex("Animation")};
+      }
+      if (i % 2 == 0) {
+        // IQ16: large American casts.
+        size_t added = 0;
+        for (size_t tries = 0; tries < 800 && added < 18; ++tries) {
+          size_t p = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(num_persons) - 1));
+          if (persons[p].country_id !=
+              static_cast<int64_t>(CountryIndex("USA") + 1)) {
+            continue;
+          }
+          if (add_cast(persons[p].id, m.id, RoleIndex("actor"))) ++added;
+        }
+      }
+    }
+    for (size_t i = 0; i < pixar_n; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.companies = {2};
+      m.genres = {GenreIndex("Animation"), GenreIndex("Family")};
+    }
+  }
+
+  // IQ14: Sci-Fi franchise actor.
+  {
+    PersonRow& a = claim_person("Patrice Steward");
+    manifest.scifi_actor = a.name;
+    for (size_t i = 0; i < 22; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.genres = {GenreIndex("SciFi")};
+      m.year = 1995 + static_cast<int64_t>(i);
+      add_cast(a.id, m.id, RoleIndex("actor"));
+    }
+  }
+
+  // IQ15: Japanese animation block.
+  {
+    size_t n = std::max<size_t>(40, num_movies / 12);
+    for (size_t i = 0; i < n; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.genres = {GenreIndex("Animation")};
+      m.languages = {LanguageIndex("Japanese")};
+      m.countries = {CountryIndex("Japan")};
+    }
+  }
+
+  // IQ11: USA Horror-Drama movies released 2005-2008.
+  {
+    size_t n = std::max<size_t>(20, num_movies / 40);
+    for (size_t i = 0; i < n; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.genres = {GenreIndex("Horror"), GenreIndex("Drama")};
+      m.countries = {CountryIndex("USA")};
+      m.year = 2005 + rng.UniformInt(0, 3);
+    }
+  }
+
+  // IQ4: USA Sci-Fi movies released in 2016.
+  {
+    size_t n = std::max<size_t>(15, num_movies / 50);
+    for (size_t i = 0; i < n; ++i) {
+      MovieRow& m = movies[next_movie--];
+      m.genres = {GenreIndex("SciFi")};
+      if (rng.Bernoulli(0.4)) m.genres.push_back(GenreIndex("Action"));
+      m.countries = {CountryIndex("USA")};
+      m.year = 2016;
+    }
+  }
+
+  // IQ9: Indian actors with >= 15 USA movies.
+  {
+    size_t cohort = std::max<size_t>(10, num_persons / 260);
+    std::vector<size_t> usa_movies;
+    for (size_t i = 0; i < movies.size(); ++i) {
+      for (size_t c : movies[i].countries) {
+        if (c == CountryIndex("USA")) {
+          usa_movies.push_back(i);
+          break;
+        }
+      }
+    }
+    for (size_t k = 0; k < cohort && usa_movies.size() > 20; ++k) {
+      PersonRow& p = persons[next_person--];
+      p.country_id = static_cast<int64_t>(CountryIndex("India") + 1);
+      size_t added = 0;
+      while (added < 18) {
+        size_t m = usa_movies[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(usa_movies.size()) - 1))];
+        if (add_cast(p.id, movies[m].id, RoleIndex("actor"))) ++added;
+      }
+    }
+  }
+
+
+  // Case-study cohorts: comedy-heavy "funny" portfolios and action-heavy
+  // "strong" portfolios (§7.4, Example 1.2).
+  {
+    std::vector<size_t> comedies, actions;
+    for (size_t i = 0; i < movies.size(); ++i) {
+      for (size_t g : movies[i].genres) {
+        if (g == GenreIndex("Comedy")) comedies.push_back(i);
+        if (g == GenreIndex("Action")) actions.push_back(i);
+      }
+    }
+    size_t funny_n = std::max<size_t>(24, num_persons / 38);
+    for (size_t k = 0; k < funny_n && comedies.size() > 30; ++k) {
+      PersonRow& p = persons[next_person--];
+      manifest.funny_actor_names.push_back(p.name);
+      size_t appearances = 25 + static_cast<size_t>(rng.UniformInt(0, 20));
+      size_t added = 0;
+      for (size_t tries = 0; tries < appearances * 6 && added < appearances;
+           ++tries) {
+        size_t m = comedies[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(comedies.size()) - 1))];
+        if (add_cast(p.id, movies[m].id,
+                     p.gender == "Male" ? RoleIndex("actor")
+                                        : RoleIndex("actress"))) {
+          ++added;
+        }
+      }
+      for (size_t i = 0; i < 4; ++i) {
+        size_t m = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(num_movies) - 1));
+        add_cast(p.id, movies[m].id, RoleIndex("actor"));
+      }
+    }
+    size_t strong_n = std::max<size_t>(16, num_persons / 60);
+    for (size_t k = 0; k < strong_n && actions.size() > 30; ++k) {
+      PersonRow& p = persons[next_person--];
+      manifest.strong_actor_names.push_back(p.name);
+      size_t appearances = 22 + static_cast<size_t>(rng.UniformInt(0, 16));
+      size_t added = 0;
+      for (size_t tries = 0; tries < appearances * 6 && added < appearances;
+           ++tries) {
+        size_t m = actions[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(actions.size()) - 1))];
+        if (add_cast(p.id, movies[m].id, RoleIndex("actor"))) ++added;
+      }
+    }
+  }
+
+  // ---- Stage 5: bs-/bd-IMDb duplication (Appendix D.1). ----
+  if (options.duplicate_entities || options.dense_duplicates) {
+    const size_t orig_persons = persons.size();
+    const size_t orig_movies = movies.size();
+    const int64_t person_offset = static_cast<int64_t>(orig_persons);
+    const int64_t movie_offset = static_cast<int64_t>(orig_movies);
+    for (size_t i = 0; i < orig_persons; ++i) {
+      PersonRow dup = persons[i];
+      dup.id += person_offset;
+      dup.name += " (dup)";
+      persons.push_back(std::move(dup));
+    }
+    for (size_t i = 0; i < orig_movies; ++i) {
+      MovieRow dup = movies[i];
+      dup.id += movie_offset;
+      dup.title += " (dup)";
+      movies.push_back(std::move(dup));
+    }
+    const size_t orig_cast = cast.size();
+    for (size_t i = 0; i < orig_cast; ++i) {
+      CastRow c = cast[i];
+      add_cast(c.person_id + person_offset, c.movie_id + movie_offset, c.role);
+      if (options.dense_duplicates) {
+        add_cast(c.person_id, c.movie_id + movie_offset, c.role);
+        add_cast(c.person_id + person_offset, c.movie_id, c.role);
+      }
+    }
+  }
+
+  // ---- Stage 6: emit tables. ----
+  SQUID_RETURN_NOT_OK(EmitDimension(db, "genre", kGenres, std::size(kGenres)));
+  SQUID_RETURN_NOT_OK(
+      EmitDimension(db, "country", kCountries, std::size(kCountries)));
+  SQUID_RETURN_NOT_OK(
+      EmitDimension(db, "language", kLanguages, std::size(kLanguages)));
+  SQUID_RETURN_NOT_OK(EmitDimension(db, "roletype", kRoles, std::size(kRoles)));
+  SQUID_RETURN_NOT_OK(
+      EmitDimension(db, "certificate", kCertificates, std::size(kCertificates)));
+  {
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema("keyword")));
+    for (size_t i = 0; i < num_keywords; ++i) {
+      SQUID_RETURN_NOT_OK(t->AppendRow({Value(static_cast<int64_t>(i + 1)),
+                                        Value(StrFormat("keyword_%03zu", i))}));
+    }
+  }
+
+  {
+    Schema s("person", {{"id", ValueType::kInt64},
+                        {"name", ValueType::kString},
+                        {"gender", ValueType::kString},
+                        {"birth_year", ValueType::kInt64},
+                        {"country_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddPropertyAttribute("gender");
+    s.AddPropertyAttribute("birth_year");
+    s.AddForeignKey({"country_id", "country", "id"});
+    s.AddTextSearchAttribute("name");
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
+    t->Reserve(persons.size());
+    for (const PersonRow& p : persons) {
+      SQUID_RETURN_NOT_OK(t->AppendRow({Value(p.id), Value(p.name),
+                                        Value(p.gender), Value(p.birth_year),
+                                        Value(p.country_id)}));
+    }
+  }
+  {
+    Schema s("movie", {{"id", ValueType::kInt64},
+                       {"title", ValueType::kString},
+                       {"year", ValueType::kInt64},
+                       {"runtime", ValueType::kInt64},
+                       {"rating", ValueType::kDouble},
+                       {"certificate_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddPropertyAttribute("year");
+    s.AddPropertyAttribute("runtime");
+    s.AddPropertyAttribute("rating");
+    s.AddForeignKey({"certificate_id", "certificate", "id"});
+    s.AddTextSearchAttribute("title");
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
+    t->Reserve(movies.size());
+    for (const MovieRow& m : movies) {
+      SQUID_RETURN_NOT_OK(t->AppendRow({Value(m.id), Value(m.title),
+                                        Value(m.year), Value(m.runtime),
+                                        Value(m.rating),
+                                        Value(m.certificate_id)}));
+    }
+  }
+  {
+    Schema s("company", {{"id", ValueType::kInt64},
+                         {"name", ValueType::kString},
+                         {"country_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddForeignKey({"country_id", "country", "id"});
+    s.AddTextSearchAttribute("name");
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
+    for (size_t i = 0; i < num_companies; ++i) {
+      std::string name;
+      if (i == 0) name = manifest.disney_company;
+      else if (i == 1) name = manifest.pixar_company;
+      else name = StrFormat("Studio %03zu Films", i);
+      SQUID_RETURN_NOT_OK(t->AppendRow(
+          {Value(static_cast<int64_t>(i + 1)), Value(name),
+           Value(static_cast<int64_t>(rng.Zipf(std::size(kCountries), 1.2) + 1))}));
+    }
+  }
+  {
+    Schema s("castinfo", {{"id", ValueType::kInt64},
+                          {"person_id", ValueType::kInt64},
+                          {"movie_id", ValueType::kInt64},
+                          {"role_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.AddForeignKey({"person_id", "person", "id"});
+    s.AddForeignKey({"movie_id", "movie", "id"});
+    s.AddForeignKey({"role_id", "roletype", "id"});
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
+    t->Reserve(cast.size());
+    int64_t id = 1;
+    for (const CastRow& c : cast) {
+      SQUID_RETURN_NOT_OK(
+          t->AppendRow({Value(id++), Value(c.person_id), Value(c.movie_id),
+                        Value(static_cast<int64_t>(c.role + 1))}));
+    }
+  }
+
+  auto emit_link = [&](const std::string& name, const std::string& far,
+                       auto values_of) -> Status {
+    Schema s(name, {{"id", ValueType::kInt64},
+                    {"movie_id", ValueType::kInt64},
+                    {far + "_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.AddForeignKey({"movie_id", "movie", "id"});
+    s.AddForeignKey({far + "_id", far, "id"});
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
+    int64_t id = 1;
+    for (const MovieRow& m : movies) {
+      for (int64_t v : values_of(m)) {
+        SQUID_RETURN_NOT_OK(t->AppendRow({Value(id++), Value(m.id), Value(v)}));
+      }
+    }
+    return Status::OK();
+  };
+  SQUID_RETURN_NOT_OK(emit_link("movietogenre", "genre", [](const MovieRow& m) {
+    std::vector<int64_t> out;
+    for (size_t g : m.genres) out.push_back(static_cast<int64_t>(g + 1));
+    return out;
+  }));
+  SQUID_RETURN_NOT_OK(
+      emit_link("movietocountry", "country", [](const MovieRow& m) {
+        std::vector<int64_t> out;
+        for (size_t c : m.countries) out.push_back(static_cast<int64_t>(c + 1));
+        return out;
+      }));
+  SQUID_RETURN_NOT_OK(
+      emit_link("movietolanguage", "language", [](const MovieRow& m) {
+        std::vector<int64_t> out;
+        std::set<size_t> seen(m.languages.begin(), m.languages.end());
+        for (size_t l : seen) out.push_back(static_cast<int64_t>(l + 1));
+        return out;
+      }));
+  SQUID_RETURN_NOT_OK(
+      emit_link("movietokeyword", "keyword", [](const MovieRow& m) {
+        std::vector<int64_t> out;
+        for (size_t k : m.keywords) out.push_back(static_cast<int64_t>(k + 1));
+        return out;
+      }));
+  SQUID_RETURN_NOT_OK(
+      emit_link("movietocompany", "company", [](const MovieRow& m) {
+        return m.companies;
+      }));
+
+  return out;
+}
+
+}  // namespace squid

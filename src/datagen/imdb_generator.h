@@ -1,0 +1,79 @@
+#ifndef SQUID_DATAGEN_IMDB_GENERATOR_H_
+#define SQUID_DATAGEN_IMDB_GENERATOR_H_
+
+/// \file imdb_generator.h
+/// \brief Synthetic IMDb-schema dataset (15 relations, mirroring Fig. 2 and
+/// the Fig. 18 description): entities person / movie / company; dimensions
+/// genre / country / language / roletype / certificate / keyword; facts
+/// castinfo / movietogenre / movietolanguage / movietocountry /
+/// movietocompany / movietokeyword.
+///
+/// The generator plants the structures the IMDb benchmark queries (Fig. 19)
+/// and case studies (§7.4) select on: a hub movie with a large cast (IQ1), a
+/// trilogy with a shared cast (IQ2), a co-starring pair (IQ5), a prolific
+/// director (IQ6) and actor (IQ8), Indian actors with many US movies (IQ9),
+/// actors of many recent Russian movies (IQ10), studio cohorts (IQ12/13/16),
+/// and "funny actor" comedy-heavy portfolios for the Fig. 13(a) case study.
+/// Everything else is drawn from seeded skewed distributions.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+/// Scaling / variant knobs (Appendix D.1).
+struct ImdbOptions {
+  uint64_t seed = 42;
+  /// Entity-count scale factor (1.0 = the defaults below).
+  double scale = 1.0;
+
+  size_t num_persons = 6000;
+  size_t num_movies = 3000;
+  size_t num_companies = 120;
+  size_t num_keywords = 200;
+  double avg_appearances = 7.0;  // castinfo per person
+
+  /// bs-IMDb: duplicate every entity and replicate its original
+  /// associations between the duplicates.
+  bool duplicate_entities = false;
+  /// bd-IMDb: additionally add cross associations between originals and
+  /// duplicates (denser graph). Implies duplicate_entities.
+  bool dense_duplicates = false;
+};
+
+/// Names and cardinalities of the planted structures, used by the workload
+/// definitions and the case studies.
+struct ImdbManifest {
+  std::string hub_movie_title;          // IQ1
+  std::vector<std::string> trilogy;     // IQ2
+  std::string costar_a, costar_b;       // IQ5
+  std::string director_name;            // IQ6
+  std::string prolific_actor;           // IQ8
+  std::string disney_company;           // IQ12, IQ16
+  std::string pixar_company;            // IQ13
+  std::string scifi_actor;              // IQ14
+  std::vector<std::string> funny_actor_names;   // Fig. 13(a) cohort
+  std::vector<std::string> strong_actor_names;  // ET1-style cohort
+};
+
+/// Generated dataset: database plus manifest.
+struct ImdbData {
+  std::unique_ptr<Database> db;
+  ImdbManifest manifest;
+};
+
+/// Generates the dataset. Deterministic for a fixed option set.
+Result<ImdbData> GenerateImdb(const ImdbOptions& options = {});
+
+/// Convenience variants of §7.2 / Fig. 9(b).
+ImdbOptions SmImdbOptions();  // 10% scale
+ImdbOptions BsImdbOptions();  // doubled entities, sparse duplicate links
+ImdbOptions BdImdbOptions();  // doubled entities, dense cross links
+
+}  // namespace squid
+
+#endif  // SQUID_DATAGEN_IMDB_GENERATOR_H_

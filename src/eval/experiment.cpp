@@ -1,0 +1,60 @@
+#include "eval/experiment.h"
+
+#include "common/stopwatch.h"
+#include "eval/sampler.h"
+#include "exec/executor.h"
+
+namespace squid {
+
+Result<DiscoveryOutcome> RunDiscovery(
+    const AbductionReadyDb& adb, const SquidConfig& config,
+    const std::vector<std::string>& examples,
+    const std::unordered_set<std::string>& intended) {
+  DiscoveryOutcome out;
+  Squid squid(&adb, config);
+  Stopwatch timer;
+  SQUID_ASSIGN_OR_RETURN(out.abduced, squid.Discover(examples));
+  out.abduction_seconds = timer.ElapsedSeconds();
+
+  Stopwatch exec_timer;
+  SQUID_ASSIGN_OR_RETURN(ResultSet rs,
+                         ExecuteQuery(adb.database(), out.abduced.adb_query));
+  out.exec_seconds = exec_timer.ElapsedSeconds();
+
+  out.metrics = ComputeMetrics(intended, ToStringSet(rs));
+  out.num_predicates = out.abduced.original_query.NumPredicates();
+  out.num_included_filters = out.abduced.NumIncludedFilters();
+  return out;
+}
+
+Result<AccuracyPoint> AccuracyAtSize(const AbductionReadyDb& adb,
+                                     const SquidConfig& config,
+                                     const ResultSet& ground_truth,
+                                     size_t num_examples, size_t runs,
+                                     uint64_t seed) {
+  AccuracyPoint point;
+  point.num_examples = num_examples;
+  std::unordered_set<std::string> intended = ToStringSet(ground_truth);
+  std::vector<Metrics> samples;
+  double total_seconds = 0;
+  for (size_t run = 0; run < runs; ++run) {
+    Rng rng(seed + run * 7919);
+    std::vector<std::string> examples =
+        SampleExamples(ground_truth, num_examples, &rng);
+    if (examples.empty()) continue;
+    auto outcome = RunDiscovery(adb, config, examples, intended);
+    if (!outcome.ok()) {
+      // Failed discovery scores zero (kept in the average, like a miss).
+      samples.push_back(Metrics{});
+      continue;
+    }
+    samples.push_back(outcome.value().metrics);
+    total_seconds += outcome.value().abduction_seconds;
+  }
+  point.metrics = MeanMetrics(samples);
+  point.mean_abduction_seconds =
+      samples.empty() ? 0 : total_seconds / static_cast<double>(samples.size());
+  return point;
+}
+
+}  // namespace squid

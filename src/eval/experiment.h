@@ -1,0 +1,54 @@
+#ifndef SQUID_EVAL_EXPERIMENT_H_
+#define SQUID_EVAL_EXPERIMENT_H_
+
+/// \file experiment.h
+/// \brief Shared experiment harness: builds datasets + αDBs once, runs
+/// "sample examples -> discover -> evaluate" loops, and packages the
+/// outcomes the bench binaries print.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/squid.h"
+#include "eval/metrics.h"
+#include "workloads/benchmark_query.h"
+
+namespace squid {
+
+/// Outcome of one discovery run.
+struct DiscoveryOutcome {
+  Metrics metrics;
+  double abduction_seconds = 0;   // time in Squid::Discover
+  double exec_seconds = 0;        // time executing the abduced αDB query
+  size_t num_predicates = 0;      // of the original-schema SPJAI form
+  size_t num_included_filters = 0;
+  AbducedQuery abduced;
+};
+
+/// Runs one discovery for `examples` and scores against `intended`.
+Result<DiscoveryOutcome> RunDiscovery(
+    const AbductionReadyDb& adb, const SquidConfig& config,
+    const std::vector<std::string>& examples,
+    const std::unordered_set<std::string>& intended);
+
+/// Averaged accuracy for one benchmark query at one example-set size:
+/// `runs` seeded draws from the ground truth (the Fig. 10 protocol).
+struct AccuracyPoint {
+  size_t num_examples = 0;
+  Metrics metrics;
+  double mean_abduction_seconds = 0;
+};
+
+Result<AccuracyPoint> AccuracyAtSize(const AbductionReadyDb& adb,
+                                     const SquidConfig& config,
+                                     const ResultSet& ground_truth,
+                                     size_t num_examples, size_t runs,
+                                     uint64_t seed);
+
+}  // namespace squid
+
+#endif  // SQUID_EVAL_EXPERIMENT_H_

@@ -1,0 +1,66 @@
+#include "eval/metrics.h"
+
+namespace squid {
+
+Metrics ComputeMetrics(const std::unordered_set<std::string>& intended,
+                       const std::unordered_set<std::string>& predicted) {
+  Metrics m;
+  if (predicted.empty() && intended.empty()) {
+    m.precision = m.recall = m.fscore = 1.0;
+    return m;
+  }
+  size_t hit = 0;
+  for (const auto& p : predicted) {
+    if (intended.count(p)) ++hit;
+  }
+  m.precision = predicted.empty()
+                    ? 0.0
+                    : static_cast<double>(hit) / static_cast<double>(predicted.size());
+  m.recall = intended.empty()
+                 ? 0.0
+                 : static_cast<double>(hit) / static_cast<double>(intended.size());
+  m.fscore = (m.precision + m.recall) > 0
+                 ? 2 * m.precision * m.recall / (m.precision + m.recall)
+                 : 0.0;
+  return m;
+}
+
+std::unordered_set<std::string> ToStringSet(const ResultSet& rs) {
+  std::unordered_set<std::string> out;
+  out.reserve(rs.num_rows());
+  for (const Value& v : rs.ColumnValues(0)) {
+    if (!v.is_null()) out.insert(v.ToString());
+  }
+  return out;
+}
+
+std::unordered_set<std::string> ToStringSet(const std::vector<std::string>& items) {
+  return std::unordered_set<std::string>(items.begin(), items.end());
+}
+
+std::unordered_set<std::string> ApplyMask(
+    const std::unordered_set<std::string>& items,
+    const std::unordered_set<std::string>& mask) {
+  std::unordered_set<std::string> out;
+  for (const auto& item : items) {
+    if (mask.count(item)) out.insert(item);
+  }
+  return out;
+}
+
+Metrics MeanMetrics(const std::vector<Metrics>& samples) {
+  Metrics m;
+  if (samples.empty()) return m;
+  for (const Metrics& s : samples) {
+    m.precision += s.precision;
+    m.recall += s.recall;
+    m.fscore += s.fscore;
+  }
+  double n = static_cast<double>(samples.size());
+  m.precision /= n;
+  m.recall /= n;
+  m.fscore /= n;
+  return m;
+}
+
+}  // namespace squid

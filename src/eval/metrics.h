@@ -1,0 +1,42 @@
+#ifndef SQUID_EVAL_METRICS_H_
+#define SQUID_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// \brief Accuracy metrics of §7.1: precision, recall, and f-score between
+/// result sets, with optional popularity masking (§7.4).
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/result_set.h"
+
+namespace squid {
+
+struct Metrics {
+  double precision = 0;
+  double recall = 0;
+  double fscore = 0;
+};
+
+/// Metrics of `predicted` against `intended` as string sets.
+Metrics ComputeMetrics(const std::unordered_set<std::string>& intended,
+                       const std::unordered_set<std::string>& predicted);
+
+/// Convenience: extracts column 0 of a result set as a string set.
+std::unordered_set<std::string> ToStringSet(const ResultSet& rs);
+
+/// Same from a plain list.
+std::unordered_set<std::string> ToStringSet(const std::vector<std::string>& items);
+
+/// Keeps only members of `mask` (the popularity mask of the case studies).
+std::unordered_set<std::string> ApplyMask(
+    const std::unordered_set<std::string>& items,
+    const std::unordered_set<std::string>& mask);
+
+/// Averages a series of metrics.
+Metrics MeanMetrics(const std::vector<Metrics>& samples);
+
+}  // namespace squid
+
+#endif  // SQUID_EVAL_METRICS_H_

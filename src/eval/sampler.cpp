@@ -1,0 +1,34 @@
+#include "eval/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace squid {
+
+std::vector<std::string> SampleExamples(const ResultSet& rs, size_t k, Rng* rng) {
+  std::unordered_set<std::string> distinct;
+  for (const Value& v : rs.ColumnValues(0)) {
+    if (!v.is_null()) distinct.insert(v.ToString());
+  }
+  std::vector<std::string> pool(distinct.begin(), distinct.end());
+  std::sort(pool.begin(), pool.end());  // determinism across runs
+  return SampleExamples(pool, k, rng);
+}
+
+std::vector<std::string> SampleExamples(const std::vector<std::string>& pool,
+                                        size_t k, Rng* rng) {
+  // Deduplicate while preserving order.
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string> seen;
+  for (const auto& s : pool) {
+    if (seen.insert(s).second) distinct.push_back(s);
+  }
+  if (k >= distinct.size()) return distinct;
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(distinct.size(), k);
+  std::vector<std::string> out;
+  out.reserve(k);
+  for (size_t i : picks) out.push_back(distinct[i]);
+  return out;
+}
+
+}  // namespace squid

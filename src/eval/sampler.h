@@ -1,0 +1,26 @@
+#ifndef SQUID_EVAL_SAMPLER_H_
+#define SQUID_EVAL_SAMPLER_H_
+
+/// \file sampler.h
+/// \brief Example-set sampling for the experiments: uniform draws from a
+/// ground-truth output (Fig. 10) or from a case-study list (Fig. 13).
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/result_set.h"
+
+namespace squid {
+
+/// `k` distinct example strings drawn uniformly from column 0 of `rs`.
+/// Returns fewer when the result has fewer distinct values.
+std::vector<std::string> SampleExamples(const ResultSet& rs, size_t k, Rng* rng);
+
+/// Same from a plain list.
+std::vector<std::string> SampleExamples(const std::vector<std::string>& pool,
+                                        size_t k, Rng* rng);
+
+}  // namespace squid
+
+#endif  // SQUID_EVAL_SAMPLER_H_

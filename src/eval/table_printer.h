@@ -1,0 +1,34 @@
+#ifndef SQUID_EVAL_TABLE_PRINTER_H_
+#define SQUID_EVAL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// \brief Fixed-width console tables for the bench binaries (each bench
+/// prints the rows/series of the paper figure it regenerates).
+
+#include <string>
+#include <vector>
+
+namespace squid {
+
+/// \brief Accumulates rows and prints an aligned ASCII table to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience formatting helpers.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(size_t v);
+
+  /// Prints headers, separator, and all rows.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_EVAL_TABLE_PRINTER_H_

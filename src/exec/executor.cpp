@@ -1,0 +1,352 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/expression.h"
+#include "storage/column_index.h"
+
+namespace squid {
+
+namespace {
+
+/// Working state for one select block: per-alias table pointers, surviving
+/// row-id tuples (one row id per bound alias).
+struct JoinState {
+  std::vector<const Table*> tables;        // parallel to query.from
+  std::vector<std::vector<size_t>> rows;   // candidate row ids per alias
+  // Tuples of row ids; tuple[i] indexes into tables[bound_order[i]].
+  std::vector<std::vector<size_t>> tuples;
+  std::vector<size_t> bound_order;         // alias indexes in bind order
+  std::vector<bool> bound;
+};
+
+}  // namespace
+
+Result<ResultSet> Executor::Execute(const Query& query) {
+  if (query.branches.empty()) {
+    return Status::InvalidArgument("query with no branches");
+  }
+  SQUID_ASSIGN_OR_RETURN(ResultSet out, ExecuteSelect(query.branches[0]));
+  if (query.branches.size() > 1) {
+    out.Deduplicate();  // INTERSECT has set semantics
+    for (size_t i = 1; i < query.branches.size(); ++i) {
+      SQUID_ASSIGN_OR_RETURN(ResultSet other, ExecuteSelect(query.branches[i]));
+      out.IntersectWith(other.ToSet());
+    }
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query) {
+  if (query.from.empty()) return Status::InvalidArgument("empty FROM clause");
+  const size_t num_aliases = query.from.size();
+
+  JoinState state;
+  state.tables.resize(num_aliases);
+  state.rows.resize(num_aliases);
+  state.bound.assign(num_aliases, false);
+
+  // Aliases must be unique; a duplicate would silently misroute predicates.
+  for (size_t i = 0; i < num_aliases; ++i) {
+    for (size_t j = i + 1; j < num_aliases; ++j) {
+      if (query.from[i].alias == query.from[j].alias) {
+        return Status::InvalidArgument("duplicate FROM alias '" +
+                                       query.from[i].alias + "'");
+      }
+    }
+  }
+
+  // Resolve tables and push single-table predicates down to scans.
+  for (size_t i = 0; i < num_aliases; ++i) {
+    SQUID_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(query.from[i].table_name));
+    state.tables[i] = table;
+    std::vector<BoundPredicate> preds;
+    for (const auto& p : query.where) {
+      if (p.column.table_alias != query.from[i].alias) continue;
+      SQUID_ASSIGN_OR_RETURN(BoundPredicate bound, BindPredicate(*table, p));
+      preds.push_back(std::move(bound));
+    }
+    state.rows[i] = FilterRows(*table, preds);
+    stats_.rows_scanned += table->num_rows();
+  }
+  // Validate predicate aliases (catch typos referencing unknown aliases).
+  for (const auto& p : query.where) {
+    if (!query.FindAlias(p.column.table_alias)) {
+      return Status::InvalidArgument("predicate references unknown alias '" +
+                                     p.column.table_alias + "'");
+    }
+  }
+  for (const auto& j : query.join_predicates) {
+    if (!query.FindAlias(j.left.table_alias) || !query.FindAlias(j.right.table_alias)) {
+      return Status::InvalidArgument("join references unknown alias");
+    }
+  }
+
+  // Start from the smallest filtered relation that appears in a join (or the
+  // first alias when there are no joins).
+  size_t start = 0;
+  for (size_t i = 1; i < num_aliases; ++i) {
+    if (state.rows[i].size() < state.rows[start].size()) start = i;
+  }
+  state.bound[start] = true;
+  state.bound_order.push_back(start);
+  state.tuples.reserve(state.rows[start].size());
+  for (size_t r : state.rows[start]) state.tuples.push_back({r});
+
+  // Iteratively bind the remaining aliases through join predicates.
+  size_t bound_count = 1;
+  while (bound_count < num_aliases) {
+    // Find a join predicate with exactly one side bound.
+    ssize_t pick = -1;
+    bool pick_left_bound = false;
+    size_t next_alias = 0;
+    for (size_t jp = 0; jp < query.join_predicates.size(); ++jp) {
+      const auto& j = query.join_predicates[jp];
+      size_t li = *query.FindAlias(j.left.table_alias);
+      size_t ri = *query.FindAlias(j.right.table_alias);
+      if (state.bound[li] && !state.bound[ri]) {
+        pick = static_cast<ssize_t>(jp);
+        pick_left_bound = true;
+        next_alias = ri;
+        break;
+      }
+      if (!state.bound[li] && state.bound[ri]) {
+        pick = static_cast<ssize_t>(jp);
+        pick_left_bound = false;
+        next_alias = li;
+        break;
+      }
+    }
+    if (pick < 0) {
+      // Disconnected FROM entry: cartesian product (rare; kept correct).
+      for (size_t i = 0; i < num_aliases; ++i) {
+        if (!state.bound[i]) {
+          next_alias = i;
+          break;
+        }
+      }
+      std::vector<std::vector<size_t>> expanded;
+      expanded.reserve(state.tuples.size() * state.rows[next_alias].size());
+      for (const auto& t : state.tuples) {
+        for (size_t r : state.rows[next_alias]) {
+          auto nt = t;
+          nt.push_back(r);
+          expanded.push_back(std::move(nt));
+        }
+      }
+      state.tuples = std::move(expanded);
+      state.bound[next_alias] = true;
+      state.bound_order.push_back(next_alias);
+      ++bound_count;
+      continue;
+    }
+
+    const auto& j = query.join_predicates[pick];
+    const ColumnRef& bound_col = pick_left_bound ? j.left : j.right;
+    const ColumnRef& new_col = pick_left_bound ? j.right : j.left;
+    size_t bound_alias = *query.FindAlias(bound_col.table_alias);
+
+    // Build a hash table over the new table's filtered rows.
+    SQUID_ASSIGN_OR_RETURN(const Column* new_column,
+                           state.tables[next_alias]->ColumnByName(new_col.attribute));
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> hash;
+    hash.reserve(state.rows[next_alias].size());
+    for (size_t r : state.rows[next_alias]) {
+      if (new_column->IsNull(r)) continue;
+      hash[new_column->ValueAt(r)].push_back(r);
+    }
+
+    // Probe side: locate the bound alias position within tuples.
+    size_t bound_pos = 0;
+    for (size_t i = 0; i < state.bound_order.size(); ++i) {
+      if (state.bound_order[i] == bound_alias) {
+        bound_pos = i;
+        break;
+      }
+    }
+    SQUID_ASSIGN_OR_RETURN(const Column* bound_column,
+                           state.tables[bound_alias]->ColumnByName(bound_col.attribute));
+
+    // Collect any additional join predicates between `next_alias` and bound
+    // aliases so multi-edge joins are applied in the same pass.
+    struct ExtraEdge {
+      size_t tuple_pos;
+      const Column* bound_column;
+      const Column* new_column;
+    };
+    std::vector<ExtraEdge> extras;
+    for (size_t jp = 0; jp < query.join_predicates.size(); ++jp) {
+      if (jp == static_cast<size_t>(pick)) continue;
+      const auto& e = query.join_predicates[jp];
+      size_t li = *query.FindAlias(e.left.table_alias);
+      size_t ri = *query.FindAlias(e.right.table_alias);
+      const ColumnRef* bside = nullptr;
+      const ColumnRef* nside = nullptr;
+      if (li == next_alias && state.bound[ri]) {
+        nside = &e.left;
+        bside = &e.right;
+      } else if (ri == next_alias && state.bound[li]) {
+        nside = &e.right;
+        bside = &e.left;
+      } else {
+        continue;
+      }
+      size_t balias = *query.FindAlias(bside->table_alias);
+      size_t bpos = 0;
+      for (size_t i = 0; i < state.bound_order.size(); ++i) {
+        if (state.bound_order[i] == balias) {
+          bpos = i;
+          break;
+        }
+      }
+      SQUID_ASSIGN_OR_RETURN(const Column* bcol,
+                             state.tables[balias]->ColumnByName(bside->attribute));
+      SQUID_ASSIGN_OR_RETURN(const Column* ncol,
+                             state.tables[next_alias]->ColumnByName(nside->attribute));
+      extras.push_back(ExtraEdge{bpos, bcol, ncol});
+    }
+
+    std::vector<std::vector<size_t>> joined;
+    for (const auto& t : state.tuples) {
+      size_t probe_row = t[bound_pos];
+      if (bound_column->IsNull(probe_row)) continue;
+      auto it = hash.find(bound_column->ValueAt(probe_row));
+      if (it == hash.end()) continue;
+      for (size_t nr : it->second) {
+        bool ok = true;
+        for (const auto& ex : extras) {
+          Value a = ex.bound_column->ValueAt(t[ex.tuple_pos]);
+          Value b = ex.new_column->ValueAt(nr);
+          if (a.is_null() || b.is_null() || !(a == b)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        auto nt = t;
+        nt.push_back(nr);
+        joined.push_back(std::move(nt));
+      }
+    }
+    stats_.rows_joined += joined.size();
+    state.tuples = std::move(joined);
+    state.bound[next_alias] = true;
+    state.bound_order.push_back(next_alias);
+    ++bound_count;
+  }
+
+  // Alias index -> position in tuples.
+  std::vector<size_t> alias_pos(num_aliases, 0);
+  for (size_t i = 0; i < state.bound_order.size(); ++i) {
+    alias_pos[state.bound_order[i]] = i;
+  }
+
+  // Column-pair inequalities (anti-join predicates), applied post-join.
+  for (const auto& aj : query.anti_join_predicates) {
+    auto li = query.FindAlias(aj.left.table_alias);
+    auto ri = query.FindAlias(aj.right.table_alias);
+    if (!li || !ri) {
+      return Status::InvalidArgument("anti-join references unknown alias");
+    }
+    SQUID_ASSIGN_OR_RETURN(const Column* lcol,
+                           state.tables[*li]->ColumnByName(aj.left.attribute));
+    SQUID_ASSIGN_OR_RETURN(const Column* rcol,
+                           state.tables[*ri]->ColumnByName(aj.right.attribute));
+    size_t lpos = alias_pos[*li], rpos = alias_pos[*ri];
+    std::vector<std::vector<size_t>> kept;
+    kept.reserve(state.tuples.size());
+    for (auto& t : state.tuples) {
+      Value a = lcol->ValueAt(t[lpos]);
+      Value b = rcol->ValueAt(t[rpos]);
+      if (!a.is_null() && !b.is_null() && !(a == b)) kept.push_back(std::move(t));
+    }
+    state.tuples = std::move(kept);
+  }
+
+  auto column_of = [&](const ColumnRef& ref) -> Result<std::pair<const Column*, size_t>> {
+    auto alias_idx = query.FindAlias(ref.table_alias);
+    if (!alias_idx) {
+      return Status::InvalidArgument("unknown alias '" + ref.table_alias + "'");
+    }
+    SQUID_ASSIGN_OR_RETURN(const Column* col,
+                           state.tables[*alias_idx]->ColumnByName(ref.attribute));
+    return std::make_pair(col, alias_pos[*alias_idx]);
+  };
+
+  // Output column names.
+  std::vector<std::string> names;
+  names.reserve(query.select_list.size());
+  for (const auto& item : query.select_list) {
+    names.push_back(item.column.ToString());
+  }
+  ResultSet result(std::move(names));
+
+  std::vector<std::pair<const Column*, size_t>> projections;
+  for (const auto& item : query.select_list) {
+    SQUID_ASSIGN_OR_RETURN(auto proj, column_of(item.column));
+    projections.push_back(proj);
+  }
+
+  if (query.group_by.empty() && !query.having) {
+    for (const auto& t : state.tuples) {
+      std::vector<Value> row;
+      row.reserve(projections.size());
+      for (const auto& [col, pos] : projections) row.push_back(col->ValueAt(t[pos]));
+      result.AddRow(std::move(row));
+    }
+  } else {
+    // Group-by (with count(*) HAVING). Projected columns must be functionally
+    // dependent on the grouping key in well-formed queries; we take the first
+    // tuple of each group (MySQL-style loose semantics).
+    std::vector<std::pair<const Column*, size_t>> keys;
+    for (const auto& g : query.group_by) {
+      SQUID_ASSIGN_OR_RETURN(auto key, column_of(g));
+      keys.push_back(key);
+    }
+    struct Group {
+      size_t count = 0;
+      std::vector<size_t> first_tuple;
+    };
+    std::unordered_map<std::string, Group> groups;
+    for (const auto& t : state.tuples) {
+      std::vector<Value> key_vals;
+      key_vals.reserve(keys.size());
+      for (const auto& [col, pos] : keys) key_vals.push_back(col->ValueAt(t[pos]));
+      std::string key = ResultSet::EncodeRow(key_vals);
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.first_tuple = t;
+      ++it->second.count;
+    }
+    stats_.groups += groups.size();
+    for (const auto& [_, g] : groups) {
+      if (query.having) {
+        Value count_val(static_cast<int64_t>(g.count));
+        Value target(query.having->value);
+        if (!EvalCompare(count_val, query.having->op, target)) continue;
+      }
+      std::vector<Value> row;
+      row.reserve(projections.size());
+      for (const auto& [col, pos] : projections) {
+        row.push_back(col->ValueAt(g.first_tuple[pos]));
+      }
+      result.AddRow(std::move(row));
+    }
+    result.SortRows();  // hash iteration order is not deterministic
+  }
+
+  if (query.distinct) result.Deduplicate();
+  return result;
+}
+
+Result<ResultSet> ExecuteQuery(const Database& db, const Query& query) {
+  Executor exec(&db);
+  return exec.Execute(query);
+}
+
+Result<ResultSet> ExecuteQuery(const Database& db, const SelectQuery& query) {
+  Executor exec(&db);
+  return exec.ExecuteSelect(query);
+}
+
+}  // namespace squid

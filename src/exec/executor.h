@@ -1,0 +1,50 @@
+#ifndef SQUID_EXEC_EXECUTOR_H_
+#define SQUID_EXEC_EXECUTOR_H_
+
+/// \file executor.h
+/// \brief Query executor over the columnar storage: selection pushdown,
+/// hash equi-joins in connectivity order, group-by count aggregation with
+/// HAVING, DISTINCT projection, and INTERSECT of blocks.
+///
+/// This is the substrate both for evaluating ground-truth benchmark queries
+/// and for running SQuID's abduced queries (Fig. 11 compares the two).
+
+#include "common/status.h"
+#include "exec/result_set.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace squid {
+
+/// Execution statistics (exposed for tests and micro-benchmarks).
+struct ExecStats {
+  size_t rows_scanned = 0;
+  size_t rows_joined = 0;
+  size_t groups = 0;
+};
+
+/// \brief Executes queries against a Database.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Runs a full (possibly INTERSECT) query.
+  Result<ResultSet> Execute(const Query& query);
+
+  /// Runs one select block.
+  Result<ResultSet> ExecuteSelect(const SelectQuery& query);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  ExecStats stats_;
+};
+
+/// Convenience wrapper: one-shot execution.
+Result<ResultSet> ExecuteQuery(const Database& db, const Query& query);
+Result<ResultSet> ExecuteQuery(const Database& db, const SelectQuery& query);
+
+}  // namespace squid
+
+#endif  // SQUID_EXEC_EXECUTOR_H_

@@ -1,0 +1,30 @@
+#include "exec/expression.h"
+
+namespace squid {
+
+Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred) {
+  SQUID_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column.attribute));
+  BoundPredicate bound;
+  bound.column = col;
+  bound.predicate = pred;
+  return bound;
+}
+
+std::vector<size_t> FilterRows(const Table& table,
+                               const std::vector<BoundPredicate>& preds) {
+  std::vector<size_t> out;
+  const size_t n = table.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const auto& p : preds) {
+      if (!p.Matches(r)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace squid

@@ -1,0 +1,37 @@
+#ifndef SQUID_EXEC_EXPRESSION_H_
+#define SQUID_EXEC_EXPRESSION_H_
+
+/// \file expression.h
+/// \brief Bound predicate evaluation: resolves AST column references against
+/// actual tables and evaluates predicates over row ids without materializing
+/// values where possible.
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace squid {
+
+/// A predicate bound to a concrete column of a concrete table.
+struct BoundPredicate {
+  const Column* column = nullptr;
+  Predicate predicate;
+
+  /// True when row `r` of the bound table satisfies the predicate.
+  bool Matches(size_t r) const {
+    return predicate.Matches(column->ValueAt(r));
+  }
+};
+
+/// Binds `pred` to `table` (alias must already be resolved).
+Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred);
+
+/// Returns row ids of `table` satisfying all of `preds` (full scan).
+std::vector<size_t> FilterRows(const Table& table,
+                               const std::vector<BoundPredicate>& preds);
+
+}  // namespace squid
+
+#endif  // SQUID_EXEC_EXPRESSION_H_

@@ -1,0 +1,64 @@
+#include "exec/result_set.h"
+
+#include <algorithm>
+
+namespace squid {
+
+std::string ResultSet::EncodeRow(const std::vector<Value>& row) {
+  std::string key;
+  for (const Value& v : row) {
+    // Type tag + rendered value + separator that cannot appear in renderings
+    // of numerics and is escaped implicitly by the tag for strings.
+    key += static_cast<char>('0' + static_cast<int>(v.type()));
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+std::unordered_set<std::string> ResultSet::ToSet() const {
+  std::unordered_set<std::string> set;
+  set.reserve(rows_.size());
+  for (const auto& row : rows_) set.insert(EncodeRow(row));
+  return set;
+}
+
+void ResultSet::Deduplicate() {
+  std::unordered_set<std::string> seen;
+  std::vector<std::vector<Value>> unique;
+  unique.reserve(rows_.size());
+  for (auto& row : rows_) {
+    std::string key = EncodeRow(row);
+    if (seen.insert(std::move(key)).second) unique.push_back(std::move(row));
+  }
+  rows_ = std::move(unique);
+}
+
+void ResultSet::IntersectWith(const std::unordered_set<std::string>& keep) {
+  std::vector<std::vector<Value>> kept;
+  kept.reserve(rows_.size());
+  for (auto& row : rows_) {
+    if (keep.count(EncodeRow(row))) kept.push_back(std::move(row));
+  }
+  rows_ = std::move(kept);
+}
+
+void ResultSet::SortRows() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                int c = a[i].Compare(b[i]);
+                if (c != 0) return c < 0;
+              }
+              return a.size() < b.size();
+            });
+}
+
+std::vector<Value> ResultSet::ColumnValues(size_t col) const {
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[col]);
+  return out;
+}
+
+}  // namespace squid

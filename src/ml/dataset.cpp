@@ -1,0 +1,91 @@
+#include "ml/dataset.h"
+
+namespace squid {
+
+MlDataset::MlDataset(std::vector<FeatureDef> features)
+    : features_(std::move(features)),
+      numeric_(features_.size()),
+      category_(features_.size()),
+      missing_(features_.size()),
+      dictionaries_(features_.size()),
+      dict_index_(features_.size()) {}
+
+void MlDataset::AddRow(const std::vector<double>& numeric,
+                       const std::vector<std::string>& category,
+                       const std::vector<bool>& missing) {
+  for (size_t j = 0; j < features_.size(); ++j) {
+    bool miss = j < missing.size() && missing[j];
+    missing_[j].push_back(miss);
+    if (features_[j].categorical) {
+      int32_t code = -1;
+      if (!miss) {
+        auto [it, inserted] =
+            dict_index_[j].try_emplace(category[j],
+                                       static_cast<int32_t>(dictionaries_[j].size()));
+        if (inserted) dictionaries_[j].push_back(category[j]);
+        code = it->second;
+      }
+      category_[j].push_back(code);
+      numeric_[j].push_back(0);
+    } else {
+      numeric_[j].push_back(miss ? 0 : numeric[j]);
+      category_[j].push_back(-1);
+    }
+  }
+  ++num_rows_;
+}
+
+const std::string& MlDataset::CategoryName(size_t j, int32_t code) const {
+  static const std::string kUnknown = "?";
+  if (code < 0 || static_cast<size_t>(code) >= dictionaries_[j].size()) {
+    return kUnknown;
+  }
+  return dictionaries_[j][static_cast<size_t>(code)];
+}
+
+int32_t MlDataset::CategoryCode(size_t j, const std::string& label) const {
+  auto it = dict_index_[j].find(label);
+  return it == dict_index_[j].end() ? -1 : it->second;
+}
+
+Result<MlDataset> MlDataset::FromTable(const Table& table,
+                                       const std::vector<std::string>& exclude) {
+  std::vector<FeatureDef> defs;
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < table.schema().num_attributes(); ++c) {
+    const AttributeDef& attr = table.schema().attribute(c);
+    bool skip = false;
+    for (const auto& e : exclude) {
+      if (e == attr.name) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    defs.push_back(FeatureDef{attr.name, attr.type == ValueType::kString});
+    columns.push_back(c);
+  }
+  MlDataset ds(std::move(defs));
+  std::vector<double> numeric(columns.size(), 0);
+  std::vector<std::string> category(columns.size());
+  std::vector<bool> missing(columns.size(), false);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t j = 0; j < columns.size(); ++j) {
+      const Column& col = table.column(columns[j]);
+      if (col.IsNull(r)) {
+        missing[j] = true;
+        continue;
+      }
+      missing[j] = false;
+      if (ds.feature(j).categorical) {
+        category[j] = col.StringAt(r);
+      } else {
+        numeric[j] = col.NumericAt(r);
+      }
+    }
+    ds.AddRow(numeric, category, missing);
+  }
+  return ds;
+}
+
+}  // namespace squid

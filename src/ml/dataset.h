@@ -1,0 +1,72 @@
+#ifndef SQUID_ML_DATASET_H_
+#define SQUID_ML_DATASET_H_
+
+/// \file dataset.h
+/// \brief Feature matrix for the learning baselines (TALOS-style decision
+/// trees, §7.5, and PU-learning, §7.6). Features are either numeric or
+/// categorical (dictionary-encoded); missing values are supported.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace squid {
+
+/// One feature column description.
+struct FeatureDef {
+  std::string name;
+  bool categorical = false;
+};
+
+/// \brief Column-major feature matrix with per-cell missingness.
+class MlDataset {
+ public:
+  explicit MlDataset(std::vector<FeatureDef> features);
+
+  size_t num_features() const { return features_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  const FeatureDef& feature(size_t j) const { return features_[j]; }
+
+  /// Appends one row. Numeric features read from `numeric[j]`, categorical
+  /// from `category[j]` (dictionary-encoded on the fly); `missing[j]` marks
+  /// absent cells. All vectors sized num_features().
+  void AddRow(const std::vector<double>& numeric,
+              const std::vector<std::string>& category,
+              const std::vector<bool>& missing);
+
+  double NumericAt(size_t row, size_t j) const { return numeric_[j][row]; }
+  int32_t CategoryAt(size_t row, size_t j) const { return category_[j][row]; }
+  bool IsMissing(size_t row, size_t j) const { return missing_[j][row]; }
+
+  /// Number of distinct categories seen for feature j.
+  size_t NumCategories(size_t j) const { return dictionaries_[j].size(); }
+
+  /// Category label for code (for rendering extracted predicates).
+  const std::string& CategoryName(size_t j, int32_t code) const;
+
+  /// Dictionary code of `label` for feature j, or -1 when unseen.
+  int32_t CategoryCode(size_t j, const std::string& label) const;
+
+  /// Builds a dataset from a Table: string columns become categorical
+  /// features, numeric columns numeric features; `exclude` columns (e.g.
+  /// keys and the label column) are skipped.
+  static Result<MlDataset> FromTable(const Table& table,
+                                     const std::vector<std::string>& exclude);
+
+ private:
+  std::vector<FeatureDef> features_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> numeric_;     // per feature
+  std::vector<std::vector<int32_t>> category_;   // per feature
+  std::vector<std::vector<bool>> missing_;       // per feature
+  std::vector<std::vector<std::string>> dictionaries_;
+  std::vector<std::unordered_map<std::string, int32_t>> dict_index_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_ML_DATASET_H_

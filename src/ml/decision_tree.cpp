@@ -1,0 +1,257 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace squid {
+
+namespace {
+
+/// Weighted Gini impurity of a (neg, pos) count pair.
+double Gini(double neg, double pos) {
+  double total = neg + pos;
+  if (total <= 0) return 0;
+  double pn = neg / total, pp = pos / total;
+  return 1.0 - pn * pn - pp * pp;
+}
+
+}  // namespace
+
+std::string SplitCondition::ToString(const MlDataset& data) const {
+  const std::string& name = data.feature(feature).name;
+  if (categorical) {
+    return name + (went_left ? " = " : " != ") + data.CategoryName(feature, category);
+  }
+  return name + (went_left ? " <= " : " > ") + Value(threshold).ToString();
+}
+
+Result<DecisionTree> DecisionTree::Train(const MlDataset& data,
+                                         const std::vector<size_t>& rows,
+                                         const std::vector<uint8_t>& labels,
+                                         const DecisionTreeOptions& options,
+                                         Rng* rng) {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows/labels size mismatch");
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  DecisionTree tree;
+  std::vector<size_t> mutable_rows = rows;
+  // Build recursively; labels are addressed by position, so reorder them in
+  // lockstep by packing (row, label) pairs.
+  std::vector<std::pair<size_t, uint8_t>> packed(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) packed[i] = {rows[i], labels[i]};
+  // Re-split into parallel arrays used by BuildNode.
+  std::vector<size_t> r(rows.size());
+  std::vector<uint8_t> l(rows.size());
+  for (size_t i = 0; i < packed.size(); ++i) {
+    r[i] = packed[i].first;
+    l[i] = packed[i].second;
+  }
+  tree.BuildNode(data, r, l, options, 0, rng);
+  return tree;
+}
+
+int32_t DecisionTree::BuildNode(const MlDataset& data, std::vector<size_t>& rows,
+                                const std::vector<uint8_t>& labels,
+                                const DecisionTreeOptions& options, size_t depth,
+                                Rng* rng) {
+  depth_ = std::max(depth_, depth);
+  const double wp = options.class_weight_positive;
+
+  double pos = 0, neg = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (labels[i]) pos += wp;
+    else neg += 1;
+  }
+
+  Node node;
+  node.support = rows.size();
+  node.positive_fraction = (pos + neg) > 0 ? pos / (pos + neg) : 0;
+
+  bool stop = depth >= options.max_depth || rows.size() < options.min_samples_split ||
+              pos == 0 || neg == 0;
+  if (!stop) {
+    // Search the best split.
+    double best_gain = 1e-12;
+    SplitCondition best;
+    bool found = false;
+    double parent_gini = Gini(neg, pos);
+
+    std::vector<size_t> features(data.num_features());
+    for (size_t j = 0; j < features.size(); ++j) features[j] = j;
+    if (options.max_features > 0 && options.max_features < features.size()) {
+      std::vector<size_t> picked =
+          rng->SampleWithoutReplacement(features.size(), options.max_features);
+      features = picked;
+    }
+
+    for (size_t j : features) {
+      if (data.feature(j).categorical) {
+        // One-vs-rest on each category present at this node.
+        std::unordered_map<int32_t, std::pair<double, double>> counts;  // neg,pos
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (data.IsMissing(rows[i], j)) continue;
+          auto& c = counts[data.CategoryAt(rows[i], j)];
+          if (labels[i]) c.second += wp;
+          else c.first += 1;
+        }
+        for (const auto& [cat, c] : counts) {
+          double left_neg = c.first, left_pos = c.second;
+          double right_neg = neg - left_neg, right_pos = pos - left_pos;
+          double left_total = left_neg + left_pos, right_total = right_neg + right_pos;
+          if (left_total <= 0 || right_total <= 0) continue;
+          double gain = parent_gini -
+                        (left_total * Gini(left_neg, left_pos) +
+                         right_total * Gini(right_neg, right_pos)) /
+                            (left_total + right_total);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best.feature = j;
+            best.categorical = true;
+            best.category = cat;
+            found = true;
+          }
+        }
+      } else {
+        // Numeric threshold split over sorted distinct values.
+        std::vector<std::pair<double, uint8_t>> vals;
+        vals.reserve(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (data.IsMissing(rows[i], j)) continue;
+          vals.emplace_back(data.NumericAt(rows[i], j), labels[i]);
+        }
+        if (vals.size() < 2) continue;
+        std::sort(vals.begin(), vals.end());
+        // Candidate thresholds: midpoints between distinct consecutive
+        // values, subsampled evenly when there are too many.
+        std::vector<size_t> boundaries;
+        for (size_t i = 1; i < vals.size(); ++i) {
+          if (vals[i].first != vals[i - 1].first) boundaries.push_back(i);
+        }
+        if (boundaries.empty()) continue;
+        size_t step = 1;
+        if (options.max_numeric_thresholds > 0 &&
+            boundaries.size() > options.max_numeric_thresholds) {
+          step = boundaries.size() / options.max_numeric_thresholds;
+        }
+        // Prefix class counts for O(1) split evaluation.
+        std::vector<double> prefix_pos(vals.size() + 1, 0), prefix_neg(vals.size() + 1, 0);
+        for (size_t i = 0; i < vals.size(); ++i) {
+          prefix_pos[i + 1] = prefix_pos[i] + (vals[i].second ? wp : 0);
+          prefix_neg[i + 1] = prefix_neg[i] + (vals[i].second ? 0 : 1);
+        }
+        for (size_t bi = 0; bi < boundaries.size(); bi += step) {
+          size_t cut = boundaries[bi];
+          double left_pos = prefix_pos[cut], left_neg = prefix_neg[cut];
+          double right_pos = prefix_pos[vals.size()] - left_pos;
+          double right_neg = prefix_neg[vals.size()] - left_neg;
+          double left_total = left_neg + left_pos, right_total = right_neg + right_pos;
+          if (left_total <= 0 || right_total <= 0) continue;
+          double gain = parent_gini -
+                        (left_total * Gini(left_neg, left_pos) +
+                         right_total * Gini(right_neg, right_pos)) /
+                            (left_total + right_total);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best.feature = j;
+            best.categorical = false;
+            best.threshold = (vals[cut - 1].first + vals[cut].first) / 2.0;
+            found = true;
+          }
+        }
+      }
+    }
+
+    if (found) {
+      // Partition rows (missing values go right).
+      std::vector<size_t> left_rows, right_rows;
+      std::vector<uint8_t> left_labels, right_labels;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        bool go_left;
+        if (data.IsMissing(rows[i], best.feature)) {
+          go_left = false;
+        } else if (best.categorical) {
+          go_left = data.CategoryAt(rows[i], best.feature) == best.category;
+        } else {
+          go_left = data.NumericAt(rows[i], best.feature) <= best.threshold;
+        }
+        if (go_left) {
+          left_rows.push_back(rows[i]);
+          left_labels.push_back(labels[i]);
+        } else {
+          right_rows.push_back(rows[i]);
+          right_labels.push_back(labels[i]);
+        }
+      }
+      if (left_rows.size() >= options.min_samples_leaf &&
+          right_rows.size() >= options.min_samples_leaf) {
+        node.is_leaf = false;
+        node.split = best;
+        int32_t self = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(node);
+        int32_t left = BuildNode(data, left_rows, left_labels, options, depth + 1, rng);
+        int32_t right =
+            BuildNode(data, right_rows, right_labels, options, depth + 1, rng);
+        nodes_[self].left = left;
+        nodes_[self].right = right;
+        return self;
+      }
+    }
+  }
+
+  node.is_leaf = true;
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+double DecisionTree::PredictProba(const MlDataset& data, size_t row) const {
+  if (nodes_.empty()) return 0;
+  int32_t i = 0;
+  while (!nodes_[i].is_leaf) {
+    const SplitCondition& s = nodes_[i].split;
+    bool go_left;
+    if (data.IsMissing(row, s.feature)) {
+      go_left = false;
+    } else if (s.categorical) {
+      go_left = data.CategoryAt(row, s.feature) == s.category;
+    } else {
+      go_left = data.NumericAt(row, s.feature) <= s.threshold;
+    }
+    i = go_left ? nodes_[i].left : nodes_[i].right;
+  }
+  return nodes_[i].positive_fraction;
+}
+
+std::vector<Rule> DecisionTree::ExtractPositiveRules(double min_fraction) const {
+  std::vector<Rule> rules;
+  if (nodes_.empty()) return rules;
+  std::vector<SplitCondition> conditions;
+  std::function<void(int32_t)> visit = [&](int32_t i) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf) {
+      if (n.positive_fraction >= min_fraction && n.support > 0) {
+        rules.push_back(Rule{conditions, n.positive_fraction, n.support});
+      }
+      return;
+    }
+    SplitCondition left = n.split;
+    left.went_left = true;
+    conditions.push_back(left);
+    visit(n.left);
+    conditions.pop_back();
+    SplitCondition right = n.split;
+    right.went_left = false;
+    conditions.push_back(right);
+    visit(n.right);
+    conditions.pop_back();
+  };
+  visit(0);
+  return rules;
+}
+
+}  // namespace squid

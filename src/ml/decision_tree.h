@@ -1,0 +1,94 @@
+#ifndef SQUID_ML_DECISION_TREE_H_
+#define SQUID_ML_DECISION_TREE_H_
+
+/// \file decision_tree.h
+/// \brief Binary-classification decision tree (CART-style, Gini impurity)
+/// over MlDataset. Numeric features split on thresholds, categorical
+/// features split one-vs-rest. Leaves store class fractions so the tree can
+/// output probabilities (needed by the Elkan–Noto PU estimator) and rule
+/// paths can be extracted (needed by the TALOS baseline).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace squid {
+
+/// Training options.
+struct DecisionTreeOptions {
+  size_t max_depth = 24;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Candidate thresholds per numeric feature (0 = all midpoints).
+  size_t max_numeric_thresholds = 32;
+  /// Features considered per split (0 = all; random forests set sqrt(d)).
+  size_t max_features = 0;
+  /// Optional per-class weights (index 0 = negative, 1 = positive).
+  double class_weight_positive = 1.0;
+};
+
+/// One split condition along a tree path.
+struct SplitCondition {
+  size_t feature = 0;
+  bool categorical = false;
+  /// Numeric: value <= threshold goes left. Categorical: value == category
+  /// goes left.
+  double threshold = 0;
+  int32_t category = -1;
+  /// Direction taken along the path (for extracted rules).
+  bool went_left = true;
+
+  std::string ToString(const MlDataset& data) const;
+};
+
+/// A conjunctive rule: path from root to a positive leaf.
+struct Rule {
+  std::vector<SplitCondition> conditions;
+  double positive_fraction = 0;
+  size_t support = 0;
+};
+
+/// \brief CART decision tree.
+class DecisionTree {
+ public:
+  /// Trains on rows `rows` of `data` with binary `labels` (parallel to
+  /// rows). `rng` drives feature subsampling when max_features > 0.
+  static Result<DecisionTree> Train(const MlDataset& data,
+                                    const std::vector<size_t>& rows,
+                                    const std::vector<uint8_t>& labels,
+                                    const DecisionTreeOptions& options, Rng* rng);
+
+  /// Probability that `row` of `data` is positive.
+  double PredictProba(const MlDataset& data, size_t row) const;
+
+  /// Rules reaching leaves with positive fraction >= `min_fraction`.
+  std::vector<Rule> ExtractPositiveRules(double min_fraction = 0.5) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    SplitCondition split;
+    int32_t left = -1;
+    int32_t right = -1;
+    double positive_fraction = 0;
+    size_t support = 0;
+  };
+
+  int32_t BuildNode(const MlDataset& data, std::vector<size_t>& rows,
+                    const std::vector<uint8_t>& labels,
+                    const DecisionTreeOptions& options, size_t depth, Rng* rng);
+
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_ML_DECISION_TREE_H_

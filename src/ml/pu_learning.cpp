@@ -1,0 +1,75 @@
+#include "ml/pu_learning.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace squid {
+
+Result<PuLearner> PuLearner::Train(const MlDataset& data,
+                                   const std::vector<size_t>& positive_rows,
+                                   const std::vector<size_t>& all_rows,
+                                   const PuOptions& options, Rng* rng) {
+  if (positive_rows.empty()) {
+    return Status::InvalidArgument("PU learning needs at least one positive");
+  }
+  PuLearner learner;
+  learner.estimator_ = options.estimator;
+
+  // Hold out a calibration subset of the positives for estimating c.
+  std::vector<size_t> shuffled = positive_rows;
+  rng->Shuffle(&shuffled);
+  size_t held = static_cast<size_t>(options.calibration_fraction *
+                                    static_cast<double>(shuffled.size()));
+  if (held == 0 && shuffled.size() > 1) held = 1;
+  std::vector<size_t> calibration(shuffled.begin(), shuffled.begin() + held);
+  std::vector<size_t> train_pos(shuffled.begin() + held, shuffled.end());
+  if (train_pos.empty()) train_pos = shuffled;  // tiny example sets
+
+  std::unordered_set<size_t> pos_set(positive_rows.begin(), positive_rows.end());
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  rows.reserve(all_rows.size());
+  labels.reserve(all_rows.size());
+  for (size_t r : train_pos) {
+    rows.push_back(r);
+    labels.push_back(1);
+  }
+  for (size_t r : all_rows) {
+    if (pos_set.count(r)) continue;  // unlabeled = everything not positive
+    rows.push_back(r);
+    labels.push_back(0);
+  }
+
+  if (options.estimator == PuEstimator::kDecisionTree) {
+    DecisionTreeOptions topts = options.tree;
+    SQUID_ASSIGN_OR_RETURN(learner.tree_,
+                           DecisionTree::Train(data, rows, labels, topts, rng));
+  } else {
+    SQUID_ASSIGN_OR_RETURN(
+        learner.forest_,
+        RandomForest::Train(data, rows, labels, options.forest, rng));
+  }
+
+  // c = mean g(x) over held-out positives (falls back to training positives
+  // when no holdout exists).
+  const std::vector<size_t>& calib = calibration.empty() ? train_pos : calibration;
+  double sum = 0;
+  for (size_t r : calib) {
+    sum += options.estimator == PuEstimator::kDecisionTree
+               ? learner.tree_.PredictProba(data, r)
+               : learner.forest_.PredictProba(data, r);
+  }
+  learner.c_ = calib.empty() ? 1.0 : sum / static_cast<double>(calib.size());
+  if (learner.c_ <= 1e-9) learner.c_ = 1e-9;
+  if (learner.c_ > 1.0) learner.c_ = 1.0;
+  return learner;
+}
+
+double PuLearner::PredictProba(const MlDataset& data, size_t row) const {
+  double g = estimator_ == PuEstimator::kDecisionTree
+                 ? tree_.PredictProba(data, row)
+                 : forest_.PredictProba(data, row);
+  return std::clamp(g / c_, 0.0, 1.0);
+}
+
+}  // namespace squid

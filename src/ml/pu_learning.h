@@ -1,0 +1,72 @@
+#ifndef SQUID_ML_PU_LEARNING_H_
+#define SQUID_ML_PU_LEARNING_H_
+
+/// \file pu_learning.h
+/// \brief Positive-and-Unlabeled learning via the Elkan–Noto estimator
+/// (reference [21] of the paper; used by the §7.6 comparison).
+///
+/// The non-traditional classifier g(x) ≈ Pr(s=1|x) is trained to separate
+/// labeled positives from unlabeled rows. Under the selected-completely-at-
+/// random assumption, Pr(y=1|x) = g(x)/c with c = E[g(x) | s=1], estimated
+/// as the mean score of held-out positives.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace squid {
+
+enum class PuEstimator { kDecisionTree, kRandomForest };
+
+struct PuOptions {
+  PuEstimator estimator = PuEstimator::kDecisionTree;
+  DecisionTreeOptions tree;
+  RandomForestOptions forest;
+  /// Fraction of positives held out to estimate c.
+  double calibration_fraction = 0.2;
+
+  /// The Elkan–Noto estimator needs CALIBRATED probabilities: a tree driven
+  /// to purity sends every unlabeled row to a 0/1 leaf and g(x)/c cannot
+  /// recover the unlabeled positives. Defaults therefore regularize the
+  /// estimators (shallow-ish trees, wide leaves).
+  PuOptions() {
+    tree.max_depth = 8;
+    tree.min_samples_leaf = 25;
+    forest.tree.max_depth = 10;
+    forest.tree.min_samples_leaf = 10;
+  }
+};
+
+/// \brief Trained PU classifier.
+class PuLearner {
+ public:
+  /// `positive_rows` are the labeled positive examples; every other row of
+  /// `data` in `all_rows` is treated as unlabeled.
+  static Result<PuLearner> Train(const MlDataset& data,
+                                 const std::vector<size_t>& positive_rows,
+                                 const std::vector<size_t>& all_rows,
+                                 const PuOptions& options, Rng* rng);
+
+  /// Pr(y=1|x) = g(x)/c (clamped to [0,1]).
+  double PredictProba(const MlDataset& data, size_t row) const;
+
+  /// Predicted positive iff PredictProba >= 0.5.
+  bool Predict(const MlDataset& data, size_t row) const {
+    return PredictProba(data, row) >= 0.5;
+  }
+
+  double label_frequency() const { return c_; }
+
+ private:
+  PuEstimator estimator_ = PuEstimator::kDecisionTree;
+  DecisionTree tree_;
+  RandomForest forest_;
+  double c_ = 1.0;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_ML_PU_LEARNING_H_

@@ -1,0 +1,50 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace squid {
+
+Result<RandomForest> RandomForest::Train(const MlDataset& data,
+                                         const std::vector<size_t>& rows,
+                                         const std::vector<uint8_t>& labels,
+                                         const RandomForestOptions& options,
+                                         Rng* rng) {
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  RandomForest forest;
+  DecisionTreeOptions tree_opts = options.tree;
+  tree_opts.max_features =
+      options.max_features > 0
+          ? options.max_features
+          : static_cast<size_t>(std::floor(std::sqrt(
+                static_cast<double>(data.num_features()))));
+  if (tree_opts.max_features == 0) tree_opts.max_features = 1;
+
+  size_t sample_size = static_cast<size_t>(
+      std::max(1.0, options.bootstrap_fraction * static_cast<double>(rows.size())));
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    std::vector<size_t> boot_rows;
+    std::vector<uint8_t> boot_labels;
+    boot_rows.reserve(sample_size);
+    boot_labels.reserve(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) {
+      size_t pick = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
+      boot_rows.push_back(rows[pick]);
+      boot_labels.push_back(labels[pick]);
+    }
+    SQUID_ASSIGN_OR_RETURN(DecisionTree tree,
+                           DecisionTree::Train(data, boot_rows, boot_labels,
+                                               tree_opts, rng));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+double RandomForest::PredictProba(const MlDataset& data, size_t row) const {
+  if (trees_.empty()) return 0;
+  double sum = 0;
+  for (const auto& tree : trees_) sum += tree.PredictProba(data, row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace squid

@@ -1,0 +1,43 @@
+#ifndef SQUID_ML_RANDOM_FOREST_H_
+#define SQUID_ML_RANDOM_FOREST_H_
+
+/// \file random_forest.h
+/// \brief Bagged random forest over DecisionTree (the "RF" estimator of the
+/// PU-learning comparison, Fig. 16).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/decision_tree.h"
+
+namespace squid {
+
+struct RandomForestOptions {
+  size_t num_trees = 20;
+  DecisionTreeOptions tree;
+  /// Fraction of the training set bootstrapped per tree.
+  double bootstrap_fraction = 1.0;
+  /// Features per split; 0 = floor(sqrt(num_features)).
+  size_t max_features = 0;
+};
+
+/// \brief Bootstrap-aggregated decision trees; probability = tree average.
+class RandomForest {
+ public:
+  static Result<RandomForest> Train(const MlDataset& data,
+                                    const std::vector<size_t>& rows,
+                                    const std::vector<uint8_t>& labels,
+                                    const RandomForestOptions& options, Rng* rng);
+
+  double PredictProba(const MlDataset& data, size_t row) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_ML_RANDOM_FOREST_H_

@@ -1,0 +1,144 @@
+#include "sql/ast.h"
+
+namespace squid {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+bool Predicate::Matches(const Value& v) const {
+  switch (kind) {
+    case Kind::kCompare:
+      return EvalCompare(v, op, value);
+    case Kind::kBetween:
+      return EvalCompare(v, CompareOp::kGe, lo) && EvalCompare(v, CompareOp::kLe, hi);
+    case Kind::kInList: {
+      if (v.is_null()) return false;
+      for (const Value& cand : in_list) {
+        if (v == cand) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+size_t Predicate::PrimitiveCount() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return 1;
+    case Kind::kBetween:
+      return 2;
+    case Kind::kInList:
+      return in_list.size();
+  }
+  return 1;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return column.ToString() + " " + CompareOpSymbol(op) + " " + value.ToSqlLiteral();
+    case Kind::kBetween:
+      return column.ToString() + " BETWEEN " + lo.ToSqlLiteral() + " AND " +
+             hi.ToSqlLiteral();
+    case Kind::kInList: {
+      std::string s = column.ToString() + " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += in_list[i].ToSqlLiteral();
+      }
+      s += ")";
+      return s;
+    }
+  }
+  return "?";
+}
+
+Predicate Predicate::Compare(ColumnRef col, CompareOp op, Value v) {
+  Predicate p;
+  p.kind = Kind::kCompare;
+  p.column = std::move(col);
+  p.op = op;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Between(ColumnRef col, Value lo, Value hi) {
+  Predicate p;
+  p.kind = Kind::kBetween;
+  p.column = std::move(col);
+  p.lo = std::move(lo);
+  p.hi = std::move(hi);
+  return p;
+}
+
+Predicate Predicate::InList(ColumnRef col, std::vector<Value> values) {
+  Predicate p;
+  p.kind = Kind::kInList;
+  p.column = std::move(col);
+  p.in_list = std::move(values);
+  return p;
+}
+
+std::optional<size_t> SelectQuery::FindAlias(const std::string& alias) const {
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i].alias == alias) return i;
+  }
+  return std::nullopt;
+}
+
+size_t SelectQuery::NumPredicates() const {
+  size_t n = join_predicates.size() + anti_join_predicates.size();
+  for (const auto& p : where) n += p.PrimitiveCount();
+  if (having) ++n;
+  return n;
+}
+
+size_t Query::NumPredicates() const {
+  size_t n = 0;
+  for (const auto& b : branches) n += b.NumPredicates();
+  return n;
+}
+
+Query Query::Single(SelectQuery q) {
+  Query out;
+  out.branches.push_back(std::move(q));
+  return out;
+}
+
+}  // namespace squid

@@ -1,0 +1,129 @@
+#ifndef SQUID_SQL_AST_H_
+#define SQUID_SQL_AST_H_
+
+/// \file ast.h
+/// \brief Query AST for the class SQuID targets (§2.1): select-project-join
+/// queries with key/foreign-key equi-joins, conjunctive selection predicates
+/// of the form `attribute OP constant` (OP in {=, !=, <, <=, >, >=}, plus
+/// BETWEEN and IN sugar), optional GROUP BY with HAVING count(*), DISTINCT,
+/// and INTERSECT of such blocks (SPJAI).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace squid {
+
+/// Reference to `alias.attribute`.
+struct ColumnRef {
+  std::string table_alias;
+  std::string attribute;
+
+  bool operator==(const ColumnRef& o) const {
+    return table_alias == o.table_alias && attribute == o.attribute;
+  }
+  std::string ToString() const { return table_alias + "." + attribute; }
+};
+
+/// Comparison operators allowed in selection predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders e.g. ">=".
+const char* CompareOpSymbol(CompareOp op);
+
+/// Evaluates `lhs OP rhs` with SQL-ish semantics (NULL compares false).
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// One conjunctive selection predicate.
+struct Predicate {
+  enum class Kind { kCompare, kBetween, kInList };
+
+  Kind kind = Kind::kCompare;
+  ColumnRef column;
+  // kCompare:
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  // kBetween (inclusive):
+  Value lo;
+  Value hi;
+  // kInList:
+  std::vector<Value> in_list;
+
+  /// True when `v` (the cell under `column`) satisfies this predicate.
+  bool Matches(const Value& v) const;
+
+  /// Number of primitive comparisons this predicate expands to (BETWEEN = 2,
+  /// IN-list = |list|); used by the predicate-count metric of Figs. 14/15.
+  size_t PrimitiveCount() const;
+
+  std::string ToString() const;
+
+  static Predicate Compare(ColumnRef col, CompareOp op, Value v);
+  static Predicate Between(ColumnRef col, Value lo, Value hi);
+  static Predicate InList(ColumnRef col, std::vector<Value> values);
+};
+
+/// FROM-clause entry: relation with alias (alias defaults to the name).
+struct TableRef {
+  std::string table_name;
+  std::string alias;
+};
+
+/// Equi-join predicate `left = right`.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// Column-pair inequality `left != right` (applied after joins; used by
+/// ground-truth queries like "co-author is a different author").
+struct AntiJoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// Projection item (plain column; aggregates appear only in HAVING).
+struct SelectItem {
+  ColumnRef column;
+};
+
+/// `HAVING count(*) OP value`.
+struct HavingCount {
+  CompareOp op = CompareOp::kGe;
+  double value = 0;
+};
+
+/// One select block.
+struct SelectQuery {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  std::vector<JoinPredicate> join_predicates;
+  std::vector<AntiJoinPredicate> anti_join_predicates;
+  std::vector<Predicate> where;
+  std::vector<ColumnRef> group_by;
+  std::optional<HavingCount> having;
+
+  /// Looks up the alias in FROM (empty optional when missing).
+  std::optional<size_t> FindAlias(const std::string& alias) const;
+
+  /// Join + selection predicate count (Figs. 14/15 metric). Includes one per
+  /// join predicate, primitive counts for WHERE, and one for HAVING.
+  size_t NumPredicates() const;
+};
+
+/// A full query: INTERSECT of one or more select blocks (usually one).
+struct Query {
+  std::vector<SelectQuery> branches;
+
+  size_t NumPredicates() const;
+
+  /// Convenience: wraps a single block.
+  static Query Single(SelectQuery q);
+};
+
+}  // namespace squid
+
+#endif  // SQUID_SQL_AST_H_

@@ -1,0 +1,43 @@
+#ifndef SQUID_SQL_LEXER_H_
+#define SQUID_SQL_LEXER_H_
+
+/// \file lexer.h
+/// \brief Tokenizer for the supported SQL subset.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace squid {
+
+enum class TokenType {
+  kIdentifier,   // person, name (case preserved)
+  kKeyword,      // SELECT, FROM, ... (upper-cased)
+  kInteger,      // 42
+  kFloat,        // 3.5
+  kString,       // 'text'
+  kSymbol,       // , ( ) . * = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // normalized: keywords upper-case, symbols literal
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `sql`; the final token is always kEnd. Errors on unterminated
+/// strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace squid
+
+#endif  // SQUID_SQL_LEXER_H_

@@ -1,0 +1,40 @@
+#ifndef SQUID_SQL_PARSER_H_
+#define SQUID_SQL_PARSER_H_
+
+/// \file parser.h
+/// \brief Recursive-descent parser for the supported SQL subset (the SPJAI
+/// class of §2.1). Round-trips with printer.h.
+///
+/// Grammar (informal):
+///   query      := select (INTERSECT select)*
+///   select     := SELECT [DISTINCT] column (',' column)*
+///                 FROM table_ref (',' table_ref)*
+///                 [WHERE conjunct (AND conjunct)*]
+///                 [GROUP BY column (',' column)*]
+///                 [HAVING COUNT '(' '*' ')' cmp_op number]
+///   table_ref  := identifier [AS identifier | identifier]
+///   conjunct   := column '=' column            -- equi-join
+///               | column cmp_op literal
+///               | column BETWEEN literal AND literal
+///               | column IN '(' literal (',' literal)* ')'
+///   column     := identifier '.' identifier | identifier
+///
+/// Unqualified column names are resolved to the single FROM table when the
+/// FROM clause has exactly one entry; otherwise they are an error.
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace squid {
+
+/// Parses `sql` into a Query (one or more INTERSECT branches).
+Result<Query> ParseQuery(const std::string& sql);
+
+/// Parses a single select block (errors when INTERSECT is present).
+Result<SelectQuery> ParseSelect(const std::string& sql);
+
+}  // namespace squid
+
+#endif  // SQUID_SQL_PARSER_H_

@@ -1,0 +1,28 @@
+#ifndef SQUID_SQL_PRINTER_H_
+#define SQUID_SQL_PRINTER_H_
+
+/// \file printer.h
+/// \brief Renders query ASTs back to SQL text (the form SQuID hands to the
+/// user, e.g. Q4/Q5 in the paper).
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace squid {
+
+/// Rendering options.
+struct SqlPrintOptions {
+  /// Pretty-print with newlines between clauses (default: single line).
+  bool multiline = false;
+};
+
+/// Renders one select block.
+std::string ToSql(const SelectQuery& query, const SqlPrintOptions& opts = {});
+
+/// Renders a full (possibly INTERSECT) query.
+std::string ToSql(const Query& query, const SqlPrintOptions& opts = {});
+
+}  // namespace squid
+
+#endif  // SQUID_SQL_PRINTER_H_

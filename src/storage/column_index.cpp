@@ -1,0 +1,61 @@
+#include "storage/column_index.h"
+
+namespace squid {
+
+Result<SortedColumnIndex> SortedColumnIndex::Build(const Table& table,
+                                                   const std::string& attr) {
+  SQUID_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attr));
+  SortedColumnIndex index;
+  for (size_t r = 0; r < col->size(); ++r) {
+    if (col->IsNull(r)) continue;
+    index.entries_[col->ValueAt(r)].push_back(r);
+    ++index.num_rows_;
+  }
+  return index;
+}
+
+std::vector<size_t> SortedColumnIndex::Lookup(const Value& v) const {
+  auto it = entries_.find(v);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::vector<size_t> SortedColumnIndex::Range(const Value& lo, const Value& hi) const {
+  auto begin = lo.is_null() ? entries_.begin() : entries_.lower_bound(lo);
+  auto end = hi.is_null() ? entries_.end() : entries_.upper_bound(hi);
+  std::vector<size_t> out;
+  for (auto it = begin; it != end; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+Result<Value> SortedColumnIndex::MinValue() const {
+  if (entries_.empty()) return Status::NotFound("empty index");
+  return entries_.begin()->first;
+}
+
+Result<Value> SortedColumnIndex::MaxValue() const {
+  if (entries_.empty()) return Status::NotFound("empty index");
+  return entries_.rbegin()->first;
+}
+
+Result<HashColumnIndex> HashColumnIndex::Build(const Table& table,
+                                               const std::string& attr) {
+  SQUID_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attr));
+  HashColumnIndex index;
+  index.entries_.reserve(table.num_rows());
+  for (size_t r = 0; r < col->size(); ++r) {
+    if (col->IsNull(r)) continue;
+    index.entries_[col->ValueAt(r)].push_back(r);
+  }
+  return index;
+}
+
+const std::vector<size_t>* HashColumnIndex::Lookup(const Value& v) const {
+  auto it = entries_.find(v);
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace squid

@@ -1,0 +1,64 @@
+#ifndef SQUID_STORAGE_COLUMN_INDEX_H_
+#define SQUID_STORAGE_COLUMN_INDEX_H_
+
+/// \file column_index.h
+/// \brief Sorted (B-tree-style) and hash indexes over single columns. The
+/// executor uses them for sargable point/range predicates and for FK joins;
+/// the αDB uses them for entity-keyed lookups into derived relations (the
+/// "point queries ... using B-tree indexes" of §7.2).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace squid {
+
+/// \brief Ordered index: value -> row ids, supporting point and range scans.
+class SortedColumnIndex {
+ public:
+  /// Builds the index over `table.column(attr)`. Nulls are excluded.
+  static Result<SortedColumnIndex> Build(const Table& table, const std::string& attr);
+
+  /// Row ids with exactly this value.
+  std::vector<size_t> Lookup(const Value& v) const;
+
+  /// Row ids with lo <= value <= hi (either bound may be Null = unbounded).
+  std::vector<size_t> Range(const Value& lo, const Value& hi) const;
+
+  /// Number of distinct indexed values.
+  size_t NumDistinct() const { return entries_.size(); }
+
+  /// Number of indexed (non-null) rows.
+  size_t NumRows() const { return num_rows_; }
+
+  /// Smallest / largest indexed value (error if empty).
+  Result<Value> MinValue() const;
+  Result<Value> MaxValue() const;
+
+ private:
+  std::map<Value, std::vector<size_t>> entries_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief Hash index: value -> row ids, for equality-only probes (joins).
+class HashColumnIndex {
+ public:
+  static Result<HashColumnIndex> Build(const Table& table, const std::string& attr);
+
+  /// Row ids with exactly this value (empty when absent).
+  const std::vector<size_t>* Lookup(const Value& v) const;
+
+  size_t NumDistinct() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> entries_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_COLUMN_INDEX_H_

@@ -1,0 +1,141 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace squid {
+
+namespace {
+
+std::string EscapeField(const std::string& s) {
+  bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) return Status::Corruption("quote inside unquoted field");
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+  }
+  if (in_quotes) return Status::Corruption("unterminated quoted field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << EscapeField(schema.attribute(i).name);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      Value v = table.ValueAt(r, c);
+      if (v.is_null()) continue;  // empty field
+      out << EscapeField(v.ToString());
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) return Status::Corruption("empty CSV: " + path);
+  SQUID_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
+  if (header.size() != schema.num_attributes()) {
+    return Status::Corruption("CSV header arity mismatch in " + path);
+  }
+  Table table(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    SQUID_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    if (fields.size() != schema.num_attributes()) {
+      return Status::Corruption("CSV arity mismatch at line " +
+                                std::to_string(line_no) + " in " + path);
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const std::string& f = fields[i];
+      if (f.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.attribute(i).type) {
+        case ValueType::kInt64: {
+          char* end = nullptr;
+          long long v = std::strtoll(f.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0') {
+            return Status::Corruption("bad int64 '" + f + "' at line " +
+                                      std::to_string(line_no));
+          }
+          row.push_back(Value(static_cast<int64_t>(v)));
+          break;
+        }
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          double v = std::strtod(f.c_str(), &end);
+          if (end == nullptr || *end != '\0') {
+            return Status::Corruption("bad double '" + f + "' at line " +
+                                      std::to_string(line_no));
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kString:
+          row.push_back(Value(f));
+          break;
+        case ValueType::kNull:
+          row.push_back(Value::Null());
+          break;
+      }
+    }
+    SQUID_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace squid

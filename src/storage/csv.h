@@ -1,0 +1,28 @@
+#ifndef SQUID_STORAGE_CSV_H_
+#define SQUID_STORAGE_CSV_H_
+
+/// \file csv.h
+/// \brief CSV import/export so examples can persist generated datasets and
+/// users can load their own data.
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace squid {
+
+/// Writes `table` to `path` with a header row. Strings are quoted when they
+/// contain separators/quotes; NULL is written as an empty field.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV with a header row into a table following `schema` (column
+/// order must match). Empty fields load as NULL.
+Result<Table> ReadCsv(const Schema& schema, const std::string& path);
+
+/// Parses one CSV line honoring quoting; exposed for tests.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_CSV_H_

@@ -1,0 +1,100 @@
+#include "storage/database.h"
+
+#include <unordered_set>
+
+namespace squid {
+
+Status Database::AddTable(std::shared_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (name.empty()) return Status::InvalidArgument("table with empty name");
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("relation '" + name + "' already in database");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Database::GetShared(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' not in database '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Result<Table*> Database::CreateTable(Schema schema) {
+  auto table = std::make_shared<Table>(std::move(schema));
+  Table* raw = table.get();
+  SQUID_RETURN_NOT_OK(AddTable(std::move(table)));
+  return raw;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' not in database '" + name_ + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' not in database '" + name_ + "'");
+  }
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("relation '" + name + "' not in database");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalRows() const {
+  size_t rows = 0;
+  for (const auto& [_, t] : tables_) rows += t->num_rows();
+  return rows;
+}
+
+size_t Database::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, t] : tables_) bytes += t->ApproxBytes();
+  return bytes;
+}
+
+Status Database::ValidateForeignKeys() const {
+  for (const auto& [name, table] : tables_) {
+    for (const auto& fk : table->schema().foreign_keys()) {
+      SQUID_ASSIGN_OR_RETURN(const Table* ref, GetTable(fk.ref_relation));
+      SQUID_ASSIGN_OR_RETURN(const Column* ref_col,
+                             ref->ColumnByName(fk.ref_attribute));
+      std::unordered_set<Value, ValueHash> keys;
+      keys.reserve(ref->num_rows());
+      for (size_t r = 0; r < ref->num_rows(); ++r) {
+        keys.insert(ref_col->ValueAt(r));
+      }
+      SQUID_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(fk.attribute));
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        if (col->IsNull(r)) continue;
+        if (!keys.count(col->ValueAt(r))) {
+          return Status::Corruption(
+              "dangling FK " + name + "." + fk.attribute + " -> " + fk.ref_relation +
+              "." + fk.ref_attribute + " at row " + std::to_string(r) + " (value " +
+              col->ValueAt(r).ToString() + ")");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace squid

@@ -1,0 +1,78 @@
+#ifndef SQUID_STORAGE_DATABASE_H_
+#define SQUID_STORAGE_DATABASE_H_
+
+/// \file database.h
+/// \brief Catalog of named tables with key/foreign-key validation. Both the
+/// original database and the αDB (which adds derived relations) are
+/// Database instances.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace squid {
+
+/// \brief Named collection of tables.
+///
+/// Tables are held by shared_ptr so a derived database (the αDB) can alias
+/// the base tables of the original database without copying them.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  // Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a table; the relation name must be unused.
+  Status AddTable(std::shared_ptr<Table> table);
+
+  /// Shares `table` from another database under the same name.
+  Status AttachTable(const std::shared_ptr<Table>& table) { return AddTable(table); }
+
+  /// Shared handle for aliasing into another Database.
+  Result<std::shared_ptr<Table>> GetShared(const std::string& name) const;
+
+  /// Creates and registers an empty table for `schema`.
+  Result<Table*> CreateTable(Schema schema);
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Removes a table (used by tests and by αDB rebuilds).
+  Status DropTable(const std::string& name);
+
+  /// Names of all relations in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Total rows across all relations.
+  size_t TotalRows() const;
+
+  /// Approximate total bytes across all relations.
+  size_t ApproxBytes() const;
+
+  /// Checks referential integrity: every FK value appears as a PK value in
+  /// the referenced relation (nulls are exempt). Used by generator tests.
+  Status ValidateForeignKeys() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_DATABASE_H_

@@ -1,0 +1,37 @@
+#include "storage/inverted_index.h"
+
+#include "common/strings.h"
+
+namespace squid {
+
+Result<InvertedColumnIndex> InvertedColumnIndex::Build(const Database& db) {
+  InvertedColumnIndex index;
+  for (const std::string& name : db.TableNames()) {
+    SQUID_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    std::vector<std::string> attrs = table->schema().text_search_attributes();
+    if (attrs.empty() && table->schema().is_entity()) {
+      for (const auto& a : table->schema().attributes()) {
+        if (a.type == ValueType::kString) attrs.push_back(a.name);
+      }
+    }
+    for (const std::string& attr : attrs) {
+      SQUID_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(attr));
+      if (col->type() != ValueType::kString) continue;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (col->IsNull(r)) continue;
+        std::string key = ToLower(col->StringAt(r));
+        index.postings_[key].push_back(Posting{name, attr, r});
+        ++index.num_postings_;
+      }
+    }
+  }
+  return index;
+}
+
+const std::vector<Posting>* InvertedColumnIndex::Lookup(const std::string& text) const {
+  auto it = postings_.find(ToLower(text));
+  if (it == postings_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace squid

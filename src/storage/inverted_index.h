@@ -1,0 +1,51 @@
+#ifndef SQUID_STORAGE_INVERTED_INDEX_H_
+#define SQUID_STORAGE_INVERTED_INDEX_H_
+
+/// \file inverted_index.h
+/// \brief Global inverted column index over text attributes (§5 "Entity
+/// lookup"): maps a (case-normalized) string value to every
+/// (relation, attribute, row) position where it occurs. SQuID uses it to
+/// match user-provided example strings to candidate entities.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace squid {
+
+/// One occurrence of a value in the database.
+struct Posting {
+  std::string relation;
+  std::string attribute;
+  size_t row = 0;
+
+  bool operator==(const Posting& o) const {
+    return relation == o.relation && attribute == o.attribute && row == o.row;
+  }
+};
+
+/// \brief Case-insensitive exact-value inverted index.
+class InvertedColumnIndex {
+ public:
+  /// Indexes every text_search_attribute declared in the schemas of `db`
+  /// (falls back to all string attributes of entity tables when a table
+  /// declares none).
+  static Result<InvertedColumnIndex> Build(const Database& db);
+
+  /// All positions whose value equals `text` (case-insensitive).
+  const std::vector<Posting>* Lookup(const std::string& text) const;
+
+  size_t NumKeys() const { return postings_.size(); }
+  size_t NumPostings() const { return num_postings_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_INVERTED_INDEX_H_

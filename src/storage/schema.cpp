@@ -1,0 +1,21 @@
+#include "storage/schema.h"
+
+namespace squid {
+
+std::optional<size_t> Schema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::AttributeIndex(const std::string& name) const {
+  auto idx = FindAttribute(name);
+  if (!idx) {
+    return Status::NotFound("attribute '" + name + "' not in relation '" +
+                            relation_name_ + "'");
+  }
+  return *idx;
+}
+
+}  // namespace squid

@@ -1,0 +1,93 @@
+#ifndef SQUID_STORAGE_SCHEMA_H_
+#define SQUID_STORAGE_SCHEMA_H_
+
+/// \file schema.h
+/// \brief Relation schemas, key constraints, and catalog metadata that the
+/// αDB construction consumes (entity-table / property-attribute annotations,
+/// §5 of the paper).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace squid {
+
+/// One attribute (column) of a relation.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Key/foreign-key constraint: `relation.attribute` references
+/// `ref_relation.ref_attribute` (which must be that relation's primary key).
+struct ForeignKeyDef {
+  std::string attribute;
+  std::string ref_relation;
+  std::string ref_attribute;
+};
+
+/// \brief Schema of one relation plus the light-weight metadata SQuID's
+/// offline module relies on (§5: which tables describe entities, and which
+/// attributes are semantic properties).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string relation_name, std::vector<AttributeDef> attributes)
+      : relation_name_(std::move(relation_name)), attributes_(std::move(attributes)) {}
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Index of `name`, or nullopt.
+  std::optional<size_t> FindAttribute(const std::string& name) const;
+
+  /// Index of `name`, or an error Status naming the relation.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Primary key (single-attribute keys only, which covers star/galaxy
+  /// schemas the paper targets).
+  void set_primary_key(const std::string& attr) { primary_key_ = attr; }
+  const std::optional<std::string>& primary_key() const { return primary_key_; }
+
+  void AddForeignKey(ForeignKeyDef fk) { foreign_keys_.push_back(std::move(fk)); }
+  const std::vector<ForeignKeyDef>& foreign_keys() const { return foreign_keys_; }
+
+  /// Marks this relation as describing an entity type (e.g. person, movie).
+  void set_entity(bool is_entity) { is_entity_ = is_entity; }
+  bool is_entity() const { return is_entity_; }
+
+  /// Marks an attribute as a direct semantic property (e.g. person.gender).
+  void AddPropertyAttribute(const std::string& attr) {
+    property_attributes_.push_back(attr);
+  }
+  const std::vector<std::string>& property_attributes() const {
+    return property_attributes_;
+  }
+
+  /// Attributes the inverted column index covers (entity lookup, §6.1).
+  void AddTextSearchAttribute(const std::string& attr) {
+    text_search_attributes_.push_back(attr);
+  }
+  const std::vector<std::string>& text_search_attributes() const {
+    return text_search_attributes_;
+  }
+
+ private:
+  std::string relation_name_;
+  std::vector<AttributeDef> attributes_;
+  std::optional<std::string> primary_key_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+  bool is_entity_ = false;
+  std::vector<std::string> property_attributes_;
+  std::vector<std::string> text_search_attributes_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_SCHEMA_H_

@@ -1,0 +1,168 @@
+#include "storage/table.h"
+
+namespace squid {
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      if (v.type() != ValueType::kInt64) {
+        return Status::InvalidArgument("expected int64, got " +
+                                       std::string(ValueTypeName(v.type())));
+      }
+      AppendInt64(v.AsInt64());
+      return Status::OK();
+    case ValueType::kDouble:
+      if (v.type() == ValueType::kInt64) {
+        AppendDouble(static_cast<double>(v.AsInt64()));
+      } else if (v.type() == ValueType::kDouble) {
+        AppendDouble(v.AsDouble());
+      } else {
+        return Status::InvalidArgument("expected double, got " +
+                                       std::string(ValueTypeName(v.type())));
+      }
+      return Status::OK();
+    case ValueType::kString:
+      if (v.type() != ValueType::kString) {
+        return Status::InvalidArgument("expected string, got " +
+                                       std::string(ValueTypeName(v.type())));
+      }
+      AppendString(v.AsString());
+      return Status::OK();
+    case ValueType::kNull:
+      return Status::Internal("column with null type");
+  }
+  return Status::Internal("unreachable");
+}
+
+void Column::AppendInt64(int64_t v) {
+  if (type_ == ValueType::kDouble) {
+    doubles_.push_back(static_cast<double>(v));
+  } else {
+    ints_.push_back(v);
+  }
+  valid_.push_back(1);
+}
+
+void Column::AppendDouble(double v) {
+  doubles_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  valid_.push_back(1);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  valid_.push_back(0);
+}
+
+Value Column::ValueAt(size_t row) const {
+  if (!valid_[row]) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[row]);
+    case ValueType::kDouble:
+      return Value(doubles_[row]);
+    case ValueType::kString:
+      return Value(strings_[row]);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_attributes());
+  for (const auto& attr : schema_.attributes()) {
+    columns_.push_back(std::make_unique<Column>(attr.type));
+  }
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  SQUID_ASSIGN_OR_RETURN(size_t idx, schema_.AttributeIndex(name));
+  return columns_[idx].get();
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for relation '" + name() + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    SQUID_RETURN_NOT_OK(columns_[i]->Append(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> Table::RowValues(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->ValueAt(row));
+  return out;
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& col : columns_) col->Reserve(n);
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) {
+    bytes += col->size();  // validity
+    switch (col->type()) {
+      case ValueType::kInt64:
+        bytes += col->size() * sizeof(int64_t);
+        break;
+      case ValueType::kDouble:
+        bytes += col->size() * sizeof(double);
+        break;
+      case ValueType::kString:
+        for (size_t i = 0; i < col->size(); ++i) {
+          bytes += sizeof(std::string) + (col->IsNull(i) ? 0 : col->StringAt(i).size());
+        }
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace squid

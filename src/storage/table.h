@@ -1,0 +1,103 @@
+#ifndef SQUID_STORAGE_TABLE_H_
+#define SQUID_STORAGE_TABLE_H_
+
+/// \file table.h
+/// \brief In-memory columnar table. Columns are typed vectors with a null
+/// bitmap; rows are addressed by dense row id. This is the storage substrate
+/// under the executor, the αDB, and the data generators.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace squid {
+
+/// \brief One typed column with a validity (non-null) mask.
+///
+/// Only the vector matching the declared type is populated.
+class Column {
+ public:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  /// Appends a dynamically-typed value; int64 widens to double when the
+  /// column is double-typed. Type mismatches are an error.
+  Status Append(const Value& v);
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendNull();
+
+  bool IsNull(size_t row) const { return !valid_[row]; }
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(size_t row) const { return strings_[row]; }
+
+  /// Materializes the cell as a Value (kNull if invalid).
+  Value ValueAt(size_t row) const;
+
+  /// Numeric view of the cell; 0.0 for nulls is NOT applied — call only on
+  /// non-null cells of numeric columns.
+  double NumericAt(size_t row) const {
+    return type_ == ValueType::kInt64 ? static_cast<double>(ints_[row])
+                                      : doubles_[row];
+  }
+
+  void Reserve(size_t n);
+
+ private:
+  ValueType type_;
+  std::vector<uint8_t> valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+/// \brief A relation instance: schema + columns of equal length.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+  const std::string& name() const { return schema_.relation_name(); }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+
+  /// Column by attribute name (error when missing).
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Appends a full row; the row must have one value per attribute.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Materializes row `row` as values.
+  std::vector<Value> RowValues(size_t row) const;
+
+  Value ValueAt(size_t row, size_t col) const { return columns_[col]->ValueAt(row); }
+
+  void Reserve(size_t n);
+
+  /// Approximate heap footprint in bytes (for the dataset stats table).
+  size_t ApproxBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_TABLE_H_

@@ -1,0 +1,105 @@
+#include "workloads/adult_queries.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace squid {
+
+namespace {
+
+const char* kCategorical[] = {"workclass",    "education", "maritalstatus",
+                              "occupation",   "relationship", "race",
+                              "sex",          "nativecountry", "income"};
+const char* kNumeric[] = {"age", "hoursperweek", "fnlwgt", "capitalgain",
+                          "capitalloss"};
+
+}  // namespace
+
+Result<std::vector<BenchmarkQuery>> AdultBenchmarkQueries(const Database& db,
+                                                          uint64_t seed) {
+  SQUID_ASSIGN_OR_RETURN(const Table* adult, db.GetTable("adult"));
+  Rng rng(seed);
+  std::vector<BenchmarkQuery> queries;
+
+  size_t attempts = 0;
+  while (queries.size() < 20 && attempts++ < 400) {
+    // Pick a random template: 2-7 predicates mixing categorical and numeric.
+    size_t num_preds = 2 + static_cast<size_t>(rng.UniformInt(0, 5));
+    SelectQuery b = ProjectBlock("adult", "adult", "name");
+
+    // Anchor the predicate values on a random row so the query is non-empty.
+    size_t anchor = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(adult->num_rows()) - 1));
+
+    std::vector<size_t> cat_order(std::size(kCategorical));
+    for (size_t i = 0; i < cat_order.size(); ++i) cat_order[i] = i;
+    rng.Shuffle(&cat_order);
+    std::vector<size_t> num_order(std::size(kNumeric));
+    for (size_t i = 0; i < num_order.size(); ++i) num_order[i] = i;
+    rng.Shuffle(&num_order);
+
+    size_t ci = 0, ni = 0;
+    size_t selections = 0;
+    for (size_t p = 0; p < num_preds; ++p) {
+      bool use_categorical = rng.Bernoulli(0.6) ? ci < cat_order.size()
+                                                : ni >= num_order.size();
+      if (use_categorical && ci < cat_order.size()) {
+        const char* attr = kCategorical[cat_order[ci++]];
+        SQUID_ASSIGN_OR_RETURN(const Column* col, adult->ColumnByName(attr));
+        if (col->IsNull(anchor)) continue;
+        b.where.push_back(Predicate::Compare({"adult", attr}, CompareOp::kEq,
+                                             col->ValueAt(anchor)));
+        ++selections;
+      } else if (ni < num_order.size()) {
+        const char* attr = kNumeric[num_order[ni++]];
+        SQUID_ASSIGN_OR_RETURN(const Column* col, adult->ColumnByName(attr));
+        if (col->IsNull(anchor)) continue;
+        double center = col->NumericAt(anchor);
+        double spread = std::max(1.0, std::abs(center) * 0.15);
+        int64_t lo = static_cast<int64_t>(center - rng.UniformDouble(0, spread));
+        int64_t hi = static_cast<int64_t>(center + rng.UniformDouble(0, spread));
+        b.where.push_back(
+            Predicate::Between({"adult", attr}, Value(lo), Value(hi)));
+        selections += 2;
+      }
+    }
+    if (b.where.size() < 2) continue;
+
+    BenchmarkQuery q;
+    q.id = StrFormat("AQ%02zu", queries.size() + 1);
+    q.entity_relation = "adult";
+    q.projection_attr = "name";
+    q.num_joins = 1;
+    q.num_selections = selections;
+    q.query = Query::Single(std::move(b));
+    q.description = "Census selection with " + std::to_string(selections) +
+                    " predicates";
+
+    // Validate: keep queries with a usable result cardinality (Fig. 22
+    // ranges from 8 to ~1400).
+    SQUID_ASSIGN_OR_RETURN(ResultSet rs, GroundTruth(db, q));
+    if (rs.num_rows() < 8 || rs.num_rows() > 1500) continue;
+    queries.push_back(std::move(q));
+  }
+  if (queries.size() < 20) {
+    return Status::Internal("could not synthesize 20 non-empty Adult queries");
+  }
+  // Sort by result cardinality like Fig. 14's x-axis.
+  std::vector<std::pair<size_t, BenchmarkQuery>> sized;
+  for (auto& q : queries) {
+    SQUID_ASSIGN_OR_RETURN(ResultSet rs, GroundTruth(db, q));
+    sized.emplace_back(rs.num_rows(), std::move(q));
+  }
+  std::sort(sized.begin(), sized.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  queries.clear();
+  for (size_t i = 0; i < sized.size(); ++i) {
+    sized[i].second.id = StrFormat("AQ%02zu", i + 1);
+    queries.push_back(std::move(sized[i].second));
+  }
+  return queries;
+}
+
+}  // namespace squid

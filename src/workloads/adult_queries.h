@@ -1,0 +1,22 @@
+#ifndef SQUID_WORKLOADS_ADULT_QUERIES_H_
+#define SQUID_WORKLOADS_ADULT_QUERIES_H_
+
+/// \file adult_queries.h
+/// \brief The 20 Adult benchmark queries (structural analogues of Fig. 22):
+/// conjunctions of 2-7 categorical equalities and numeric ranges over the
+/// single census relation. Predicate values are drawn from the actual data
+/// so every query is non-empty; the construction is seeded and validated.
+
+#include <vector>
+
+#include "workloads/benchmark_query.h"
+
+namespace squid {
+
+/// Builds AQ01..AQ20 against the generated `adult` database.
+Result<std::vector<BenchmarkQuery>> AdultBenchmarkQueries(const Database& db,
+                                                          uint64_t seed = 77);
+
+}  // namespace squid
+
+#endif  // SQUID_WORKLOADS_ADULT_QUERIES_H_

@@ -1,0 +1,132 @@
+#include "workloads/dblp_queries.h"
+
+namespace squid {
+
+namespace {
+
+/// Block: authors who co-authored with someone from `affiliation_name`.
+SelectQuery CollaboratedWith(const std::string& affiliation_name) {
+  SelectQuery q = ProjectBlock("author", "author", "name");
+  AddFactJoin(&q, "author", "id", "writes", "w1", "author_id", "pub_id",
+              "publication", "pub", "id");
+  AddFactJoin(&q, "pub", "id", "writes", "w2", "pub_id", "author_id", "author",
+              "coauthor", "id");
+  q.anti_join_predicates.push_back(
+      AntiJoinPredicate{{"coauthor", "id"}, {"author", "id"}});
+  AddDimEquals(&q, "coauthor", "affiliation_id", "affiliation", "aff", "id",
+               "name", affiliation_name);
+  return q;
+}
+
+/// Block: authors with >= `k` publications at `venue_name`.
+SelectQuery ProlificAt(const std::string& venue_name, double k) {
+  SelectQuery q = ProjectBlock("author", "author", "name");
+  q.distinct = false;
+  AddFactJoin(&q, "author", "id", "writes", "w", "author_id", "pub_id",
+              "publication", "pub", "id");
+  AddDimEquals(&q, "pub", "venue_id", "venue", "venue", "id", "name", venue_name);
+  q.group_by.push_back(ColumnRef{"author", "id"});
+  q.having = HavingCount{CompareOp::kGe, k};
+  return q;
+}
+
+/// Block: publications with an author named `name`.
+SelectQuery PublicationsOf(const std::string& name) {
+  SelectQuery q = ProjectBlock("publication", "pub", "title");
+  AddFactJoin(&q, "pub", "id", "writes", "w", "pub_id", "author_id", "author",
+              "author", "id");
+  q.where.push_back(
+      Predicate::Compare({"author", "name"}, CompareOp::kEq, Value(name)));
+  return q;
+}
+
+/// Block: publications with an author affiliated in `country_name`.
+SelectQuery PublicationsFromCountry(const std::string& country_name) {
+  SelectQuery q = ProjectBlock("publication", "pub", "title");
+  AddFactJoin(&q, "pub", "id", "writes", "w", "pub_id", "author_id", "author",
+              "author", "id");
+  q.from.push_back(TableRef{"affiliation", "aff"});
+  q.join_predicates.push_back(
+      JoinPredicate{{"author", "affiliation_id"}, {"aff", "id"}});
+  AddDimEquals(&q, "aff", "country_id", "country", "country", "id", "name",
+               country_name);
+  return q;
+}
+
+}  // namespace
+
+std::vector<BenchmarkQuery> DblpBenchmarkQueries(const DblpManifest& m) {
+  std::vector<BenchmarkQuery> queries;
+
+  {  // DQ1: authors who collaborated with both labs.
+    BenchmarkQuery q;
+    q.id = "DQ1";
+    q.description =
+        "Authors who collaborated with both " + m.lab_a + " and " + m.lab_b;
+    q.entity_relation = "author";
+    q.projection_attr = "name";
+    q.query.branches.push_back(CollaboratedWith(m.lab_a));
+    q.query.branches.push_back(CollaboratedWith(m.lab_b));
+    q.num_joins = 5;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  {  // DQ2: >= 10 publications at each flagship venue (INTERSECT).
+    BenchmarkQuery q;
+    q.id = "DQ2";
+    q.description = "Authors with at least 10 " + m.venue_sigmod + " and 10 " +
+                    m.venue_vldb + " publications";
+    q.entity_relation = "author";
+    q.projection_attr = "name";
+    q.query.branches.push_back(ProlificAt(m.venue_sigmod, 10));
+    q.query.branches.push_back(ProlificAt(m.venue_vldb, 10));
+    q.num_joins = 8;
+    q.num_selections = 4;
+    queries.push_back(std::move(q));
+  }
+  {  // DQ3: flagship-venue publications 2010-2012.
+    BenchmarkQuery q;
+    q.id = "DQ3";
+    q.description = m.venue_sigmod + " publications in 2010-2012";
+    q.entity_relation = "publication";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("publication", "pub", "title");
+    AddDimEquals(&b, "pub", "venue_id", "venue", "venue", "id", "name",
+                 m.venue_sigmod);
+    b.where.push_back(Predicate::Between({"pub", "year"},
+                                         Value(static_cast<int64_t>(2010)),
+                                         Value(static_cast<int64_t>(2012))));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 3;
+    q.num_selections = 3;
+    queries.push_back(std::move(q));
+  }
+  {  // DQ4: publications the trio wrote together.
+    BenchmarkQuery q;
+    q.id = "DQ4";
+    q.description = "Publications co-authored by the planted trio";
+    q.entity_relation = "publication";
+    q.projection_attr = "title";
+    for (const std::string& name : m.trio) {
+      q.query.branches.push_back(PublicationsOf(name));
+    }
+    q.num_joins = 7;
+    q.num_selections = 3;
+    queries.push_back(std::move(q));
+  }
+  {  // DQ5: publications between USA and Canada.
+    BenchmarkQuery q;
+    q.id = "DQ5";
+    q.description = "Publications with authors from both USA and Canada";
+    q.entity_relation = "publication";
+    q.projection_attr = "title";
+    q.query.branches.push_back(PublicationsFromCountry("USA"));
+    q.query.branches.push_back(PublicationsFromCountry("Canada"));
+    q.num_joins = 5;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace squid

@@ -1,0 +1,20 @@
+#ifndef SQUID_WORKLOADS_DBLP_QUERIES_H_
+#define SQUID_WORKLOADS_DBLP_QUERIES_H_
+
+/// \file dblp_queries.h
+/// \brief The 5 DBLP benchmark queries (structural analogues of Fig. 20)
+/// over the synthetic DBLP schema.
+
+#include <vector>
+
+#include "datagen/dblp_generator.h"
+#include "workloads/benchmark_query.h"
+
+namespace squid {
+
+/// Builds DQ1..DQ5.
+std::vector<BenchmarkQuery> DblpBenchmarkQueries(const DblpManifest& manifest);
+
+}  // namespace squid
+
+#endif  // SQUID_WORKLOADS_DBLP_QUERIES_H_

@@ -1,0 +1,322 @@
+#include "workloads/imdb_queries.h"
+
+namespace squid {
+
+namespace {
+
+/// Block: persons in the cast of the movie titled `title`.
+SelectQuery CastOfMovie(const std::string& title) {
+  SelectQuery q = ProjectBlock("person", "person", "name");
+  AddFactJoin(&q, "person", "id", "castinfo", "ci", "person_id", "movie_id",
+              "movie", "movie", "id");
+  q.where.push_back(
+      Predicate::Compare({"movie", "title"}, CompareOp::kEq, Value(title)));
+  return q;
+}
+
+/// Block: movies whose cast includes the person named `name` (any role).
+SelectQuery MoviesOfPerson(const std::string& name) {
+  SelectQuery q = ProjectBlock("movie", "movie", "title");
+  AddFactJoin(&q, "movie", "id", "castinfo", "ci", "movie_id", "person_id",
+              "person", "person", "id");
+  q.where.push_back(
+      Predicate::Compare({"person", "name"}, CompareOp::kEq, Value(name)));
+  return q;
+}
+
+/// Adds "movie has <dim> = value" through the movieto<dim> link table.
+void AddMovieLink(SelectQuery* q, const std::string& dim,
+                  const std::string& link_alias, const std::string& dim_alias,
+                  const std::string& value) {
+  AddFactJoin(q, "movie", "id", "movieto" + dim, link_alias, "movie_id",
+              dim + "_id", dim, dim_alias, "id");
+  q->where.push_back(
+      Predicate::Compare({dim_alias, "name"}, CompareOp::kEq, Value(value)));
+}
+
+}  // namespace
+
+std::vector<BenchmarkQuery> ImdbBenchmarkQueries(const ImdbManifest& m) {
+  std::vector<BenchmarkQuery> queries;
+
+  {  // IQ1: entire cast of the hub movie.
+    BenchmarkQuery q;
+    q.id = "IQ1";
+    q.description = "Entire cast of " + m.hub_movie_title;
+    q.entity_relation = "person";
+    q.projection_attr = "name";
+    q.query = Query::Single(CastOfMovie(m.hub_movie_title));
+    q.num_joins = 3;
+    q.num_selections = 1;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ2: actors who appeared in the whole trilogy.
+    BenchmarkQuery q;
+    q.id = "IQ2";
+    q.description = "Actors appearing in all three trilogy parts";
+    q.entity_relation = "person";
+    q.projection_attr = "name";
+    for (const std::string& title : m.trilogy) {
+      q.query.branches.push_back(CastOfMovie(title));
+    }
+    q.num_joins = 8;
+    q.num_selections = 7;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ3: Canadian actresses born after 1970.
+    BenchmarkQuery q;
+    q.id = "IQ3";
+    q.description = "Canadian actresses born after 1970";
+    q.entity_relation = "person";
+    q.projection_attr = "name";
+    SelectQuery b = ProjectBlock("person", "person", "name");
+    AddDimEquals(&b, "person", "country_id", "country", "country", "id", "name",
+                 "Canada");
+    b.where.push_back(
+        Predicate::Compare({"person", "gender"}, CompareOp::kEq, Value("Female")));
+    b.where.push_back(Predicate::Compare({"person", "birth_year"}, CompareOp::kGe,
+                                         Value(static_cast<int64_t>(1971))));
+    AddFactJoin(&b, "person", "id", "castinfo", "ci", "person_id", "role_id",
+                "roletype", "roletype", "id");
+    b.where.push_back(
+        Predicate::Compare({"roletype", "name"}, CompareOp::kEq, Value("actress")));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 3;
+    q.num_selections = 4;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ4: Sci-Fi movies released in the USA in 2016.
+    BenchmarkQuery q;
+    q.id = "IQ4";
+    q.description = "Sci-Fi movies released in USA in 2016";
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    AddMovieLink(&b, "genre", "mg", "genre", "SciFi");
+    AddMovieLink(&b, "country", "mc", "country", "USA");
+    b.where.push_back(Predicate::Between({"movie", "year"},
+                                         Value(static_cast<int64_t>(2016)),
+                                         Value(static_cast<int64_t>(2016))));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 5;
+    q.num_selections = 3;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ5: movies with both co-stars.
+    BenchmarkQuery q;
+    q.id = "IQ5";
+    q.description = "Movies where " + m.costar_a + " and " + m.costar_b +
+                    " acted together";
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    q.query.branches.push_back(MoviesOfPerson(m.costar_a));
+    q.query.branches.push_back(MoviesOfPerson(m.costar_b));
+    q.num_joins = 5;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ6: movies directed by the planted director.
+    BenchmarkQuery q;
+    q.id = "IQ6";
+    q.description = "Movies directed by " + m.director_name;
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    AddFactJoin(&b, "movie", "id", "castinfo", "ci", "movie_id", "person_id",
+                "person", "person", "id");
+    b.where.push_back(Predicate::Compare({"person", "name"}, CompareOp::kEq,
+                                         Value(m.director_name)));
+    b.from.push_back(TableRef{"roletype", "roletype"});
+    b.join_predicates.push_back(JoinPredicate{{"ci", "role_id"}, {"roletype", "id"}});
+    b.where.push_back(
+        Predicate::Compare({"roletype", "name"}, CompareOp::kEq, Value("director")));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 4;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ7: all movie genres.
+    BenchmarkQuery q;
+    q.id = "IQ7";
+    q.description = "All movie genres";
+    q.entity_relation = "genre";
+    q.projection_attr = "name";
+    q.query = Query::Single(ProjectBlock("genre", "genre", "name"));
+    q.num_joins = 1;
+    q.num_selections = 0;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ8: movies of the prolific actor.
+    BenchmarkQuery q;
+    q.id = "IQ8";
+    q.description = "Movies by " + m.prolific_actor;
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = MoviesOfPerson(m.prolific_actor);
+    b.from.push_back(TableRef{"roletype", "roletype"});
+    b.join_predicates.push_back(JoinPredicate{{"ci", "role_id"}, {"roletype", "id"}});
+    b.where.push_back(
+        Predicate::Compare({"roletype", "name"}, CompareOp::kEq, Value("actor")));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 4;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ9: Indian actors in at least 15 USA movies (GROUP BY / HAVING).
+    BenchmarkQuery q;
+    q.id = "IQ9";
+    q.description = "Indian actors who acted in at least 15 USA movies";
+    q.entity_relation = "person";
+    q.projection_attr = "name";
+    SelectQuery b = ProjectBlock("person", "person", "name");
+    b.distinct = false;
+    AddDimEquals(&b, "person", "country_id", "country", "pc", "id", "name",
+                 "India");
+    AddFactJoin(&b, "person", "id", "castinfo", "ci", "person_id", "movie_id",
+                "movie", "movie", "id");
+    AddFactJoin(&b, "movie", "id", "movietocountry", "mc", "movie_id",
+                "country_id", "country", "mcc", "id");
+    b.where.push_back(
+        Predicate::Compare({"mcc", "name"}, CompareOp::kEq, Value("USA")));
+    b.group_by.push_back(ColumnRef{"person", "id"});
+    b.having = HavingCount{CompareOp::kGe, 15};
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 6;
+    q.num_selections = 4;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ10: actors in more than 10 Russian movies released after 2010
+     // (compound aggregate condition — outside SQuID's family).
+    BenchmarkQuery q;
+    q.id = "IQ10";
+    q.description = "Actors with more than 10 Russian movies after 2010";
+    q.entity_relation = "person";
+    q.projection_attr = "name";
+    SelectQuery b = ProjectBlock("person", "person", "name");
+    b.distinct = false;
+    AddFactJoin(&b, "person", "id", "castinfo", "ci", "person_id", "movie_id",
+                "movie", "movie", "id");
+    AddFactJoin(&b, "movie", "id", "movietocountry", "mc", "movie_id",
+                "country_id", "country", "country", "id");
+    b.where.push_back(
+        Predicate::Compare({"country", "name"}, CompareOp::kEq, Value("Russia")));
+    b.where.push_back(Predicate::Compare({"movie", "year"}, CompareOp::kGt,
+                                         Value(static_cast<int64_t>(2010))));
+    b.group_by.push_back(ColumnRef{"person", "id"});
+    b.having = HavingCount{CompareOp::kGt, 10};
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 6;
+    q.num_selections = 4;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ11: USA Horror-Drama movies in 2005-2008.
+    BenchmarkQuery q;
+    q.id = "IQ11";
+    q.description = "USA Horror-Drama movies in 2005-2008";
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    AddMovieLink(&b, "genre", "mg1", "g1", "Horror");
+    AddFactJoin(&b, "movie", "id", "movietogenre", "mg2", "movie_id", "genre_id",
+                "genre", "g2", "id");
+    b.where.push_back(
+        Predicate::Compare({"g2", "name"}, CompareOp::kEq, Value("Drama")));
+    AddMovieLink(&b, "country", "mc", "country", "USA");
+    b.where.push_back(Predicate::Between({"movie", "year"},
+                                         Value(static_cast<int64_t>(2005)),
+                                         Value(static_cast<int64_t>(2008))));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 7;
+    q.num_selections = 5;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ12: movies produced by the big studio.
+    BenchmarkQuery q;
+    q.id = "IQ12";
+    q.description = "Movies produced by " + m.disney_company;
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    AddFactJoin(&b, "movie", "id", "movietocompany", "mc", "movie_id",
+                "company_id", "company", "company", "id");
+    b.where.push_back(Predicate::Compare({"company", "name"}, CompareOp::kEq,
+                                         Value(m.disney_company)));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 3;
+    q.num_selections = 1;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ13: animation movies by the animation studio.
+    BenchmarkQuery q;
+    q.id = "IQ13";
+    q.description = "Animation movies produced by " + m.pixar_company;
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    AddMovieLink(&b, "genre", "mg", "genre", "Animation");
+    AddFactJoin(&b, "movie", "id", "movietocompany", "mc", "movie_id",
+                "company_id", "company", "company", "id");
+    b.where.push_back(Predicate::Compare({"company", "name"}, CompareOp::kEq,
+                                         Value(m.pixar_company)));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 5;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ14: Sci-Fi movies with the franchise actor.
+    BenchmarkQuery q;
+    q.id = "IQ14";
+    q.description = "Sci-Fi movies with " + m.scifi_actor;
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = MoviesOfPerson(m.scifi_actor);
+    AddMovieLink(&b, "genre", "mg", "genre", "SciFi");
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 6;
+    q.num_selections = 3;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ15: Japanese animation movies.
+    BenchmarkQuery q;
+    q.id = "IQ15";
+    q.description = "Japanese-language Animation movies";
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    AddMovieLink(&b, "genre", "mg", "genre", "Animation");
+    AddFactJoin(&b, "movie", "id", "movietolanguage", "ml", "movie_id",
+                "language_id", "language", "language", "id");
+    b.where.push_back(
+        Predicate::Compare({"language", "name"}, CompareOp::kEq, Value("Japanese")));
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 5;
+    q.num_selections = 2;
+    queries.push_back(std::move(q));
+  }
+  {  // IQ16: big-studio movies with more than 15 American cast members.
+    BenchmarkQuery q;
+    q.id = "IQ16";
+    q.description = m.disney_company + " movies with more than 15 American cast";
+    q.entity_relation = "movie";
+    q.projection_attr = "title";
+    SelectQuery b = ProjectBlock("movie", "movie", "title");
+    b.distinct = false;
+    AddFactJoin(&b, "movie", "id", "movietocompany", "mcmp", "movie_id",
+                "company_id", "company", "company", "id");
+    b.where.push_back(Predicate::Compare({"company", "name"}, CompareOp::kEq,
+                                         Value(m.disney_company)));
+    AddFactJoin(&b, "movie", "id", "castinfo", "ci", "movie_id", "person_id",
+                "person", "person", "id");
+    AddDimEquals(&b, "person", "country_id", "country", "country", "id", "name",
+                 "USA");
+    b.group_by.push_back(ColumnRef{"movie", "id"});
+    b.having = HavingCount{CompareOp::kGt, 15};
+    q.query = Query::Single(std::move(b));
+    q.num_joins = 5;
+    q.num_selections = 3;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace squid

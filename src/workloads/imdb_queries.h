@@ -1,0 +1,20 @@
+#ifndef SQUID_WORKLOADS_IMDB_QUERIES_H_
+#define SQUID_WORKLOADS_IMDB_QUERIES_H_
+
+/// \file imdb_queries.h
+/// \brief The 16 IMDb benchmark queries (structural analogues of Fig. 19)
+/// over the synthetic IMDb schema, parameterized by the generator manifest.
+
+#include <vector>
+
+#include "datagen/imdb_generator.h"
+#include "workloads/benchmark_query.h"
+
+namespace squid {
+
+/// Builds IQ1..IQ16.
+std::vector<BenchmarkQuery> ImdbBenchmarkQueries(const ImdbManifest& manifest);
+
+}  // namespace squid
+
+#endif  // SQUID_WORKLOADS_IMDB_QUERIES_H_

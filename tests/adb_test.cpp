@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include "adb/abduction_ready_db.h"
+#include "adb/derived_relation.h"
+#include "adb/schema_graph.h"
+#include "adb/statistics.h"
+#include "tests/test_util.h"
+
+namespace squid {
+namespace {
+
+using testing::MakeAcademicsDb;
+using testing::MakeMoviesDb;
+
+// ---------- Schema graph classification ----------
+
+TEST(SchemaGraphTest, ClassifiesAcademicsSchema) {
+  auto db = MakeAcademicsDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().KindOf("academics"), RelationKind::kEntity);
+  EXPECT_EQ(graph.value().KindOf("interest"), RelationKind::kDimension);
+  EXPECT_EQ(graph.value().KindOf("research"), RelationKind::kPropertyLinkFact);
+}
+
+TEST(SchemaGraphTest, ClassifiesMoviesSchema) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().KindOf("person"), RelationKind::kEntity);
+  EXPECT_EQ(graph.value().KindOf("movie"), RelationKind::kEntity);
+  EXPECT_EQ(graph.value().KindOf("genre"), RelationKind::kDimension);
+  EXPECT_EQ(graph.value().KindOf("castinfo"), RelationKind::kAssociationFact);
+  EXPECT_EQ(graph.value().KindOf("movietogenre"), RelationKind::kPropertyLinkFact);
+}
+
+TEST(SchemaGraphTest, AcademicsDescriptors) {
+  auto db = MakeAcademicsDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  // academics has exactly one multi-valued descriptor: interest via research.
+  auto descs = graph.value().DescriptorsFor("academics");
+  ASSERT_EQ(descs.size(), 1u);
+  EXPECT_EQ(descs[0]->kind, PropertyKind::kMultiValued);
+  EXPECT_EQ(descs[0]->terminal_relation, "interest");
+  EXPECT_EQ(descs[0]->terminal_attr, "name");
+  EXPECT_FALSE(descs[0]->derived);
+}
+
+TEST(SchemaGraphTest, MovieDescriptorsIncludePaperExamples) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+
+  // person: derived genre counts through castinfo+movietogenre (the
+  // persontogenre relation of Fig. 5).
+  bool found_persontogenre = false;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedCategorical &&
+        d->terminal_relation == "genre" && d->hops.size() == 2) {
+      found_persontogenre = true;
+      EXPECT_EQ(d->hops[0].fact_table, "castinfo");
+      EXPECT_EQ(d->hops[1].fact_table, "movietogenre");
+      EXPECT_TRUE(d->derived);
+    }
+  }
+  EXPECT_TRUE(found_persontogenre);
+
+  // movie: genre via movietogenre is a BASIC multi-valued property (Fig. 5
+  // caption), not a derived one.
+  bool movie_genre_basic = false;
+  for (const auto* d : graph.value().DescriptorsFor("movie")) {
+    if (d->kind == PropertyKind::kMultiValued && d->terminal_relation == "genre") {
+      movie_genre_basic = true;
+    }
+  }
+  EXPECT_TRUE(movie_genre_basic);
+}
+
+TEST(SchemaGraphTest, InlinePropertiesTyped) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  bool gender_cat = false, age_num = false;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->id == "person.gender") {
+      gender_cat = d->kind == PropertyKind::kInlineCategorical;
+    }
+    if (d->id == "person.age") age_num = d->kind == PropertyKind::kInlineNumeric;
+  }
+  EXPECT_TRUE(gender_cat);
+  EXPECT_TRUE(age_num);
+}
+
+TEST(SchemaGraphTest, IdentityDescriptorsDiscoverable) {
+  auto db = MakeMoviesDb();
+  SchemaGraphOptions opts;
+  auto graph = SchemaGraph::Analyze(*db, opts);
+  ASSERT_TRUE(graph.ok());
+  bool person_movie_identity = false;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedEntity && d->terminal_relation == "movie") {
+      person_movie_identity = true;
+    }
+  }
+  EXPECT_TRUE(person_movie_identity);
+
+  opts.discover_entity_identity = false;
+  auto graph2 = SchemaGraph::Analyze(*db, opts);
+  ASSERT_TRUE(graph2.ok());
+  for (const auto* d : graph2.value().DescriptorsFor("person")) {
+    EXPECT_NE(d->kind, PropertyKind::kDerivedEntity);
+  }
+}
+
+TEST(SchemaGraphTest, FactHopLimitRespected) {
+  auto db = MakeMoviesDb();
+  SchemaGraphOptions opts;
+  opts.max_fact_hops = 1;
+  auto graph = SchemaGraph::Analyze(*db, opts);
+  ASSERT_TRUE(graph.ok());
+  for (const auto& d : graph.value().descriptors()) {
+    EXPECT_LE(d.hops.size(), 1u);
+  }
+}
+
+TEST(SchemaGraphTest, FindDescriptorById) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph.value().FindDescriptor("person.gender").ok());
+  EXPECT_FALSE(graph.value().FindDescriptor("person.nothing").ok());
+}
+
+// ---------- Derived relation materialization ----------
+
+TEST(DerivedRelationTest, PersonToGenreCountsMatchFig5) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  const PropertyDescriptor* ptg = nullptr;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedCategorical &&
+        d->terminal_relation == "genre") {
+      ptg = d;
+    }
+  }
+  ASSERT_NE(ptg, nullptr);
+  auto table = MaterializeDerivedRelation(*db, *ptg);
+  ASSERT_TRUE(table.ok());
+
+  // Collect Jim Carris' (person 1) genre counts: Comedy 3, Fantasy 1, Drama 1.
+  const Column* entity = table.value()->ColumnByName("entity_id").value();
+  const Column* value = table.value()->ColumnByName("value").value();
+  const Column* count = table.value()->ColumnByName("count").value();
+  std::map<std::string, int64_t> jim;
+  for (size_t r = 0; r < table.value()->num_rows(); ++r) {
+    if (entity->Int64At(r) == 1) jim[value->StringAt(r)] = count->Int64At(r);
+  }
+  EXPECT_EQ(jim["Comedy"], 3);
+  EXPECT_EQ(jim["Fantasy"], 1);
+  EXPECT_EQ(jim["Drama"], 1);
+}
+
+TEST(DerivedRelationTest, FracColumnIsPortfolioFraction) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  const PropertyDescriptor* ptg = nullptr;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedCategorical &&
+        d->terminal_relation == "genre") {
+      ptg = d;
+    }
+  }
+  ASSERT_NE(ptg, nullptr);
+  auto table = MaterializeDerivedRelation(*db, *ptg);
+  ASSERT_TRUE(table.ok());
+  const Column* entity = table.value()->ColumnByName("entity_id").value();
+  const Column* value = table.value()->ColumnByName("value").value();
+  const Column* frac = table.value()->ColumnByName("frac").value();
+  for (size_t r = 0; r < table.value()->num_rows(); ++r) {
+    if (entity->Int64At(r) == 1 && value->StringAt(r) == "Comedy") {
+      EXPECT_NEAR(frac->DoubleAt(r), 3.0 / 5.0, 1e-9);  // 3 of 5 genre links
+    }
+  }
+}
+
+TEST(DerivedRelationTest, CoActorPathSkipsSelf) {
+  // Co-actor gender counts for Jim (person 1): his co-actors are Ewan
+  // (movies 10, 12) and Laura (movie 11) -> Male 2, Female 1. If the path
+  // did not skip self-arrivals, Jim's own three appearances would inflate
+  // Male to 5.
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  const PropertyDescriptor* co = nullptr;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedCategorical && d->hops.size() == 2 &&
+        d->terminal_relation == "person" && d->terminal_attr == "gender") {
+      co = d;
+    }
+  }
+  ASSERT_NE(co, nullptr);
+  auto table = MaterializeDerivedRelation(*db, *co);
+  ASSERT_TRUE(table.ok());
+  const Column* entity = table.value()->ColumnByName("entity_id").value();
+  const Column* value = table.value()->ColumnByName("value").value();
+  const Column* count = table.value()->ColumnByName("count").value();
+  std::map<std::string, int64_t> jim;
+  for (size_t r = 0; r < table.value()->num_rows(); ++r) {
+    if (entity->Int64At(r) == 1) jim[value->StringAt(r)] = count->Int64At(r);
+  }
+  EXPECT_EQ(jim["Male"], 2);
+  EXPECT_EQ(jim["Female"], 1);
+}
+
+TEST(SchemaGraphTest, NoIdentityDescriptorsAtDepthTwo) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  for (const auto& d : graph.value().descriptors()) {
+    if (d.kind == PropertyKind::kDerivedEntity) {
+      EXPECT_EQ(d.hops.size(), 1u) << d.id;
+    }
+  }
+}
+
+TEST(DerivedRelationTest, BasicDescriptorRejected) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  auto desc = graph.value().FindDescriptor("person.gender");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_FALSE(MaterializeDerivedRelation(*db, *desc.value()).ok());
+}
+
+// ---------- Statistics ----------
+
+TEST(StatisticsTest, CategoricalSelectivity) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  auto desc = graph.value().FindDescriptor("person.gender");
+  ASSERT_TRUE(desc.ok());
+  auto stats = StatisticsBuilder::BuildBasic(*db, *desc.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().total_entities(), 6u);
+  EXPECT_NEAR(stats.value().SelectivityEquals(Value("Male")), 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(stats.value().SelectivityEquals(Value("Female")), 2.0 / 6.0, 1e-9);
+  EXPECT_EQ(stats.value().SelectivityEquals(Value("Other")), 0.0);
+  EXPECT_EQ(stats.value().domain_size(), 2u);
+}
+
+TEST(StatisticsTest, NumericRangeSelectivity) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  auto desc = graph.value().FindDescriptor("person.age");
+  ASSERT_TRUE(desc.ok());
+  auto stats = StatisticsBuilder::BuildBasic(*db, *desc.value());
+  ASSERT_TRUE(stats.ok());
+  // Ages: 60, 52, 58, 50, 90, 29. Range [50, 60] covers 4 of 6.
+  EXPECT_NEAR(stats.value().SelectivityRange(50, 60), 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(stats.value().SelectivityRange(0, 1000), 1.0, 1e-9);
+  EXPECT_EQ(stats.value().domain_min(), 29);
+  EXPECT_EQ(stats.value().domain_max(), 90);
+}
+
+TEST(StatisticsTest, DerivedSuffixSelectivity) {
+  auto db = MakeMoviesDb();
+  auto graph = SchemaGraph::Analyze(*db);
+  ASSERT_TRUE(graph.ok());
+  const PropertyDescriptor* ptg = nullptr;
+  for (const auto* d : graph.value().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedCategorical &&
+        d->terminal_relation == "genre") {
+      ptg = d;
+    }
+  }
+  ASSERT_NE(ptg, nullptr);
+  auto table = MaterializeDerivedRelation(*db, *ptg);
+  ASSERT_TRUE(table.ok());
+  std::unordered_map<Value, double, ValueHash> totals;
+  auto stats = StatisticsBuilder::BuildFromDerived(*table.value(), 6, &totals);
+  ASSERT_TRUE(stats.ok());
+  // Comedy counts per person: Jim 3, Ewan 2, Laura 1, Emma 1.
+  EXPECT_NEAR(stats.value().SelectivityDerived(Value("Comedy"), 1), 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(stats.value().SelectivityDerived(Value("Comedy"), 2), 2.0 / 6.0, 1e-9);
+  EXPECT_NEAR(stats.value().SelectivityDerived(Value("Comedy"), 3), 1.0 / 6.0, 1e-9);
+  EXPECT_EQ(stats.value().SelectivityDerived(Value("Comedy"), 4), 0.0);
+  EXPECT_EQ(stats.value().SelectivityDerived(Value("Nope"), 1), 0.0);
+  EXPECT_EQ(stats.value().EntitiesWithValue(Value("Comedy")), 4u);
+}
+
+// ---------- αDB assembly ----------
+
+TEST(AdbTest, BuildReportsAndLookups) {
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  const AdbReport& report = adb.value()->report();
+  EXPECT_GT(report.num_descriptors, 5u);
+  EXPECT_GT(report.num_derived_relations, 0u);
+  EXPECT_GT(report.derived_rows, 0u);
+  EXPECT_GE(report.build_seconds, 0.0);
+
+  // Entity lookup by key.
+  auto row = adb.value()->EntityRowByKey("person", Value(static_cast<int64_t>(3)));
+  ASSERT_TRUE(row.ok());
+  EXPECT_FALSE(
+      adb.value()->EntityRowByKey("person", Value(static_cast<int64_t>(99))).ok());
+}
+
+TEST(AdbTest, BasicValueResolvesInline) {
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  auto desc = adb.value()->schema_graph().FindDescriptor("person.gender");
+  ASSERT_TRUE(desc.ok());
+  size_t row =
+      adb.value()->EntityRowByKey("person", Value(static_cast<int64_t>(3))).value();
+  auto v = adb.value()->BasicValue(*desc.value(), row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), "Female");
+}
+
+TEST(AdbTest, DerivedValuesPointQuery) {
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  const PropertyDescriptor* ptg = nullptr;
+  for (const auto* d : adb.value()->schema_graph().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedCategorical &&
+        d->terminal_relation == "genre") {
+      ptg = d;
+    }
+  }
+  ASSERT_NE(ptg, nullptr);
+  auto values = adb.value()->DerivedValues(*ptg, Value(static_cast<int64_t>(1)));
+  ASSERT_TRUE(values.ok());
+  std::map<std::string, double> by_name;
+  for (const auto& [v, c] : values.value()) by_name[v.ToString()] = c;
+  EXPECT_EQ(by_name["Comedy"], 3);
+  EXPECT_EQ(adb.value()->EntityTotal(*ptg, Value(static_cast<int64_t>(1))), 5);
+}
+
+TEST(AdbTest, DisplayValueResolvesEntityIdentity) {
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  const PropertyDescriptor* identity = nullptr;
+  for (const auto* d : adb.value()->schema_graph().DescriptorsFor("person")) {
+    if (d->kind == PropertyKind::kDerivedEntity && d->terminal_relation == "movie") {
+      identity = d;
+    }
+  }
+  ASSERT_NE(identity, nullptr);
+  EXPECT_EQ(adb.value()->DisplayValue(*identity, Value(static_cast<int64_t>(11))),
+            "Dumb Duo");
+}
+
+TEST(AdbTest, StatsForUnknownDescriptorErrors) {
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  EXPECT_FALSE(adb.value()->StatsFor("no.such.descriptor").ok());
+}
+
+TEST(AdbTest, MaxDerivedRowsSkipsOversized) {
+  auto db = MakeMoviesDb();
+  AdbOptions options;
+  options.max_derived_rows = 1;  // everything is oversized
+  auto adb = AbductionReadyDb::Build(*db, options);
+  ASSERT_TRUE(adb.ok());
+  EXPECT_EQ(adb.value()->report().num_derived_relations, 0u);
+}
+
+}  // namespace
+}  // namespace squid

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "adb/abduction_ready_db.h"
+#include "baselines/naive_qbe.h"
+#include "baselines/talos.h"
+#include "datagen/adult_generator.h"
+#include "eval/metrics.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+#include "workloads/adult_queries.h"
+
+namespace squid {
+namespace {
+
+using testing::MakeAcademicsDb;
+using testing::MakeMoviesDb;
+
+TEST(NaiveQbeTest, ProducesGenericProjectQuery) {
+  auto db = MakeAcademicsDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  auto result = NaiveQbe(*adb.value(), {"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().relation, "academics");
+  // The Q1 shape of Example 1.1: no selections, no joins.
+  EXPECT_EQ(result.value().query.NumPredicates(), 0u);
+  EXPECT_EQ(ToSql(result.value().query),
+            "SELECT DISTINCT academics.name FROM academics");
+}
+
+TEST(NaiveQbeTest, SameQueryForAnyExamplesOfTheRelation) {
+  // The paper's critique: a structural QBE system produces the same generic
+  // query for ANY set of names.
+  auto db = MakeAcademicsDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  auto a = NaiveQbe(*adb.value(), {"Dan Susic", "Sam Madsen"});
+  auto b = NaiveQbe(*adb.value(), {"Tom Corwin", "Jim Kuros"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToSql(a.value().query), ToSql(b.value().query));
+}
+
+class TalosAdultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AdultOptions options;
+    options.num_rows = 1200;
+    auto db = GenerateAdult(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto adb = AbductionReadyDb::Build(*db_);
+    ASSERT_TRUE(adb.ok());
+    adb_ = std::move(adb).value();
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AbductionReadyDb> adb_;
+};
+
+TEST_F(TalosAdultFixture, PerfectReverseEngineeringOnSingleRelation) {
+  // Fig. 14: on the single-relation Adult dataset a decision tree driven to
+  // purity reverse engineers the query exactly (f-score 1).
+  auto queries = AdultBenchmarkQueries(*db_, 7);
+  ASSERT_TRUE(queries.ok());
+  const BenchmarkQuery& q = queries.value()[0];
+  auto truth = GroundTruth(*db_, q);
+  ASSERT_TRUE(truth.ok());
+
+  // Intended output as entity keys.
+  SelectQuery keys_query = ProjectBlock("adult", "adult", "id");
+  keys_query.where = q.query.branches[0].where;
+  auto key_rs = ExecuteQuery(*db_, Query::Single(keys_query));
+  ASSERT_TRUE(key_rs.ok());
+  std::vector<Value> positive_keys;
+  for (const Value& v : key_rs.value().ColumnValues(0)) positive_keys.push_back(v);
+
+  auto talos = RunTalos(*adb_, "adult", positive_keys);
+  ASSERT_TRUE(talos.ok());
+  std::unordered_set<std::string> predicted;
+  for (const Value& v : talos.value().predicted_keys) predicted.insert(v.ToString());
+  std::unordered_set<std::string> intended;
+  for (const Value& v : positive_keys) intended.insert(v.ToString());
+  Metrics m = ComputeMetrics(intended, predicted);
+  EXPECT_EQ(m.fscore, 1.0);
+  EXPECT_GT(talos.value().num_predicates, 0u);
+  EXPECT_GT(talos.value().denormalized_rows, 0u);
+}
+
+TEST_F(TalosAdultFixture, PredicateCountGrowsWithScatteredIntents) {
+  // A scattered positive set (random rows) cannot be explained compactly:
+  // TALOS emits many rules, hence many predicates.
+  auto adult = db_->GetTable("adult");
+  ASSERT_TRUE(adult.ok());
+  std::vector<Value> scattered;
+  for (size_t r = 0; r < adult.value()->num_rows(); r += 37) {
+    scattered.push_back(adult.value()->ValueAt(r, 0));
+  }
+  auto talos = RunTalos(*adb_, "adult", scattered);
+  ASSERT_TRUE(talos.ok());
+  EXPECT_GT(talos.value().num_predicates, 50u);
+}
+
+TEST(TalosTest, JoinSchemaLabelNoise) {
+  // IQ1-style failure: the cast of one movie is labeled on denormalized rows
+  // that also cover the actors' OTHER movies, so the tree sees noisy labels.
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  // Intended: cast of 'Mighty Bruce' = persons 1, 2.
+  std::vector<Value> positives = {Value(static_cast<int64_t>(1)),
+                                  Value(static_cast<int64_t>(2))};
+  auto talos = RunTalos(*adb.value(), "person", positives);
+  ASSERT_TRUE(talos.ok());
+  EXPECT_GT(talos.value().denormalized_rows,
+            db->GetTable("person").value()->num_rows());
+  // The result should at least cover the positives (closed-world recall).
+  std::unordered_set<std::string> predicted;
+  for (const Value& v : talos.value().predicted_keys) predicted.insert(v.ToString());
+  EXPECT_TRUE(predicted.count("1"));
+  EXPECT_TRUE(predicted.count("2"));
+}
+
+TEST(TalosTest, ReportsTiming) {
+  auto db = MakeMoviesDb();
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  auto talos = RunTalos(*adb.value(), "person", {Value(static_cast<int64_t>(1))});
+  ASSERT_TRUE(talos.ok());
+  EXPECT_GE(talos.value().seconds, 0.0);
+  EXPECT_GT(talos.value().num_features, 0u);
+}
+
+}  // namespace
+}  // namespace squid

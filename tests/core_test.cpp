@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adb/abduction_ready_db.h"
+#include "core/abduction_model.h"
+#include "core/context_discovery.h"
+#include "core/disambiguation.h"
+#include "core/entity_lookup.h"
+#include "core/squid.h"
+#include "exec/executor.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+namespace squid {
+namespace {
+
+using testing::MakeAcademicsDb;
+using testing::MakeMoviesDb;
+using testing::NamesOf;
+
+class AcademicsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeAcademicsDb();
+    auto adb = AbductionReadyDb::Build(*db_);
+    ASSERT_TRUE(adb.ok()) << adb.status().ToString();
+    adb_ = std::move(adb).value();
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AbductionReadyDb> adb_;
+};
+
+class MoviesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeMoviesDb();
+    auto adb = AbductionReadyDb::Build(*db_);
+    ASSERT_TRUE(adb.ok()) << adb.status().ToString();
+    adb_ = std::move(adb).value();
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AbductionReadyDb> adb_;
+};
+
+// ---------- Entity lookup ----------
+
+TEST_F(AcademicsFixture, LookupFindsCoveringMatch) {
+  auto matches = LookupExamples(*adb_, {"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_GE(matches.value().size(), 1u);
+  EXPECT_EQ(matches.value()[0].relation, "academics");
+  EXPECT_EQ(matches.value()[0].attribute, "name");
+}
+
+TEST_F(AcademicsFixture, LookupIsCaseInsensitive) {
+  auto matches = LookupExamples(*adb_, {"dan susic", "SAM MADSEN"});
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value()[0].relation, "academics");
+}
+
+TEST_F(AcademicsFixture, LookupFailsWhenNoCommonRelation) {
+  // One name, one interest: no single (relation, attribute) covers both.
+  EXPECT_FALSE(LookupExamples(*adb_, {"Dan Susic", "data management"}).ok());
+}
+
+TEST_F(AcademicsFixture, LookupFailsForUnknownString) {
+  EXPECT_FALSE(LookupExamples(*adb_, {"Dan Susic", "Nobody Nowhere"}).ok());
+}
+
+TEST_F(AcademicsFixture, LookupRejectsEmptyExampleSet) {
+  EXPECT_FALSE(LookupExamples(*adb_, {}).ok());
+}
+
+// ---------- Disambiguation ----------
+
+TEST(DisambiguationTest, PicksMostSimilarCandidates) {
+  // Two movies share the title 'Twin'; one is a 2001 Comedy like the other
+  // examples, the other a 1980 Drama. Disambiguation should pick the Comedy.
+  auto db = std::make_unique<Database>("d");
+  {
+    Schema s("movie", {{"id", ValueType::kInt64},
+                       {"title", ValueType::kString},
+                       {"year", ValueType::kInt64},
+                       {"kind", ValueType::kString}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddPropertyAttribute("year");
+    s.AddPropertyAttribute("kind");
+    s.AddTextSearchAttribute("title");
+    auto t = db->CreateTable(std::move(s));
+    ASSERT_TRUE(t.ok());
+    auto I = [](int64_t v) { return Value(v); };
+    ASSERT_TRUE(t.value()->AppendRow({I(1), Value("Alpha"), I(2001), Value("Comedy")}).ok());
+    ASSERT_TRUE(t.value()->AppendRow({I(2), Value("Beta"), I(2002), Value("Comedy")}).ok());
+    ASSERT_TRUE(t.value()->AppendRow({I(3), Value("Twin"), I(2001), Value("Comedy")}).ok());
+    ASSERT_TRUE(t.value()->AppendRow({I(4), Value("Twin"), I(1980), Value("Drama")}).ok());
+  }
+  auto adb = AbductionReadyDb::Build(*db);
+  ASSERT_TRUE(adb.ok());
+  auto matches = LookupExamples(*adb.value(), {"Alpha", "Beta", "Twin"});
+  ASSERT_TRUE(matches.ok());
+  const EntityMatch& match = matches.value()[0];
+  EXPECT_GT(match.NumCombinations(), 1.0);
+
+  SquidConfig config;
+  auto keys = DisambiguateEntities(*adb.value(), match, config);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys.value().size(), 3u);
+  EXPECT_EQ(keys.value()[2].AsInt64(), 3);  // the Comedy twin
+
+  // Without disambiguation the first posting wins (id 3 or 4, whichever was
+  // indexed first — row order means id 3; emulate ambiguity by checking the
+  // config path executes).
+  config.enable_disambiguation = false;
+  auto keys2 = DisambiguateEntities(*adb.value(), match, config);
+  ASSERT_TRUE(keys2.ok());
+}
+
+TEST_F(MoviesFixture, UnambiguousExamplesPassThrough) {
+  auto matches = LookupExamples(*adb_, {"Jim Carris", "Ewan McGregg"});
+  ASSERT_TRUE(matches.ok());
+  SquidConfig config;
+  auto keys = DisambiguateEntities(*adb_, matches.value()[0], config);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value()[0].AsInt64(), 1);
+  EXPECT_EQ(keys.value()[1].AsInt64(), 2);
+}
+
+// ---------- Context discovery ----------
+
+TEST_F(MoviesFixture, SharedCategoricalContext) {
+  SquidConfig config;
+  auto contexts = DiscoverContexts(
+      *adb_, "person",
+      {Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(2))}, config);
+  ASSERT_TRUE(contexts.ok());
+  bool found_gender = false;
+  for (const auto& ctx : contexts.value()) {
+    if (ctx.property.descriptor->id == "person.gender") {
+      found_gender = true;
+      EXPECT_EQ(ctx.property.value.AsString(), "Male");
+      EXPECT_EQ(ctx.support, 2u);
+      EXPECT_FALSE(ctx.property.has_theta());
+    }
+  }
+  EXPECT_TRUE(found_gender);
+}
+
+TEST_F(MoviesFixture, NoContextWhenValuesDiffer) {
+  SquidConfig config;
+  // Jim (Male) and Laura (Female): no shared gender context.
+  auto contexts = DiscoverContexts(
+      *adb_, "person",
+      {Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(3))}, config);
+  ASSERT_TRUE(contexts.ok());
+  for (const auto& ctx : contexts.value()) {
+    EXPECT_NE(ctx.property.descriptor->id, "person.gender");
+  }
+}
+
+TEST_F(MoviesFixture, NumericRangeContextUsesTightestBounds) {
+  SquidConfig config;
+  // Ages 60 (Jim) and 52 (Ewan) -> [52, 60].
+  auto contexts = DiscoverContexts(
+      *adb_, "person",
+      {Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(2))}, config);
+  ASSERT_TRUE(contexts.ok());
+  bool found_age = false;
+  for (const auto& ctx : contexts.value()) {
+    if (ctx.property.descriptor->id == "person.age") {
+      found_age = true;
+      EXPECT_EQ(ctx.property.lo, 52);
+      EXPECT_EQ(ctx.property.hi, 60);
+    }
+  }
+  EXPECT_TRUE(found_age);
+}
+
+TEST_F(MoviesFixture, DerivedContextTakesMinTheta) {
+  SquidConfig config;
+  // Jim has 3 comedies, Ewan 2 -> shared derived genre context θ = 2.
+  auto contexts = DiscoverContexts(
+      *adb_, "person",
+      {Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(2))}, config);
+  ASSERT_TRUE(contexts.ok());
+  bool found_comedy = false;
+  for (const auto& ctx : contexts.value()) {
+    if (ctx.property.descriptor->terminal_relation == "genre" &&
+        !ctx.property.value.is_null() &&
+        ctx.property.value.ToString() == "Comedy" && ctx.property.has_theta()) {
+      found_comedy = true;
+      EXPECT_EQ(ctx.property.theta, 2);
+    }
+  }
+  EXPECT_TRUE(found_comedy);
+}
+
+TEST_F(AcademicsFixture, MultiValuedContextIntersection) {
+  SquidConfig config;
+  // Academics 101 & 103 share only 'data management'.
+  auto contexts = DiscoverContexts(
+      *adb_, "academics",
+      {Value(static_cast<int64_t>(101)), Value(static_cast<int64_t>(103))}, config);
+  ASSERT_TRUE(contexts.ok());
+  ASSERT_EQ(contexts.value().size(), 1u);
+  EXPECT_EQ(contexts.value()[0].property.value.AsString(), "data management");
+  EXPECT_FALSE(contexts.value()[0].property.has_theta());  // multi-valued basic
+}
+
+// ---------- Abduction model ----------
+
+TEST(AbductionMathTest, SkewnessOfSymmetricIsZero) {
+  EXPECT_NEAR(AbductionModel::Skewness({1, 2, 3}), 0.0, 1e-9);
+  EXPECT_EQ(AbductionModel::Skewness({5, 5}), 0.0);     // n < 3
+  EXPECT_EQ(AbductionModel::Skewness({5, 5, 5}), 0.0);  // s = 0
+}
+
+TEST(AbductionMathTest, SkewnessMatchesAppendixBFormula) {
+  // Hand-computed values of the adjusted Fisher-Pearson formula (Appendix
+  // B): n·Σ(ai−ā)³ / (s³(n−1)(n−2)).
+  EXPECT_NEAR(AbductionModel::Skewness({30, 25, 3, 2, 1}), 0.6678, 1e-3);
+  EXPECT_NEAR(AbductionModel::Skewness({12, 10, 10, 9, 9}), 1.3608, 1e-3);
+  // Realistic families (one dominant θ over many weak ones) exceed the
+  // default threshold τs = 2.
+  EXPECT_GT(AbductionModel::Skewness({40, 3, 2, 2, 1, 1, 1}), 2.0);
+}
+
+TEST(AbductionMathTest, OutlierTestDiscriminatesFig8Cases) {
+  // Fig. 8 Case A: the strong genres stand out as outliers...
+  EXPECT_TRUE(AbductionModel::IsOutlier(30, {30, 3, 2, 2, 1, 1, 1}, 2.0));
+  // ...whereas Case B's flat distribution has none.
+  std::vector<double> case_b = {12, 10, 10, 9, 9};
+  for (double t : case_b) {
+    EXPECT_FALSE(AbductionModel::IsOutlier(t, case_b, 2.0)) << t;
+  }
+}
+
+TEST(AbductionMathTest, OutlierDetection) {
+  std::vector<double> thetas = {30, 3, 2, 1, 2, 3, 1, 2};
+  EXPECT_TRUE(AbductionModel::IsOutlier(30, thetas, 2.0));
+  EXPECT_FALSE(AbductionModel::IsOutlier(3, thetas, 2.0));
+  // n < 3: everything is an outlier.
+  EXPECT_TRUE(AbductionModel::IsOutlier(1, {1, 1}, 2.0));
+}
+
+TEST_F(MoviesFixture, DeltaPenalizesWideRanges) {
+  SquidConfig config;
+  config.eta = 0.2;
+  config.gamma = 2.0;
+  AbductionModel model(adb_.get(), config);
+  EXPECT_EQ(model.DeltaOf(0.1), 1.0);   // below η: no penalty
+  EXPECT_EQ(model.DeltaOf(0.2), 1.0);   // at η
+  EXPECT_NEAR(model.DeltaOf(0.4), 0.25, 1e-9);  // (0.4/0.2)^-2
+  config.gamma = 0.0;
+  AbductionModel no_penalty(adb_.get(), config);
+  EXPECT_EQ(no_penalty.DeltaOf(0.9), 1.0);
+}
+
+TEST_F(MoviesFixture, AlphaThresholdsAssociationStrength) {
+  SquidConfig config;
+  config.tau_a = 5.0;
+  AbductionModel model(adb_.get(), config);
+  SemanticProperty weak;
+  weak.theta = 2;
+  SemanticProperty strong;
+  strong.theta = 9;
+  SemanticProperty basic;  // θ = ⊥
+  EXPECT_EQ(model.AlphaOf(weak), 0.0);
+  EXPECT_EQ(model.AlphaOf(strong), 1.0);
+  EXPECT_EQ(model.AlphaOf(basic), 1.0);
+}
+
+TEST_F(MoviesFixture, AlgorithmOneIncludesSelectiveFilters) {
+  // Academics-style check on the movie fixture: the examples {Jim, Ewan}
+  // share gender=Male (ψ=4/6, common) — decision depends on ψ^|E| vs prior.
+  SquidConfig config;
+  config.tau_a = 2.0;  // allow the θ=2 comedy filter
+  SquidConfig no_outlier = config;
+  no_outlier.use_outlier_impact = false;
+  auto contexts = DiscoverContexts(
+      *adb_, "person",
+      {Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(2))}, config);
+  ASSERT_TRUE(contexts.ok());
+  AbductionModel model(adb_.get(), no_outlier);
+  auto filters = model.AbduceFilters(contexts.value(), 2);
+  ASSERT_TRUE(filters.ok());
+  for (const auto& f : filters.value()) {
+    // Theorem 1's decision rule holds filter-by-filter.
+    EXPECT_EQ(f.included, f.include_score > f.exclude_score) << f.property.theta;
+    EXPECT_GE(f.selectivity, 0.0);
+    EXPECT_LE(f.selectivity, 1.0);
+  }
+}
+
+TEST_F(AcademicsFixture, Example21Abduction) {
+  // The paper's Example 2.1: examples {Dan, Sam} share interest =
+  // 'data management' (ψ = 3/6); under the example's equal-prior assumption
+  // (Pr(Q1) = Pr(Q2), i.e. ρ = 0.5) the filter is included and the abduced
+  // query returns exactly the three data-management academics.
+  SquidConfig config;
+  config.rho = 0.5;
+  Squid squid(adb_.get(), config);
+  auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(abduced.ok()) << abduced.status().ToString();
+  ASSERT_EQ(abduced.value().entity_relation, "academics");
+  EXPECT_EQ(abduced.value().NumIncludedFilters(), 1u);
+
+  auto rs = ExecuteQuery(adb_->database(), abduced.value().adb_query);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()),
+            (std::vector<std::string>{"Dan Susic", "Joe Hellman", "Sam Madsen"}));
+}
+
+TEST_F(AcademicsFixture, AdbAndOriginalFormsAgree) {
+  SquidConfig config;
+  config.rho = 0.5;
+  Squid squid(adb_.get(), config);
+  auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(abduced.ok());
+  auto adb_rs = ExecuteQuery(adb_->database(), abduced.value().adb_query);
+  auto orig_rs = ExecuteQuery(*db_, abduced.value().original_query);
+  ASSERT_TRUE(adb_rs.ok());
+  ASSERT_TRUE(orig_rs.ok()) << orig_rs.status().ToString();
+  EXPECT_EQ(NamesOf(adb_rs.value()), NamesOf(orig_rs.value()));
+}
+
+TEST_F(AcademicsFixture, ValidityInvariant) {
+  // E ⊆ Q(D) (Definition 2.1): every example appears in the abduced output.
+  Squid squid(adb_.get());
+  std::vector<std::string> examples = {"Dan Susic", "Joe Hellman"};
+  auto abduced = squid.Discover(examples);
+  ASSERT_TRUE(abduced.ok());
+  auto rs = ExecuteQuery(adb_->database(), abduced.value().adb_query);
+  ASSERT_TRUE(rs.ok());
+  auto names = NamesOf(rs.value());
+  for (const auto& e : examples) {
+    EXPECT_NE(std::find(names.begin(), names.end(), e), names.end()) << e;
+  }
+}
+
+TEST_F(MoviesFixture, GenericQueryWhenNothingShared) {
+  // Toni (M, 50, drama) and Emma (F, 29, comedy): nothing meaningful shared;
+  // expect a (near-)generic query over person.
+  Squid squid(adb_.get());
+  auto abduced = squid.Discover({"Toni Cruse", "Emma Stone"});
+  ASSERT_TRUE(abduced.ok());
+  auto rs = ExecuteQuery(adb_->database(), abduced.value().adb_query);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GE(rs.value().num_rows(), 2u);
+}
+
+TEST_F(MoviesFixture, DimensionBaseQueryWorks) {
+  // IQ7-style: examples are genre names; base query on the dimension.
+  Squid squid(adb_.get());
+  auto abduced = squid.Discover({"Comedy", "Drama"});
+  ASSERT_TRUE(abduced.ok()) << abduced.status().ToString();
+  EXPECT_EQ(abduced.value().entity_relation, "genre");
+  auto rs = ExecuteQuery(adb_->database(), abduced.value().adb_query);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 3u);  // generic: all genres
+}
+
+TEST_F(AcademicsFixture, LogPosteriorIsFinite) {
+  Squid squid(adb_.get());
+  auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(abduced.ok());
+  EXPECT_TRUE(std::isfinite(abduced.value().log_posterior));
+}
+
+TEST_F(AcademicsFixture, SqlRenderingMentionsFilter) {
+  SquidConfig config;
+  config.rho = 0.5;
+  Squid squid(adb_.get(), config);
+  auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(abduced.ok());
+  std::string sql = ToSql(abduced.value().original_query);
+  EXPECT_NE(sql.find("data management"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("research"), std::string::npos) << sql;
+}
+
+// Optimistic (QRE) preset behaves more inclusively.
+TEST_F(MoviesFixture, OptimisticConfigIncludesMoreFilters) {
+  Squid normal(adb_.get());
+  Squid optimistic(adb_.get(), SquidConfig::Optimistic());
+  auto a = normal.Discover({"Jim Carris", "Ewan McGregg"});
+  auto b = optimistic.Discover({"Jim Carris", "Ewan McGregg"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b.value().NumIncludedFilters(), a.value().NumIncludedFilters());
+}
+
+}  // namespace
+}  // namespace squid

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace squid {
+namespace {
+
+using testing::MakeAcademicsDb;
+using testing::MakeMoviesDb;
+using testing::NameSet;
+using testing::NamesOf;
+
+Result<ResultSet> RunSql(const Database& db, const std::string& sql) {
+  auto q = ParseQuery(sql);
+  if (!q.ok()) return q.status();
+  return ExecuteQuery(db, q.value());
+}
+
+TEST(ExecutorTest, ScanAndProject) {
+  auto db = MakeAcademicsDb();
+  auto rs = RunSql(*db, "SELECT a.name FROM academics a");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 6u);
+}
+
+TEST(ExecutorTest, SelectionPushdown) {
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db, "SELECT p.name FROM person p WHERE p.gender = 'Female'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()),
+            (std::vector<std::string>{"Emma Stone", "Laura Holt"}));
+}
+
+TEST(ExecutorTest, NumericRangeSelection) {
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db, "SELECT p.name FROM person p WHERE p.age BETWEEN 50 AND 60");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 4u);  // 60, 52, 58, 50
+}
+
+TEST(ExecutorTest, PaperExample11Join) {
+  // Q2 of Example 1.1: academics with interest 'data management'.
+  auto db = MakeAcademicsDb();
+  auto rs = RunSql(*db,
+                "SELECT a.name FROM academics a, research r, interest i "
+                "WHERE r.aid = a.id AND r.interest_id = i.id AND "
+                "i.name = 'data management'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()),
+            (std::vector<std::string>{"Dan Susic", "Joe Hellman", "Sam Madsen"}));
+}
+
+TEST(ExecutorTest, TwoHopJoin) {
+  // Persons who appeared in a Comedy.
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db,
+                "SELECT DISTINCT p.name FROM person p, castinfo c, movie m, "
+                "movietogenre mg, genre g WHERE c.person_id = p.id AND "
+                "c.movie_id = m.id AND mg.movie_id = m.id AND "
+                "mg.genre_id = g.id AND g.name = 'Comedy'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()),
+            (std::vector<std::string>{"Emma Stone", "Ewan McGregg", "Jim Carris",
+                                      "Laura Holt"}));
+}
+
+TEST(ExecutorTest, DistinctDeduplicates) {
+  auto db = MakeMoviesDb();
+  // Without DISTINCT, Jim Carris appears once per comedy.
+  auto dup = RunSql(*db,
+                 "SELECT p.name FROM person p, castinfo c, movie m, "
+                 "movietogenre mg, genre g WHERE c.person_id = p.id AND "
+                 "c.movie_id = m.id AND mg.movie_id = m.id AND "
+                 "mg.genre_id = g.id AND g.name = 'Comedy'");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_GT(dup.value().num_rows(), 4u);
+}
+
+TEST(ExecutorTest, GroupByHavingCount) {
+  // Persons with at least 3 comedy appearances (Fig. 5's Jim Carris).
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db,
+                "SELECT p.name FROM person p, castinfo c, movietogenre mg, "
+                "genre g WHERE c.person_id = p.id AND "
+                "mg.movie_id = c.movie_id AND mg.genre_id = g.id AND "
+                "g.name = 'Comedy' GROUP BY p.id HAVING count(*) >= 3");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()), (std::vector<std::string>{"Jim Carris"}));
+}
+
+TEST(ExecutorTest, HavingOperatorVariants) {
+  auto db = MakeMoviesDb();
+  // Exactly one comedy appearance: Laura and Emma.
+  auto rs = RunSql(*db,
+                "SELECT p.name FROM person p, castinfo c, movietogenre mg, "
+                "genre g WHERE c.person_id = p.id AND "
+                "mg.movie_id = c.movie_id AND mg.genre_id = g.id AND "
+                "g.name = 'Comedy' GROUP BY p.id HAVING count(*) <= 1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()),
+            (std::vector<std::string>{"Emma Stone", "Laura Holt"}));
+}
+
+TEST(ExecutorTest, Intersection) {
+  auto db = MakeMoviesDb();
+  // Cast of 'Mighty Bruce' ∩ cast of 'Phillip's Letters' = Jim, Ewan.
+  auto rs = RunSql(*db,
+                "SELECT DISTINCT p.name FROM person p, castinfo c, movie m "
+                "WHERE c.person_id = p.id AND c.movie_id = m.id AND "
+                "m.title = 'Mighty Bruce' "
+                "INTERSECT "
+                "SELECT DISTINCT p.name FROM person p, castinfo c, movie m "
+                "WHERE c.person_id = p.id AND c.movie_id = m.id AND "
+                "m.title = 'Phillip''s Letters'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()),
+            (std::vector<std::string>{"Ewan McGregg", "Jim Carris"}));
+}
+
+TEST(ExecutorTest, AntiJoinExcludesSelf) {
+  auto db = MakeMoviesDb();
+  // Co-actors of anyone: pairs (p, q) sharing a movie with p != q.
+  auto with_self = RunSql(*db,
+                       "SELECT p.name FROM person p, castinfo c1, castinfo c2, "
+                       "person q WHERE c1.person_id = p.id AND "
+                       "c2.movie_id = c1.movie_id AND c2.person_id = q.id");
+  auto without_self = RunSql(*db,
+                          "SELECT p.name FROM person p, castinfo c1, castinfo "
+                          "c2, person q WHERE c1.person_id = p.id AND "
+                          "c2.movie_id = c1.movie_id AND c2.person_id = q.id "
+                          "AND q.id != p.id");
+  ASSERT_TRUE(with_self.ok());
+  ASSERT_TRUE(without_self.ok());
+  EXPECT_LT(without_self.value().num_rows(), with_self.value().num_rows());
+}
+
+TEST(ExecutorTest, DisconnectedFromIsCartesian) {
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db, "SELECT p.name FROM person p, genre g");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 6u * 3u);
+}
+
+TEST(ExecutorTest, EmptyResultIsOk) {
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db, "SELECT p.name FROM person p WHERE p.age > 200");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 0u);
+}
+
+TEST(ExecutorTest, UnknownTableErrors) {
+  auto db = MakeMoviesDb();
+  EXPECT_FALSE(RunSql(*db, "SELECT x.a FROM missing x").ok());
+}
+
+TEST(ExecutorTest, UnknownColumnErrors) {
+  auto db = MakeMoviesDb();
+  EXPECT_FALSE(RunSql(*db, "SELECT p.nope FROM person p").ok());
+  EXPECT_FALSE(RunSql(*db, "SELECT p.name FROM person p WHERE p.nope = 1").ok());
+}
+
+TEST(ExecutorTest, JoinOnStringKeys) {
+  // Build a tiny DB joined on string values.
+  Database db("d");
+  auto a = db.CreateTable(Schema("a", {{"k", ValueType::kString}}));
+  auto b = db.CreateTable(
+      Schema("b", {{"k", ValueType::kString}, {"v", ValueType::kInt64}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a.value()->AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(a.value()->AppendRow({Value("y")}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({Value("x"), Value(static_cast<int64_t>(1))}).ok());
+  auto rs = RunSql(db, "SELECT a.k FROM a a, b b WHERE a.k = b.k");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()), (std::vector<std::string>{"x"}));
+}
+
+TEST(ExecutorTest, NullJoinKeysNeverMatch) {
+  Database db("d");
+  auto a = db.CreateTable(Schema("a", {{"k", ValueType::kInt64}}));
+  auto b = db.CreateTable(Schema("b", {{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a.value()->AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({Value::Null()}).ok());
+  auto rs = RunSql(db, "SELECT a.k FROM a a, b b WHERE a.k = b.k");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 0u);
+}
+
+TEST(ExecutorTest, MultiEdgeJoinAppliesAllConditions) {
+  // Join on two attributes simultaneously.
+  Database db("d");
+  auto a = db.CreateTable(
+      Schema("a", {{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+  auto b = db.CreateTable(
+      Schema("b", {{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto I = [](int64_t v) { return Value(v); };
+  ASSERT_TRUE(a.value()->AppendRow({I(1), I(1)}).ok());
+  ASSERT_TRUE(a.value()->AppendRow({I(1), I(2)}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({I(1), I(1)}).ok());
+  auto rs = RunSql(db, "SELECT a.x FROM a a, b b WHERE a.x = b.x AND a.y = b.y");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 1u);
+}
+
+// ---------- ResultSet ----------
+
+TEST(ResultSetTest, DeduplicateAndSort) {
+  ResultSet rs({"c"});
+  rs.AddRow({Value("b")});
+  rs.AddRow({Value("a")});
+  rs.AddRow({Value("b")});
+  rs.Deduplicate();
+  EXPECT_EQ(rs.num_rows(), 2u);
+  rs.SortRows();
+  EXPECT_EQ(rs.row(0)[0].AsString(), "a");
+}
+
+TEST(ResultSetTest, IntersectWith) {
+  ResultSet a({"c"}), b({"c"});
+  a.AddRow({Value("x")});
+  a.AddRow({Value("y")});
+  b.AddRow({Value("y")});
+  a.IntersectWith(b.ToSet());
+  EXPECT_EQ(a.num_rows(), 1u);
+  EXPECT_EQ(a.row(0)[0].AsString(), "y");
+}
+
+TEST(ResultSetTest, EncodeRowDistinguishesTypes) {
+  // int 1 and string "1" must encode differently; int 1 and double 1.0
+  // compare equal and must encode identically... they do not need to: the
+  // encoding is type-tagged, and mixed-type result columns do not occur.
+  std::string int_row = ResultSet::EncodeRow({Value(static_cast<int64_t>(1))});
+  std::string str_row = ResultSet::EncodeRow({Value("1")});
+  EXPECT_NE(int_row, str_row);
+}
+
+TEST(ResultSetTest, ColumnValues) {
+  ResultSet rs({"a", "b"});
+  rs.AddRow({Value("x"), Value(static_cast<int64_t>(1))});
+  rs.AddRow({Value("y"), Value(static_cast<int64_t>(2))});
+  auto col1 = rs.ColumnValues(1);
+  ASSERT_EQ(col1.size(), 2u);
+  EXPECT_EQ(col1[1].AsInt64(), 2);
+}
+
+}  // namespace
+}  // namespace squid

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "baselines/talos.h"
+#include "bench/bench_util.h"
+#include "core/squid.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/sampler.h"
+#include "exec/executor.h"
+#include "sql/printer.h"
+
+namespace squid {
+namespace {
+
+using bench::BuildImdbBench;
+using bench::GroundTruthKeys;
+using bench::ImdbBench;
+
+/// One shared small-scale IMDb + αDB for the whole suite (expensive).
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { bench_ = new ImdbBench(BuildImdbBench(0.2)); }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static ImdbBench* bench_;
+
+  /// Runs discovery for `query_id` with `n` examples; returns metrics.
+  static Metrics Discover(const std::string& query_id, size_t n,
+                          SquidConfig config = {}, uint64_t seed = 77) {
+    auto query = FindQuery(bench_->queries, query_id);
+    EXPECT_TRUE(query.ok());
+    auto truth = GroundTruth(*bench_->data.db, *query.value());
+    EXPECT_TRUE(truth.ok());
+    Rng rng(seed);
+    auto examples = SampleExamples(truth.value(), n, &rng);
+    auto outcome = RunDiscovery(*bench_->adb, config, examples,
+                                ToStringSet(truth.value()));
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return outcome.ok() ? outcome.value().metrics : Metrics{};
+  }
+};
+ImdbBench* IntegrationFixture::bench_ = nullptr;
+
+TEST_F(IntegrationFixture, HubMovieCastConverges) {
+  // IQ1-style: with 10 examples the movie-identity filter pins the intent.
+  Metrics m = Discover("IQ1", 10);
+  EXPECT_GT(m.fscore, 0.6);
+}
+
+TEST_F(IntegrationFixture, TrilogyIntentUsesIntersection) {
+  auto query = FindQuery(bench_->queries, "IQ2").value();
+  auto truth = GroundTruth(*bench_->data.db, *query);
+  ASSERT_TRUE(truth.ok());
+  Rng rng(3);
+  auto examples = SampleExamples(truth.value(), 8, &rng);
+  Squid squid(bench_->adb.get());
+  auto abduced = squid.Discover(examples);
+  ASSERT_TRUE(abduced.ok());
+  // The original-schema form must have one GROUP BY branch per trilogy part
+  // (three INTERSECT branches), mirroring the paper's SPJA^I class.
+  EXPECT_GE(abduced.value().original_query.branches.size(), 3u);
+}
+
+TEST_F(IntegrationFixture, CompoundIntentStaysOutOfScope) {
+  // IQ10: the conjunction "many RECENT RUSSIAN movies" is outside the
+  // search space; precision must suffer even with many examples (§7.3).
+  Metrics m = Discover("IQ10", 12);
+  EXPECT_LT(m.precision, 0.9);
+  EXPECT_GT(m.recall, 0.5);
+}
+
+TEST_F(IntegrationFixture, ValidityInvariantAcrossQueries) {
+  // Definition 2.1: E ⊆ Q(D) for the abduced query, on several intents.
+  for (const char* id : {"IQ1", "IQ4", "IQ6", "IQ12", "IQ15"}) {
+    auto query = FindQuery(bench_->queries, id).value();
+    auto truth = GroundTruth(*bench_->data.db, *query);
+    ASSERT_TRUE(truth.ok());
+    Rng rng(11);
+    auto examples = SampleExamples(truth.value(), 6, &rng);
+    if (examples.size() < 2) continue;
+    Squid squid(bench_->adb.get());
+    auto abduced = squid.Discover(examples);
+    ASSERT_TRUE(abduced.ok()) << id;
+    auto rs = ExecuteQuery(bench_->adb->database(), abduced.value().adb_query);
+    ASSERT_TRUE(rs.ok()) << id;
+    auto out = ToStringSet(rs.value());
+    for (const auto& e : examples) {
+      EXPECT_TRUE(out.count(e)) << id << " lost example " << e;
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, AdbAndOriginalFormsAgreeOnRealQueries) {
+  for (const char* id : {"IQ4", "IQ6", "IQ13", "IQ15"}) {
+    auto query = FindQuery(bench_->queries, id).value();
+    auto truth = GroundTruth(*bench_->data.db, *query);
+    ASSERT_TRUE(truth.ok());
+    Rng rng(13);
+    auto examples = SampleExamples(truth.value(), 8, &rng);
+    if (examples.size() < 2) continue;
+    Squid squid(bench_->adb.get());
+    auto abduced = squid.Discover(examples);
+    ASSERT_TRUE(abduced.ok()) << id;
+    auto adb_rs = ExecuteQuery(bench_->adb->database(), abduced.value().adb_query);
+    auto orig_rs = ExecuteQuery(*bench_->data.db, abduced.value().original_query);
+    ASSERT_TRUE(adb_rs.ok()) << id;
+    ASSERT_TRUE(orig_rs.ok()) << id << ": " << orig_rs.status().ToString();
+    // The original-schema form INTERSECTs branches on the projected strings
+    // (the paper's Q4/DQ2 shape); when two entities share a display string,
+    // that intersection can admit strings the per-entity conjunction (the
+    // αDB form) rejects. The αDB result is therefore a subset.
+    auto adb_set = ToStringSet(adb_rs.value());
+    auto orig_set = ToStringSet(orig_rs.value());
+    for (const auto& s : adb_set) {
+      EXPECT_TRUE(orig_set.count(s)) << id << " missing " << s;
+    }
+    EXPECT_LE(orig_set.size(), adb_set.size() + 3) << id;
+  }
+}
+
+TEST_F(IntegrationFixture, QreModeReverseEngineersSelections) {
+  // §7.5: full output + optimistic preset reverse engineers selection-based
+  // intents (here IQ15, Japanese animation).
+  auto query = FindQuery(bench_->queries, "IQ15").value();
+  auto truth = GroundTruth(*bench_->data.db, *query);
+  ASSERT_TRUE(truth.ok());
+  std::vector<std::string> examples;
+  for (const Value& v : truth.value().ColumnValues(0)) {
+    examples.push_back(v.ToString());
+  }
+  Squid squid(bench_->adb.get(), SquidConfig::Optimistic());
+  auto abduced = squid.Discover(examples);
+  ASSERT_TRUE(abduced.ok());
+  auto rs = ExecuteQuery(bench_->adb->database(), abduced.value().adb_query);
+  ASSERT_TRUE(rs.ok());
+  Metrics m = ComputeMetrics(ToStringSet(truth.value()), ToStringSet(rs.value()));
+  EXPECT_GT(m.fscore, 0.9);
+}
+
+TEST_F(IntegrationFixture, SquidQueriesSmallerThanTalos) {
+  // Fig. 15's headline: SQuID's abduced queries carry far fewer predicates.
+  auto query = FindQuery(bench_->queries, "IQ15").value();
+  auto truth = GroundTruth(*bench_->data.db, *query);
+  ASSERT_TRUE(truth.ok());
+  std::vector<std::string> examples;
+  for (const Value& v : truth.value().ColumnValues(0)) {
+    examples.push_back(v.ToString());
+  }
+  Squid squid(bench_->adb.get(), SquidConfig::Optimistic());
+  auto abduced = squid.Discover(examples);
+  ASSERT_TRUE(abduced.ok());
+
+  auto keys = GroundTruthKeys(*bench_->data.db, *query);
+  auto talos = RunTalos(*bench_->adb, "movie", keys);
+  ASSERT_TRUE(talos.ok());
+  EXPECT_LT(abduced.value().original_query.NumPredicates(),
+            talos.value().num_predicates);
+}
+
+TEST_F(IntegrationFixture, AbductionIsDeterministic) {
+  auto query = FindQuery(bench_->queries, "IQ13").value();
+  auto truth = GroundTruth(*bench_->data.db, *query);
+  ASSERT_TRUE(truth.ok());
+  Rng rng(21);
+  auto examples = SampleExamples(truth.value(), 6, &rng);
+  Squid squid(bench_->adb.get());
+  auto a = squid.Discover(examples);
+  auto b = squid.Discover(examples);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToSql(a.value().original_query), ToSql(b.value().original_query));
+  EXPECT_EQ(a.value().log_posterior, b.value().log_posterior);
+}
+
+TEST_F(IntegrationFixture, MoreExamplesNeverLoseValidity) {
+  // Growing |E| keeps the abduced query valid and (typically) more precise.
+  auto query = FindQuery(bench_->queries, "IQ6").value();
+  auto truth = GroundTruth(*bench_->data.db, *query);
+  ASSERT_TRUE(truth.ok());
+  auto intended = ToStringSet(truth.value());
+  double previous_precision = -1;
+  for (size_t n : {4u, 12u, 24u}) {
+    if (n > truth.value().num_rows()) break;
+    Rng rng(31);
+    auto examples = SampleExamples(truth.value(), n, &rng);
+    auto outcome = RunDiscovery(*bench_->adb, SquidConfig{}, examples, intended);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_GE(outcome.value().metrics.recall, 0.0);
+    previous_precision = outcome.value().metrics.precision;
+  }
+  EXPECT_GE(previous_precision, 0.0);
+}
+
+}  // namespace
+}  // namespace squid

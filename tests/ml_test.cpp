@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/pu_learning.h"
+#include "ml/random_forest.h"
+
+namespace squid {
+namespace {
+
+/// Builds an axis-aligned synthetic binary problem: positive iff
+/// x > 5 and color == "red".
+MlDataset MakeSeparable(size_t n, Rng* rng, std::vector<size_t>* rows,
+                        std::vector<uint8_t>* labels) {
+  MlDataset data({{"x", false}, {"color", true}, {"noise", false}});
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng->UniformDouble(0, 10);
+    std::string color = rng->Bernoulli(0.5) ? "red" : "blue";
+    double noise = rng->UniformDouble(0, 1);
+    data.AddRow({x, 0, noise}, {"", color, ""}, {false, false, false});
+    rows->push_back(i);
+    labels->push_back(x > 5 && color == "red" ? 1 : 0);
+  }
+  return data;
+}
+
+// ---------- MlDataset ----------
+
+TEST(MlDatasetTest, DictionaryEncoding) {
+  MlDataset data({{"c", true}});
+  data.AddRow({0}, {"a"}, {false});
+  data.AddRow({0}, {"b"}, {false});
+  data.AddRow({0}, {"a"}, {false});
+  EXPECT_EQ(data.num_rows(), 3u);
+  EXPECT_EQ(data.NumCategories(0), 2u);
+  EXPECT_EQ(data.CategoryAt(0, 0), data.CategoryAt(2, 0));
+  EXPECT_NE(data.CategoryAt(0, 0), data.CategoryAt(1, 0));
+  EXPECT_EQ(data.CategoryName(0, data.CategoryAt(1, 0)), "b");
+  EXPECT_EQ(data.CategoryCode(0, "a"), data.CategoryAt(0, 0));
+  EXPECT_EQ(data.CategoryCode(0, "zzz"), -1);
+}
+
+TEST(MlDatasetTest, MissingValues) {
+  MlDataset data({{"x", false}, {"c", true}});
+  data.AddRow({1.5, 0}, {"", "a"}, {false, true});
+  EXPECT_FALSE(data.IsMissing(0, 0));
+  EXPECT_TRUE(data.IsMissing(0, 1));
+}
+
+TEST(MlDatasetTest, FromTableSkipsExcluded) {
+  Schema s("t", {{"id", ValueType::kInt64},
+                 {"x", ValueType::kDouble},
+                 {"c", ValueType::kString}});
+  Table t(s);
+  ASSERT_TRUE(
+      t.AppendRow({Value(static_cast<int64_t>(1)), Value(2.0), Value("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(2)), Value::Null(),
+                           Value::Null()})
+                  .ok());
+  auto data = MlDataset::FromTable(t, {"id"});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().num_features(), 2u);
+  EXPECT_EQ(data.value().num_rows(), 2u);
+  EXPECT_FALSE(data.value().feature(0).categorical);  // x
+  EXPECT_TRUE(data.value().feature(1).categorical);   // c
+  EXPECT_TRUE(data.value().IsMissing(1, 0));
+}
+
+// ---------- DecisionTree ----------
+
+TEST(DecisionTreeTest, LearnsSeparableConcept) {
+  Rng rng(5);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(500, &rng, &rows, &labels);
+  DecisionTreeOptions opts;
+  auto tree = DecisionTree::Train(data, rows, labels, opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool pred = tree.value().PredictProba(data, rows[i]) >= 0.5;
+    if (pred == (labels[i] != 0)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.98);
+}
+
+TEST(DecisionTreeTest, PureNodeStopsSplitting) {
+  Rng rng(6);
+  MlDataset data({{"x", false}});
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  for (size_t i = 0; i < 20; ++i) {
+    data.AddRow({static_cast<double>(i)}, {""}, {false});
+    rows.push_back(i);
+    labels.push_back(1);  // all positive
+  }
+  auto tree = DecisionTree::Train(data, rows, labels, {}, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_nodes(), 1u);
+  EXPECT_EQ(tree.value().PredictProba(data, 0), 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  Rng rng(7);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(500, &rng, &rows, &labels);
+  DecisionTreeOptions opts;
+  opts.max_depth = 1;
+  auto tree = DecisionTree::Train(data, rows, labels, opts, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree.value().depth(), 1u);
+}
+
+TEST(DecisionTreeTest, ExtractsPositiveRules) {
+  Rng rng(8);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(600, &rng, &rows, &labels);
+  auto tree = DecisionTree::Train(data, rows, labels, {}, &rng);
+  ASSERT_TRUE(tree.ok());
+  auto rules = tree.value().ExtractPositiveRules(0.5);
+  ASSERT_FALSE(rules.empty());
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.positive_fraction, 0.5);
+    EXPECT_FALSE(rule.conditions.empty());
+    EXPECT_GT(rule.support, 0u);
+  }
+}
+
+TEST(DecisionTreeTest, RuleConditionsRender) {
+  Rng rng(9);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(200, &rng, &rows, &labels);
+  auto tree = DecisionTree::Train(data, rows, labels, {}, &rng);
+  ASSERT_TRUE(tree.ok());
+  auto rules = tree.value().ExtractPositiveRules(0.5);
+  ASSERT_FALSE(rules.empty());
+  std::string rendered = rules[0].conditions[0].ToString(data);
+  EXPECT_FALSE(rendered.empty());
+}
+
+TEST(DecisionTreeTest, ErrorsOnBadInput) {
+  Rng rng(10);
+  MlDataset data({{"x", false}});
+  EXPECT_FALSE(DecisionTree::Train(data, {}, {}, {}, &rng).ok());
+  data.AddRow({1.0}, {""}, {false});
+  EXPECT_FALSE(DecisionTree::Train(data, {0}, {1, 0}, {}, &rng).ok());
+}
+
+// ---------- RandomForest ----------
+
+TEST(RandomForestTest, LearnsSeparableConcept) {
+  Rng rng(11);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(500, &rng, &rows, &labels);
+  RandomForestOptions opts;
+  opts.num_trees = 15;
+  auto forest = RandomForest::Train(data, rows, labels, opts, &rng);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest.value().num_trees(), 15u);
+  size_t correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool pred = forest.value().PredictProba(data, rows[i]) >= 0.5;
+    if (pred == (labels[i] != 0)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.95);
+}
+
+TEST(RandomForestTest, ProbabilitiesAreAverages) {
+  Rng rng(12);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(200, &rng, &rows, &labels);
+  auto forest = RandomForest::Train(data, rows, labels, {}, &rng);
+  ASSERT_TRUE(forest.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    double p = forest.value().PredictProba(data, i);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// ---------- PU learning ----------
+
+TEST(PuLearningTest, RecoversConceptFromPartialPositives) {
+  Rng rng(13);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(800, &rng, &rows, &labels);
+
+  // Label only 60% of the true positives.
+  std::vector<size_t> positives;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (labels[i] && rng.Bernoulli(0.6)) positives.push_back(rows[i]);
+  }
+  ASSERT_GT(positives.size(), 20u);
+
+  PuOptions opts;
+  auto learner = PuLearner::Train(data, positives, rows, opts, &rng);
+  ASSERT_TRUE(learner.ok());
+  EXPECT_GT(learner.value().label_frequency(), 0.0);
+  EXPECT_LE(learner.value().label_frequency(), 1.0);
+
+  // Recall on the full positive set should beat the labeled fraction.
+  size_t recovered = 0, total_pos = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!labels[i]) continue;
+    ++total_pos;
+    if (learner.value().Predict(data, rows[i])) ++recovered;
+  }
+  EXPECT_GT(static_cast<double>(recovered) / total_pos, 0.7);
+}
+
+TEST(PuLearningTest, RandomForestEstimator) {
+  Rng rng(14);
+  std::vector<size_t> rows;
+  std::vector<uint8_t> labels;
+  MlDataset data = MakeSeparable(500, &rng, &rows, &labels);
+  std::vector<size_t> positives;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (labels[i] && rng.Bernoulli(0.7)) positives.push_back(rows[i]);
+  }
+  PuOptions opts;
+  opts.estimator = PuEstimator::kRandomForest;
+  opts.forest.num_trees = 10;
+  auto learner = PuLearner::Train(data, positives, rows, opts, &rng);
+  ASSERT_TRUE(learner.ok());
+  size_t predicted = 0;
+  for (size_t r : rows) {
+    if (learner.value().Predict(data, r)) ++predicted;
+  }
+  EXPECT_GT(predicted, positives.size() / 2);
+}
+
+TEST(PuLearningTest, ErrorsWithoutPositives) {
+  Rng rng(15);
+  MlDataset data({{"x", false}});
+  data.AddRow({1.0}, {""}, {false});
+  EXPECT_FALSE(PuLearner::Train(data, {}, {0}, {}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace squid

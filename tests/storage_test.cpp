@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/column_index.h"
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/inverted_index.h"
+#include "tests/test_util.h"
+
+namespace squid {
+namespace {
+
+// ---------- Value ----------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(static_cast<int64_t>(3)).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("x").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(static_cast<int64_t>(3)).AsInt64(), 3);
+  EXPECT_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("x").AsString(), "x");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(static_cast<int64_t>(2)), Value(2.0));
+  EXPECT_LT(Value(static_cast<int64_t>(2)).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(static_cast<int64_t>(3))), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeHashAgreesWithEquality) {
+  EXPECT_EQ(Value(static_cast<int64_t>(7)).Hash(), Value(7.0).Hash());
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value(static_cast<int64_t>(-100))), 0);
+  EXPECT_LT(Value::Null().Compare(Value("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumbersSortBeforeStrings) {
+  EXPECT_LT(Value(static_cast<int64_t>(999)).Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(static_cast<int64_t>(42)).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, SqlLiteralQuotesAndEscapes) {
+  EXPECT_EQ(Value("it's").ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(Value(static_cast<int64_t>(5)).ToSqlLiteral(), "5");
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_EQ(Value(static_cast<int64_t>(4)).ToNumeric().value(), 4.0);
+  EXPECT_EQ(Value(4.5).ToNumeric().value(), 4.5);
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+  EXPECT_FALSE(Value::Null().ToNumeric().ok());
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, AttributeLookup) {
+  Schema s("t", {{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(*s.FindAttribute("b"), 1u);
+  EXPECT_FALSE(s.FindAttribute("c").has_value());
+  EXPECT_TRUE(s.AttributeIndex("a").ok());
+  EXPECT_FALSE(s.AttributeIndex("z").ok());
+}
+
+TEST(SchemaTest, MetadataRoundTrip) {
+  Schema s("t", {{"id", ValueType::kInt64}});
+  s.set_primary_key("id");
+  s.set_entity(true);
+  s.AddPropertyAttribute("id");
+  s.AddForeignKey({"id", "other", "id"});
+  s.AddTextSearchAttribute("id");
+  EXPECT_EQ(*s.primary_key(), "id");
+  EXPECT_TRUE(s.is_entity());
+  EXPECT_EQ(s.property_attributes().size(), 1u);
+  EXPECT_EQ(s.foreign_keys().size(), 1u);
+  EXPECT_EQ(s.text_search_attributes().size(), 1u);
+}
+
+// ---------- Table / Column ----------
+
+TEST(TableTest, AppendAndReadBack) {
+  Schema s("t", {{"i", ValueType::kInt64},
+                 {"d", ValueType::kDouble},
+                 {"s", ValueType::kString}});
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(1)), Value(2.5), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0).AsInt64(), 1);
+  EXPECT_EQ(t.ValueAt(0, 1).AsDouble(), 2.5);
+  EXPECT_EQ(t.ValueAt(0, 2).AsString(), "x");
+  EXPECT_TRUE(t.ValueAt(1, 0).is_null());
+  EXPECT_TRUE(t.column(1).IsNull(1));
+}
+
+TEST(TableTest, IntWidensToDoubleColumn) {
+  Schema s("t", {{"d", ValueType::kDouble}});
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(3))}).ok());
+  EXPECT_EQ(t.ValueAt(0, 0).AsDouble(), 3.0);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Schema s("t", {{"i", ValueType::kInt64}});
+  Table t(s);
+  EXPECT_FALSE(t.AppendRow({Value("nope")}).ok());
+  EXPECT_FALSE(t.AppendRow({Value(1.5)}).ok());
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Schema s("t", {{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  Table t(s);
+  EXPECT_FALSE(t.AppendRow({Value(static_cast<int64_t>(1))}).ok());
+}
+
+TEST(TableTest, RowValuesMaterializesWholeRow) {
+  Schema s("t", {{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(7)), Value("y")}).ok());
+  auto row = t.RowValues(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].AsInt64(), 7);
+  EXPECT_EQ(row[1].AsString(), "y");
+}
+
+TEST(TableTest, ColumnByNameErrors) {
+  Schema s("t", {{"a", ValueType::kInt64}});
+  Table t(s);
+  EXPECT_TRUE(t.ColumnByName("a").ok());
+  EXPECT_FALSE(t.ColumnByName("b").ok());
+}
+
+// ---------- Database ----------
+
+TEST(DatabaseTest, AddGetDrop) {
+  Database db("d");
+  auto t = db.CreateTable(Schema("t", {{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_TRUE(db.GetTable("t").ok());
+  EXPECT_FALSE(db.GetTable("u").ok());
+  EXPECT_FALSE(db.CreateTable(Schema("t", {{"a", ValueType::kInt64}})).ok());
+  EXPECT_TRUE(db.DropTable("t").ok());
+  EXPECT_FALSE(db.DropTable("t").ok());
+}
+
+TEST(DatabaseTest, SharedTablesAliasBetweenDatabases) {
+  Database a("a");
+  auto t = a.CreateTable(Schema("t", {{"x", ValueType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->AppendRow({Value(static_cast<int64_t>(1))}).ok());
+  Database b("b");
+  ASSERT_TRUE(b.AttachTable(a.GetShared("t").value()).ok());
+  EXPECT_EQ(b.GetTable("t").value()->num_rows(), 1u);
+  // Mutations through one handle are visible through the other.
+  ASSERT_TRUE(t.value()->AppendRow({Value(static_cast<int64_t>(2))}).ok());
+  EXPECT_EQ(b.GetTable("t").value()->num_rows(), 2u);
+}
+
+TEST(DatabaseTest, ForeignKeyValidationDetectsDangling) {
+  auto db = testing::MakeAcademicsDb();
+  EXPECT_TRUE(db->ValidateForeignKeys().ok());
+  // Corrupt: a research row pointing at a missing academic.
+  auto research = db->GetMutableTable("research");
+  ASSERT_TRUE(research.ok());
+  ASSERT_TRUE(research.value()
+                  ->AppendRow({Value(static_cast<int64_t>(99)),
+                               Value(static_cast<int64_t>(999)),
+                               Value(static_cast<int64_t>(1))})
+                  .ok());
+  EXPECT_FALSE(db->ValidateForeignKeys().ok());
+}
+
+TEST(DatabaseTest, TotalsAndNames) {
+  auto db = testing::MakeAcademicsDb();
+  EXPECT_EQ(db->num_tables(), 3u);
+  EXPECT_EQ(db->TableNames(),
+            (std::vector<std::string>{"academics", "interest", "research"}));
+  EXPECT_EQ(db->TotalRows(), 6u + 5u + 8u);
+  EXPECT_GT(db->ApproxBytes(), 0u);
+}
+
+// ---------- Indexes ----------
+
+TEST(SortedIndexTest, PointAndRangeLookups) {
+  auto db = testing::MakeMoviesDb();
+  const Table* movie = db->GetTable("movie").value();
+  auto index = SortedColumnIndex::Build(*movie, "year");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().NumRows(), 6u);
+  EXPECT_EQ(index.value().Lookup(Value(static_cast<int64_t>(2003))).size(), 1u);
+  EXPECT_TRUE(index.value().Lookup(Value(static_cast<int64_t>(1900))).empty());
+  // Range [1994, 2003]: 1994, 1996, 2001, 2003.
+  auto rows = index.value().Range(Value(static_cast<int64_t>(1994)),
+                                  Value(static_cast<int64_t>(2003)));
+  EXPECT_EQ(rows.size(), 4u);
+  // Unbounded range returns everything.
+  EXPECT_EQ(index.value().Range(Value::Null(), Value::Null()).size(), 6u);
+  EXPECT_EQ(index.value().MinValue().value().AsInt64(), 1994);
+  EXPECT_EQ(index.value().MaxValue().value().AsInt64(), 2014);
+}
+
+TEST(SortedIndexTest, ExcludesNulls) {
+  Schema s("t", {{"a", ValueType::kInt64}});
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(1))}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  auto index = SortedColumnIndex::Build(t, "a");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().NumRows(), 1u);
+}
+
+TEST(HashIndexTest, LookupPostings) {
+  auto db = testing::MakeMoviesDb();
+  const Table* cast = db->GetTable("castinfo").value();
+  auto index = HashColumnIndex::Build(*cast, "person_id");
+  ASSERT_TRUE(index.ok());
+  const auto* rows = index.value().Lookup(Value(static_cast<int64_t>(2)));
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 4u);  // Ewan appears in 4 movies
+  EXPECT_EQ(index.value().Lookup(Value(static_cast<int64_t>(42))), nullptr);
+}
+
+// ---------- Inverted index ----------
+
+TEST(InvertedIndexTest, CaseInsensitiveLookup) {
+  auto db = testing::MakeAcademicsDb();
+  auto index = InvertedColumnIndex::Build(*db);
+  ASSERT_TRUE(index.ok());
+  const auto* postings = index.value().Lookup("dan susic");
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 1u);
+  EXPECT_EQ((*postings)[0].relation, "academics");
+  EXPECT_EQ((*postings)[0].attribute, "name");
+  EXPECT_EQ(index.value().Lookup("DAN SUSIC")->size(), 1u);
+  EXPECT_EQ(index.value().Lookup("nobody"), nullptr);
+}
+
+TEST(InvertedIndexTest, IndexesDeclaredTextAttributes) {
+  auto db = testing::MakeAcademicsDb();
+  auto index = InvertedColumnIndex::Build(*db);
+  ASSERT_TRUE(index.ok());
+  // interest.name is declared text-searchable.
+  const auto* postings = index.value().Lookup("data management");
+  ASSERT_NE(postings, nullptr);
+  EXPECT_EQ((*postings)[0].relation, "interest");
+}
+
+// ---------- CSV ----------
+
+TEST(CsvTest, ParseLineHandlesQuoting) {
+  auto fields = ParseCsvLine("a,\"b,c\",\"d\"\"e\",");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.value(),
+            (std::vector<std::string>{"a", "b,c", "d\"e", ""}));
+}
+
+TEST(CsvTest, ParseLineRejectsMalformed) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Schema s("t", {{"i", ValueType::kInt64},
+                 {"d", ValueType::kDouble},
+                 {"s", ValueType::kString}});
+  Table t(s);
+  ASSERT_TRUE(
+      t.AppendRow({Value(static_cast<int64_t>(1)), Value(2.5), Value("a,b")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null(), Value("q\"x")}).ok());
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(s, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), 2u);
+  EXPECT_EQ(loaded.value().ValueAt(0, 0).AsInt64(), 1);
+  EXPECT_EQ(loaded.value().ValueAt(0, 2).AsString(), "a,b");
+  EXPECT_TRUE(loaded.value().ValueAt(1, 0).is_null());
+  EXPECT_EQ(loaded.value().ValueAt(1, 2).AsString(), "q\"x");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadRejectsBadNumbers) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_bad.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("i\nnot_a_number\n", f);
+    fclose(f);
+  }
+  Schema s("t", {{"i", ValueType::kInt64}});
+  EXPECT_FALSE(ReadCsv(s, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace squid

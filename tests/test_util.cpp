@@ -1,0 +1,201 @@
+#include "tests/test_util.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace squid {
+namespace testing {
+
+namespace {
+
+void Must(const Status& s) { SQUID_CHECK(s.ok()) << s.ToString(); }
+
+Value I(int64_t v) { return Value(v); }
+Value S(const char* v) { return Value(v); }
+
+}  // namespace
+
+std::unique_ptr<Database> MakeAcademicsDb() {
+  auto db = std::make_unique<Database>("cs_academics");
+
+  {
+    Schema s("academics", {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddTextSearchAttribute("name");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    // The six researchers of Figure 1 (names lightly fictionalized).
+    Must(t.value()->AppendRow({I(100), S("Tom Corwin")}));
+    Must(t.value()->AppendRow({I(101), S("Dan Susic")}));
+    Must(t.value()->AppendRow({I(102), S("Jia Hansen")}));
+    Must(t.value()->AppendRow({I(103), S("Sam Madsen")}));
+    Must(t.value()->AppendRow({I(104), S("Jim Kuros")}));
+    Must(t.value()->AppendRow({I(105), S("Joe Hellman")}));
+  }
+  {
+    Schema s("interest", {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+    s.set_primary_key("id");
+    s.AddPropertyAttribute("name");
+    s.AddTextSearchAttribute("name");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    Must(t.value()->AppendRow({I(1), S("algorithms")}));
+    Must(t.value()->AppendRow({I(2), S("data management")}));
+    Must(t.value()->AppendRow({I(3), S("data mining")}));
+    Must(t.value()->AppendRow({I(4), S("distributed systems")}));
+    Must(t.value()->AppendRow({I(5), S("computer networks")}));
+  }
+  {
+    Schema s("research", {{"id", ValueType::kInt64},
+                          {"aid", ValueType::kInt64},
+                          {"interest_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.AddForeignKey({"aid", "academics", "id"});
+    s.AddForeignKey({"interest_id", "interest", "id"});
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    int64_t id = 1;
+    auto link = [&](int64_t aid, int64_t interest) {
+      Must(t.value()->AppendRow({I(id++), I(aid), I(interest)}));
+    };
+    link(100, 1);  // algorithms
+    link(101, 2);  // data management
+    link(102, 3);  // data mining
+    link(103, 2);  // data management
+    link(103, 4);  // distributed systems
+    link(104, 5);  // computer networks
+    link(105, 2);  // data management
+    link(105, 4);  // distributed systems
+  }
+  return db;
+}
+
+std::unique_ptr<Database> MakeMoviesDb() {
+  auto db = std::make_unique<Database>("movies_excerpt");
+
+  {
+    Schema s("person", {{"id", ValueType::kInt64},
+                        {"name", ValueType::kString},
+                        {"gender", ValueType::kString},
+                        {"age", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddPropertyAttribute("gender");
+    s.AddPropertyAttribute("age");
+    s.AddTextSearchAttribute("name");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    // Figure 5 / Figure 6 style excerpt (fictionalized names).
+    Must(t.value()->AppendRow({I(1), S("Jim Carris"), S("Male"), I(60)}));
+    Must(t.value()->AppendRow({I(2), S("Ewan McGregg"), S("Male"), I(52)}));
+    Must(t.value()->AppendRow({I(3), S("Laura Holt"), S("Female"), I(58)}));
+    Must(t.value()->AppendRow({I(4), S("Toni Cruse"), S("Male"), I(50)}));
+    Must(t.value()->AppendRow({I(5), S("Clint East"), S("Male"), I(90)}));
+    Must(t.value()->AppendRow({I(6), S("Emma Stone"), S("Female"), I(29)}));
+  }
+  {
+    Schema s("movie", {{"id", ValueType::kInt64},
+                       {"title", ValueType::kString},
+                       {"year", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddPropertyAttribute("year");
+    s.AddTextSearchAttribute("title");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    Must(t.value()->AppendRow({I(10), S("Mighty Bruce"), I(2003)}));
+    Must(t.value()->AppendRow({I(11), S("Dumb Duo"), I(1994)}));
+    Must(t.value()->AppendRow({I(12), S("Phillip's Letters"), I(2009)}));
+    Must(t.value()->AppendRow({I(13), S("Moulin Red"), I(2001)}));
+    Must(t.value()->AppendRow({I(14), S("Trainspotters"), I(1996)}));
+    Must(t.value()->AppendRow({I(15), S("Dumber Duo"), I(2014)}));
+  }
+  {
+    Schema s("genre", {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+    s.set_primary_key("id");
+    s.AddPropertyAttribute("name");
+    s.AddTextSearchAttribute("name");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    Must(t.value()->AppendRow({I(1), S("Comedy")}));
+    Must(t.value()->AppendRow({I(2), S("Fantasy")}));
+    Must(t.value()->AppendRow({I(3), S("Drama")}));
+  }
+  {
+    Schema s("movietogenre", {{"id", ValueType::kInt64},
+                              {"movie_id", ValueType::kInt64},
+                              {"genre_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.AddForeignKey({"movie_id", "movie", "id"});
+    s.AddForeignKey({"genre_id", "genre", "id"});
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    int64_t id = 1;
+    auto link = [&](int64_t movie, int64_t genre) {
+      Must(t.value()->AppendRow({I(id++), I(movie), I(genre)}));
+    };
+    link(10, 1);  // Mighty Bruce: Comedy, Fantasy
+    link(10, 2);
+    link(11, 1);  // Dumb Duo: Comedy
+    link(12, 1);  // Phillip's Letters: Comedy, Drama
+    link(12, 3);
+    link(13, 3);  // Moulin Red: Drama
+    link(14, 3);  // Trainspotters: Drama
+    link(15, 1);  // Dumber Duo: Comedy
+  }
+  {
+    Schema s("castinfo", {{"id", ValueType::kInt64},
+                          {"person_id", ValueType::kInt64},
+                          {"movie_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.AddForeignKey({"person_id", "person", "id"});
+    s.AddForeignKey({"movie_id", "movie", "id"});
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    int64_t id = 1;
+    auto link = [&](int64_t person, int64_t movie) {
+      Must(t.value()->AppendRow({I(id++), I(person), I(movie)}));
+    };
+    // Jim Carris: 3 comedies (10, 11, 12) + 1 drama-ish (12 double counted
+    // via genres) — mirrors the persontogenre counts in Fig. 5.
+    link(1, 10);
+    link(1, 11);
+    link(1, 12);
+    // Ewan McGregg: comedies 10, 12; drama 13, 14.
+    link(2, 10);
+    link(2, 12);
+    link(2, 13);
+    link(2, 14);
+    // Laura Holt: comedy 11.
+    link(3, 11);
+    // Toni Cruse: 13.
+    link(4, 13);
+    // Clint East: 14.
+    link(5, 14);
+    // Emma Stone: 15.
+    link(6, 15);
+  }
+  return db;
+}
+
+std::vector<std::string> NamesOf(const ResultSet& rs) {
+  std::vector<std::string> out;
+  for (const Value& v : rs.ColumnValues(0)) {
+    if (!v.is_null()) out.push_back(v.ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::set<std::string> NameSet(const ResultSet& rs) {
+  std::set<std::string> out;
+  for (const Value& v : rs.ColumnValues(0)) {
+    if (!v.is_null()) out.insert(v.ToString());
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace squid

@@ -1,0 +1,38 @@
+#ifndef SQUID_TESTS_TEST_UTIL_H_
+#define SQUID_TESTS_TEST_UTIL_H_
+
+/// \file test_util.h
+/// \brief Shared fixtures: the paper's Example 1.1 database (academics with
+/// research interests) and the Fig. 5 movie excerpt (persons, movies,
+/// genres), plus small assertion helpers.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/result_set.h"
+#include "storage/database.h"
+
+namespace squid {
+namespace testing {
+
+/// Example 1.1: academics(id, name) with research interests attached via the
+/// property-link table research(id, aid, interest_id) -> interest(id, name).
+/// Dan Suciu / Sam Madden analogues share interest "data management".
+std::unique_ptr<Database> MakeAcademicsDb();
+
+/// Fig. 5 excerpt: person / movie entities, castinfo association, genre
+/// dimension via movietogenre. Carrey-like person appears in 3 comedies.
+std::unique_ptr<Database> MakeMoviesDb();
+
+/// Column 0 of `rs` as a sorted vector of strings.
+std::vector<std::string> NamesOf(const ResultSet& rs);
+
+/// Convenience set construction.
+std::set<std::string> NameSet(const ResultSet& rs);
+
+}  // namespace testing
+}  // namespace squid
+
+#endif  // SQUID_TESTS_TEST_UTIL_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "datagen/adult_generator.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/imdb_generator.h"
+#include "workloads/adult_queries.h"
+#include "workloads/case_studies.h"
+#include "workloads/dblp_queries.h"
+#include "workloads/imdb_queries.h"
+
+namespace squid {
+namespace {
+
+class WorkloadsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ImdbOptions imdb_options;
+    imdb_options.scale = 0.2;
+    auto imdb = GenerateImdb(imdb_options);
+    ASSERT_TRUE(imdb.ok());
+    imdb_ = new ImdbData(std::move(imdb).value());
+
+    DblpOptions dblp_options;
+    dblp_options.scale = 0.25;
+    auto dblp = GenerateDblp(dblp_options);
+    ASSERT_TRUE(dblp.ok());
+    dblp_ = new DblpData(std::move(dblp).value());
+
+    AdultOptions adult_options;
+    adult_options.num_rows = 3000;
+    auto adult = GenerateAdult(adult_options);
+    ASSERT_TRUE(adult.ok());
+    adult_ = adult.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete imdb_;
+    delete dblp_;
+    delete adult_;
+  }
+  static ImdbData* imdb_;
+  static DblpData* dblp_;
+  static Database* adult_;
+};
+ImdbData* WorkloadsFixture::imdb_ = nullptr;
+DblpData* WorkloadsFixture::dblp_ = nullptr;
+Database* WorkloadsFixture::adult_ = nullptr;
+
+TEST_F(WorkloadsFixture, SixteenImdbQueries) {
+  auto queries = ImdbBenchmarkQueries(imdb_->manifest);
+  EXPECT_EQ(queries.size(), 16u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].id, "IQ" + std::to_string(i + 1));
+    EXPECT_FALSE(queries[i].description.empty());
+    EXPECT_GT(queries[i].num_joins, 0u);
+  }
+}
+
+TEST_F(WorkloadsFixture, ImdbGroundTruthsAreNonEmpty) {
+  auto queries = ImdbBenchmarkQueries(imdb_->manifest);
+  for (const auto& q : queries) {
+    auto truth = GroundTruth(*imdb_->db, q);
+    ASSERT_TRUE(truth.ok()) << q.id << ": " << truth.status().ToString();
+    EXPECT_GT(truth.value().num_rows(), 0u) << q.id;
+  }
+}
+
+TEST_F(WorkloadsFixture, ImdbPlantedCardinalities) {
+  auto queries = ImdbBenchmarkQueries(imdb_->manifest);
+  auto card = [&](const std::string& id) {
+    const BenchmarkQuery* q = FindQuery(queries, id).value();
+    return GroundTruth(*imdb_->db, *q).value().num_rows();
+  };
+  EXPECT_GE(card("IQ1"), 30u);   // hub cast
+  EXPECT_GE(card("IQ2"), 15u);   // trilogy shared cast
+  EXPECT_GE(card("IQ5"), 12u);   // co-star movies
+  EXPECT_GE(card("IQ6"), 30u);   // directed movies
+  EXPECT_GE(card("IQ9"), 5u);    // Indian actors in US movies
+  EXPECT_GE(card("IQ12"), 20u);  // studio movies
+}
+
+TEST_F(WorkloadsFixture, FiveDblpQueries) {
+  auto queries = DblpBenchmarkQueries(dblp_->manifest);
+  EXPECT_EQ(queries.size(), 5u);
+  for (const auto& q : queries) {
+    auto truth = GroundTruth(*dblp_->db, q);
+    ASSERT_TRUE(truth.ok()) << q.id << ": " << truth.status().ToString();
+    EXPECT_GT(truth.value().num_rows(), 0u) << q.id;
+  }
+}
+
+TEST_F(WorkloadsFixture, DblpIntersectionQueriesUseBranches) {
+  auto queries = DblpBenchmarkQueries(dblp_->manifest);
+  EXPECT_EQ(FindQuery(queries, "DQ1").value()->query.branches.size(), 2u);
+  EXPECT_EQ(FindQuery(queries, "DQ2").value()->query.branches.size(), 2u);
+  EXPECT_EQ(FindQuery(queries, "DQ4").value()->query.branches.size(), 3u);
+}
+
+TEST_F(WorkloadsFixture, TwentyAdultQueries) {
+  auto queries = AdultBenchmarkQueries(*adult_);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_EQ(queries.value().size(), 20u);
+  size_t prev = 0;
+  for (const auto& q : queries.value()) {
+    auto truth = GroundTruth(*adult_, q);
+    ASSERT_TRUE(truth.ok());
+    // Cardinalities within the Fig. 22 range, sorted ascending.
+    EXPECT_GE(truth.value().num_rows(), 8u);
+    EXPECT_LE(truth.value().num_rows(), 1500u);
+    EXPECT_GE(truth.value().num_rows(), prev);
+    prev = truth.value().num_rows();
+    EXPECT_GE(q.num_selections, 2u);
+  }
+}
+
+TEST_F(WorkloadsFixture, AdultQueriesAreDeterministic) {
+  auto a = AdultBenchmarkQueries(*adult_, 7);
+  auto b = AdultBenchmarkQueries(*adult_, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.value()[i].num_selections, b.value()[i].num_selections);
+  }
+}
+
+TEST_F(WorkloadsFixture, FindQueryErrors) {
+  auto queries = ImdbBenchmarkQueries(imdb_->manifest);
+  EXPECT_TRUE(FindQuery(queries, "IQ3").ok());
+  EXPECT_FALSE(FindQuery(queries, "IQ99").ok());
+}
+
+// ---------- Case studies ----------
+
+TEST_F(WorkloadsFixture, FunnyActorsCaseStudy) {
+  auto cs = FunnyActorsCaseStudy(*imdb_->db, imdb_->manifest);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  EXPECT_EQ(cs.value().entity_relation, "person");
+  EXPECT_TRUE(cs.value().use_normalized_association);
+  EXPECT_GT(cs.value().list.size(), 10u);
+  for (const auto& name : cs.value().list) {
+    EXPECT_TRUE(cs.value().popularity_mask.count(name)) << name;
+  }
+}
+
+TEST_F(WorkloadsFixture, SciFiCaseStudy) {
+  auto cs = SciFi2000sCaseStudy(*imdb_->db);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  EXPECT_EQ(cs.value().entity_relation, "movie");
+  EXPECT_GT(cs.value().list.size(), 5u);
+}
+
+TEST_F(WorkloadsFixture, ProlificResearchersCaseStudy) {
+  auto cs = ProlificResearchersCaseStudy(*dblp_->db, dblp_->manifest);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  EXPECT_EQ(cs.value().entity_relation, "author");
+  EXPECT_GT(cs.value().list.size(), 5u);
+  EXPECT_LE(cs.value().list.size(), 30u);
+}
+
+}  // namespace
+}  // namespace squid
