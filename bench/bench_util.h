@@ -8,7 +8,7 @@
 /// Every binary prints the rows/series of the paper artifact it regenerates.
 /// Absolute numbers differ from the paper (synthetic data, different
 /// hardware); the SHAPE of each trend is the reproduction target — see
-/// EXPERIMENTS.md.
+/// docs/EXPERIMENTS.md and the bench-to-figure table in README.md.
 
 #include <cstdio>
 #include <cstdlib>

@@ -5,6 +5,8 @@
 // Also demonstrates the SQL layer: the ground truth is written as a SQL
 // string and parsed.
 //
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/academics
 
 #include <cstdio>

@@ -4,6 +4,8 @@
 // SQuID runs with normalized association strengths, so the discovered
 // filter is about the FRACTION of an actor's portfolio that is comedy.
 //
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/funny_actors
 
 #include <cstdio>

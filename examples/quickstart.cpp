@@ -3,7 +3,7 @@
 // of the paper's Example 1.1.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 
 #include <cstdio>

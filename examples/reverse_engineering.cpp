@@ -3,6 +3,8 @@
 // optimistic QRE preset against the TALOS-style decision-tree baseline on
 // one census query — the Fig. 14 protocol for a single row.
 //
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/reverse_engineering
 
 #include <cstdio>

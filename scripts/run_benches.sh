@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Runs every paper-figure bench binary in sequence, teeing each one's output
+# to results/<bench>.txt. Build first:
+#   cmake -B build -S . && cmake --build build -j
+#
+# Usage: scripts/run_benches.sh [build-dir] [results-dir]
+set -eu
+
+build_dir="${1:-build}"
+results_dir="${2:-results}"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found; build the project first" >&2
+  exit 1
+fi
+
+mkdir -p "$results_dir"
+
+for bin in "$build_dir"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "==> $name"
+  # Redirect instead of tee: a pipeline would report tee's exit status and
+  # silently swallow a crashing bench.
+  if ! "$bin" > "$results_dir/$name.txt" 2>&1; then
+    cat "$results_dir/$name.txt"
+    echo "FAILED: $name (output in $results_dir/$name.txt)" >&2
+    exit 1
+  fi
+  cat "$results_dir/$name.txt"
+  echo
+done
+
+echo "Wrote $results_dir/*.txt"

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "core/squid.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+// End-to-end smoke test for the tier-1 build: the full Discover pipeline on
+// the paper's Example 1.1 database, with the abduced SQL round-tripped
+// through the sql/ parser and printer. If this passes, the offline phase
+// (aDB construction), the online phase (lookup -> disambiguation -> context
+// discovery -> abduction -> query building), and the SQL layer all link and
+// agree on signatures.
+
+namespace squid {
+namespace {
+
+using testing::MakeAcademicsDb;
+using testing::NamesOf;
+
+class SmokeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeAcademicsDb();
+    auto adb = AbductionReadyDb::Build(*db_);
+    ASSERT_TRUE(adb.ok()) << adb.status().ToString();
+    adb_ = std::move(adb).value();
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AbductionReadyDb> adb_;
+};
+
+// Printing a query, parsing the text back, and printing again must be a
+// fixed point: the second print equals the first.
+void ExpectSqlRoundTrips(const Query& query) {
+  const std::string sql = ToSql(query);
+  auto reparsed = ParseQuery(sql);
+  ASSERT_TRUE(reparsed.ok()) << "abduced SQL does not re-parse: " << sql
+                             << "\n" << reparsed.status().ToString();
+  EXPECT_EQ(ToSql(reparsed.value()), sql);
+}
+
+TEST_F(SmokeFixture, DiscoverEndToEndAndSqlRoundTrips) {
+  Squid squid(adb_.get());
+  auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(abduced.ok()) << abduced.status().ToString();
+  const AbducedQuery& result = abduced.value();
+
+  // Base query: the examples are academics, identified by name.
+  EXPECT_EQ(result.entity_relation, "academics");
+  EXPECT_EQ(result.projection_attr, "name");
+  EXPECT_EQ(result.entity_keys.size(), 2u);
+
+  // Both the original-schema SPJAI query and the aDB SPJ form must
+  // round-trip through the parser and printer.
+  ExpectSqlRoundTrips(result.original_query);
+  ExpectSqlRoundTrips(result.adb_query);
+
+  // The abduced aDB query must execute and return at least the examples.
+  auto rs = ExecuteQuery(adb_->database(), result.adb_query);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  auto names = NamesOf(rs.value());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Dan Susic"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Sam Madsen"), names.end());
+}
+
+TEST_F(SmokeFixture, MultilinePrintAlsoReparses) {
+  Squid squid(adb_.get());
+  auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+  ASSERT_TRUE(abduced.ok()) << abduced.status().ToString();
+
+  // The multiline pretty-printer output must parse back to the same query
+  // as the single-line form.
+  const Query& query = abduced.value().original_query;
+  auto reparsed = ParseQuery(ToSql(query, {.multiline = true}));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(ToSql(reparsed.value()), ToSql(query));
+}
+
+}  // namespace
+}  // namespace squid
