@@ -16,6 +16,7 @@ using namespace squid;
 using namespace squid::bench;
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_datacube");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t lookups = static_cast<size_t>(FlagOr(argc, argv, "lookups", 2000));
   Banner("Appendix F.4", "aDB derived relation vs data-cube materialization");

@@ -40,6 +40,7 @@ void RunDataset(const char* label, const Database& db, const AbductionReadyDb& a
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig10_accuracy");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 3));
 

@@ -49,6 +49,7 @@ void RunDataset(const char* label, const Database& db, const AbductionReadyDb& a
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig11_query_runtime");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   Banner("Figure 11", "runtime of abduced vs actual benchmark queries");
   ImdbBench imdb = BuildImdbBench(scale);

@@ -11,6 +11,7 @@ using namespace squid;
 using namespace squid::bench;
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig12_disambiguation");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 3));
   Banner("Figure 12", "effect of entity disambiguation (IMDb)");

@@ -53,6 +53,7 @@ void RunStudy(const AbductionReadyDb& adb, const CaseStudy& cs, size_t runs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig13_case_studies");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 5));
   Banner("Figure 13", "case studies with simulated public lists");

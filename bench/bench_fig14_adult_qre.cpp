@@ -15,6 +15,7 @@ using namespace squid;
 using namespace squid::bench;
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig14_adult_qre");
   size_t rows = static_cast<size_t>(FlagOr(argc, argv, "rows", kAdultBenchRows));
   Banner("Figure 14", "QRE on Adult: #predicates and discovery time");
 

@@ -74,6 +74,7 @@ void RunDataset(const char* label, const Database& db, const AbductionReadyDb& a
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig15_imdb_dblp_qre");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   Banner("Figure 15", "QRE on IMDb and DBLP: SQuID vs TALOS");
   ImdbBench imdb = BuildImdbBench(scale);

@@ -37,7 +37,7 @@ Result<Metrics> RunPu(const Database& db, const BenchmarkQuery& query,
   std::vector<size_t> positive_rows, all_rows;
   for (size_t r = 0; r < adult->num_rows(); ++r) {
     all_rows.push_back(r);
-    if (intended.count(names->StringAt(r))) positive_rows.push_back(r);
+    if (intended.count(std::string(names->StringAt(r)))) positive_rows.push_back(r);
   }
   if (positive_rows.size() < 4) return Status::Internal("too few positives");
 
@@ -57,7 +57,7 @@ Result<Metrics> RunPu(const Database& db, const BenchmarkQuery& query,
                          PuLearner::Train(data, labeled_rows, all_rows, options, rng));
   std::unordered_set<std::string> predicted;
   for (size_t r : all_rows) {
-    if (learner.Predict(data, r)) predicted.insert(names->StringAt(r));
+    if (learner.Predict(data, r)) predicted.emplace(names->StringAt(r));
   }
   *seconds = timer.ElapsedSeconds();
   return ComputeMetrics(intended, predicted);
@@ -86,6 +86,7 @@ Result<Metrics> RunSquidFraction(const AbductionReadyDb& adb, const Database& db
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig16_pu_learning");
   size_t rows = static_cast<size_t>(FlagOr(argc, argv, "rows", 4000));
   size_t num_queries = static_cast<size_t>(FlagOr(argc, argv, "queries", 8));
   Banner("Figure 16(a)", "accuracy vs fraction of positives (Adult)");

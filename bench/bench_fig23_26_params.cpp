@@ -42,6 +42,7 @@ void Sweep(const ImdbBench& bench, const std::vector<std::string>& ids,
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig23_26_params");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 2));
   ImdbBench bench = BuildImdbBench(scale);

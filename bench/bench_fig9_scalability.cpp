@@ -40,6 +40,7 @@ double MeanAbductionSeconds(const Database& db, const AbductionReadyDb& adb,
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_fig9_scalability");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 2));
   const std::vector<size_t> sizes = {5, 10, 15, 20, 25, 30};

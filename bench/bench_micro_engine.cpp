@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "adb/abduction_ready_db.h"
 #include "core/context_discovery.h"
 #include "core/squid.h"
@@ -16,6 +20,10 @@
 namespace squid {
 namespace {
 
+/// Dataset scale for the singleton fixture; overridable with --scale= so CI
+/// can run the suite at a tiny scale.
+double g_fixture_scale = 0.12;
+
 /// Singleton fixture: the generated dataset + αDB are expensive, build once.
 struct MicroFixture {
   ImdbData data;
@@ -24,7 +32,7 @@ struct MicroFixture {
   static MicroFixture& Get() {
     static MicroFixture* fixture = [] {
       ImdbOptions options;
-      options.scale = 0.12;
+      options.scale = g_fixture_scale;
       auto data = GenerateImdb(options);
       if (!data.ok()) std::abort();
       auto* f = new MicroFixture{std::move(data).value(), nullptr};
@@ -85,6 +93,35 @@ void BM_InvertedIndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_InvertedIndexLookup);
 
+void BM_InvertedIndexLookupMixedCase(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  std::string name = f.data.manifest.costar_a;
+  for (char& c : name) c = (c % 2) ? StringPool::FoldChar(c) : c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.adb->inverted_index().Lookup(name));
+  }
+}
+BENCHMARK(BM_InvertedIndexLookupMixedCase);
+
+void BM_InvertedIndexLookupMiss(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const std::string name = "No Such Person Anywhere";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.adb->inverted_index().Lookup(name));
+  }
+}
+BENCHMARK(BM_InvertedIndexLookupMiss);
+
+void BM_StringPoolFindFolded(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const StringPool& pool = *f.data.db->pool();
+  const std::string name = f.data.manifest.costar_a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.FindFolded(name));
+  }
+}
+BENCHMARK(BM_StringPoolFindFolded);
+
 void BM_ExecutorSPJ(benchmark::State& state) {
   auto& f = MicroFixture::Get();
   auto query = ParseQuery(
@@ -136,4 +173,28 @@ BENCHMARK(BM_EndToEndDiscover);
 }  // namespace
 }  // namespace squid
 
-BENCHMARK_MAIN();
+/// Custom main: supports --scale=<s> (fixture dataset scale; CI uses a tiny
+/// one) and --json=<path> (mapped onto google-benchmark's JSON reporter, so
+/// all bench binaries share one flag). Everything else is passed through.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;  // keeps rewritten flags alive
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      storage.push_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      storage.push_back("--benchmark_out_format=json");
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      squid::g_fixture_scale = std::atof(argv[i] + 8);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

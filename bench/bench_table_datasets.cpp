@@ -38,6 +38,7 @@ void DatasetRow(TablePrinter* table, const char* name, const Database& db,
 }  // namespace
 
 int main(int argc, char** argv) {
+  squid::bench::InitBenchIo(argc, argv, "bench_table_datasets");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   Banner("Figures 17/18", "datasets and aDB precomputation");
 

@@ -46,6 +46,28 @@ inline double FlagOr(int argc, char** argv, const char* name, double fallback) {
   return fallback;
 }
 
+/// String-valued flag lookup: --name=value ("" when absent).
+inline std::string StringFlagOr(int argc, char** argv, const char* name,
+                                const char* fallback = "") {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Shared bench I/O setup: parses `--json=<path>` and, when present,
+/// enables the process-wide JSON sink so every table the bench prints is
+/// also written to <path> as machine-readable JSON at exit. Call first in
+/// every bench main. scripts/run_benches.sh passes --json for each bench
+/// and collects the files under bench/out/.
+inline void InitBenchIo(int argc, char** argv, const char* bench_name) {
+  std::string json_path = StringFlagOr(argc, argv, "json");
+  if (!json_path.empty()) BenchJsonSink::Enable(json_path, bench_name);
+}
+
 /// Bench-default dataset scales (kept modest so the full harness finishes in
 /// minutes on one core; raise with --scale=... for larger runs).
 constexpr double kImdbBenchScale = 0.25;
@@ -143,9 +165,10 @@ inline std::vector<Value> GroundTruthKeys(const Database& db,
   return keys;
 }
 
-/// Banner printed by each bench.
+/// Banner printed by each bench; also labels subsequent JSON tables.
 inline void Banner(const char* figure, const char* what) {
   std::printf("=== %s: %s ===\n", figure, what);
+  BenchJsonSink::SetSection(std::string(figure) + ": " + what);
 }
 
 }  // namespace bench

@@ -73,7 +73,7 @@ int main() {
   auto intended = ToStringSet(truth.value());
   std::vector<Value> keys;
   for (size_t r = 0; r < adult->num_rows(); ++r) {
-    if (intended.count(names->StringAt(r))) keys.push_back(ids->ValueAt(r));
+    if (intended.count(std::string(names->StringAt(r)))) keys.push_back(ids->ValueAt(r));
   }
   auto talos = RunTalos(*adb.value(), "adult", keys);
   if (talos.ok()) {

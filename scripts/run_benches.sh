@@ -1,20 +1,23 @@
 #!/usr/bin/env sh
 # Runs every paper-figure bench binary in sequence, teeing each one's output
-# to results/<bench>.txt. Build first:
+# to results/<bench>.txt and collecting machine-readable JSON results into
+# bench/out/<bench>.json (every bench supports --json=<path>; see
+# bench/bench_util.h). Build first:
 #   cmake -B build -S . && cmake --build build -j
 #
-# Usage: scripts/run_benches.sh [build-dir] [results-dir]
+# Usage: scripts/run_benches.sh [build-dir] [results-dir] [json-dir]
 set -eu
 
 build_dir="${1:-build}"
 results_dir="${2:-results}"
+json_dir="${3:-bench/out}"
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found; build the project first" >&2
   exit 1
 fi
 
-mkdir -p "$results_dir"
+mkdir -p "$results_dir" "$json_dir"
 
 for bin in "$build_dir"/bench/bench_*; do
   [ -x "$bin" ] || continue
@@ -22,7 +25,7 @@ for bin in "$build_dir"/bench/bench_*; do
   echo "==> $name"
   # Redirect instead of tee: a pipeline would report tee's exit status and
   # silently swallow a crashing bench.
-  if ! "$bin" > "$results_dir/$name.txt" 2>&1; then
+  if ! "$bin" --json="$json_dir/$name.json" > "$results_dir/$name.txt" 2>&1; then
     cat "$results_dir/$name.txt"
     echo "FAILED: $name (output in $results_dir/$name.txt)" >&2
     exit 1
@@ -31,4 +34,4 @@ for bin in "$build_dir"/bench/bench_*; do
   echo
 done
 
-echo "Wrote $results_dir/*.txt"
+echo "Wrote $results_dir/*.txt and $json_dir/*.json"

@@ -138,7 +138,9 @@ Result<std::shared_ptr<Table>> MaterializeDerivedRelation(
                  {"frac", ValueType::kDouble}});
   schema.AddForeignKey(
       ForeignKeyDef{"entity_id", desc.entity_relation, desc.entity_key});
-  auto table = std::make_shared<Table>(std::move(schema));
+  // Share the base database's pool so derived string values (and entity
+  // keys) carry symbols comparable with the base columns'.
+  auto table = std::make_shared<Table>(std::move(schema), db.pool());
   size_t total_rows = 0;
   for (const auto& [_, per_entity] : counts) total_rows += per_entity.size();
   table->Reserve(total_rows);

@@ -8,6 +8,36 @@ namespace squid {
 
 namespace {
 
+ValueKey NumericKey(double d) { return ValueKey{PackedDoubleBits(d), 1}; }
+
+}  // namespace
+
+ValueKey PropertyStats::KeyFor(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return NumericKey(static_cast<double>(v.AsInt64()));
+    case ValueType::kDouble:
+      return NumericKey(v.AsDouble());
+    case ValueType::kString: {
+      Symbol s = pool_ ? pool_->Find(v.AsString()) : kNoSymbol;
+      if (s == kNoSymbol) return ValueKey{};  // not in the data: matches nothing
+      return ValueKey{s, 2};
+    }
+    case ValueType::kNull:
+      return ValueKey{};
+  }
+  return ValueKey{};
+}
+
+ValueKey PropertyStats::InternKey(const Value& v, StringPool* pool) {
+  if (v.type() == ValueType::kString) {
+    return ValueKey{pool->Intern(v.AsString()), 2};
+  }
+  return KeyFor(v);
+}
+
+namespace {
+
 /// Resolves the dim-chain value of `desc` for entity row `row`, returning
 /// NULL when any link is missing. `pk_indexes[i]` indexes dims[i]'s relation.
 Result<Value> ResolveDims(const Database& db, const PropertyDescriptor& desc,
@@ -58,7 +88,7 @@ double PropertyStats::SelectivityEquals(const Value& v) const {
     if (!num.ok()) return 0.0;
     return SelectivityRange(num.value(), num.value());
   }
-  auto it = value_counts_.find(v);
+  auto it = value_counts_.find(KeyFor(v));
   if (it == value_counts_.end()) return 0.0;
   return static_cast<double>(it->second) / static_cast<double>(total_entities_);
 }
@@ -71,21 +101,22 @@ double PropertyStats::SelectivityRange(double lo, double hi) const {
 }
 
 double PropertyStats::SelectivityDerived(const Value& v, double theta) const {
-  auto it = theta_by_value_.find(v);
+  auto it = theta_by_value_.find(KeyFor(v));
   if (it == theta_by_value_.end()) return 0.0;
   return SuffixFraction(it->second, theta, total_entities_);
 }
 
 double PropertyStats::SelectivityDerivedNormalized(const Value& v, double frac) const {
-  auto it = theta_norm_by_value_.find(v);
+  auto it = theta_norm_by_value_.find(KeyFor(v));
   if (it == theta_norm_by_value_.end()) return 0.0;
   return SuffixFraction(it->second, frac, total_entities_);
 }
 
 size_t PropertyStats::EntitiesWithValue(const Value& v) const {
-  auto vit = value_counts_.find(v);
+  ValueKey key = KeyFor(v);
+  auto vit = value_counts_.find(key);
   if (vit != value_counts_.end()) return vit->second;
-  auto tit = theta_by_value_.find(v);
+  auto tit = theta_by_value_.find(key);
   if (tit != theta_by_value_.end()) return tit->second.size();
   return 0;
 }
@@ -100,6 +131,7 @@ Result<PropertyStats> StatisticsBuilder::BuildBasic(const Database& db,
   PropertyStats stats;
   stats.kind_ = desc.kind;
   stats.total_entities_ = entity->num_rows();
+  stats.pool_ = db.pool();
 
   std::vector<HashColumnIndex> pk_indexes;
   for (const DimHop& dim : desc.dims) {
@@ -116,7 +148,7 @@ Result<PropertyStats> StatisticsBuilder::BuildBasic(const Database& db,
       SQUID_ASSIGN_OR_RETURN(double num, v.ToNumeric());
       stats.sorted_values_.push_back(num);
     } else {
-      ++stats.value_counts_[v];
+      ++stats.value_counts_[stats.InternKey(v, db.pool().get())];
     }
   }
   if (desc.kind == PropertyKind::kInlineNumeric) {
@@ -135,6 +167,7 @@ Result<PropertyStats> StatisticsBuilder::BuildFromDerived(
   PropertyStats stats;
   stats.kind_ = PropertyKind::kDerivedCategorical;  // refined by caller if needed
   stats.total_entities_ = total_entities;
+  stats.pool_ = derived.pool();
 
   SQUID_ASSIGN_OR_RETURN(const Column* entity_col, derived.ColumnByName("entity_id"));
   SQUID_ASSIGN_OR_RETURN(const Column* value_col, derived.ColumnByName("value"));
@@ -143,12 +176,13 @@ Result<PropertyStats> StatisticsBuilder::BuildFromDerived(
 
   entity_totals->clear();
   entity_totals->reserve(total_entities);
+  StringPool* pool = derived.pool().get();
   for (size_t r = 0; r < derived.num_rows(); ++r) {
-    Value v = value_col->ValueAt(r);
+    ValueKey key = stats.InternKey(value_col->ValueAt(r), pool);
     double count = static_cast<double>(count_col->Int64At(r));
     double frac = frac_col->DoubleAt(r);
-    stats.theta_by_value_[v].push_back(count);
-    stats.theta_norm_by_value_[v].push_back(frac);
+    stats.theta_by_value_[key].push_back(count);
+    stats.theta_norm_by_value_[key].push_back(frac);
     // Recover the portfolio total from (count, frac); rows of one entity all
     // agree on it.
     if (count > 0 && frac > 0) {

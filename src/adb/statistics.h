@@ -11,7 +11,9 @@
 ///  - derived: ψ(value = v, count >= θ) via per-value sorted association
 ///    strengths (suffix counts), in absolute or portfolio-normalized form.
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,8 +21,30 @@
 #include "adb/schema_graph.h"
 #include "common/status.h"
 #include "storage/database.h"
+#include "storage/string_pool.h"
 
 namespace squid {
+
+/// 64-bit map key for property values: string values intern to StringPool
+/// symbols, numerics normalize to their double image (matching Value's
+/// cross-type 1 == 1.0 equality). Replaces hashing whole Values on the
+/// αDB's per-context selectivity probes.
+struct ValueKey {
+  uint64_t bits = 0;
+  uint8_t tag = 0;  // 0 = never-matches sentinel, 1 = numeric, 2 = string
+
+  bool operator==(const ValueKey& o) const { return bits == o.bits && tag == o.tag; }
+};
+
+struct ValueKeyHash {
+  size_t operator()(const ValueKey& k) const {
+    uint64_t h = k.bits + 0x9e3779b97f4a7c15ULL * (k.tag + 1);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
 
 /// Statistics for one property descriptor.
 class PropertyStats {
@@ -56,11 +80,21 @@ class PropertyStats {
  private:
   friend class StatisticsBuilder;
 
+  /// Packs `v` for probing: strings resolve through the pool without
+  /// interning (absent string -> sentinel key that matches nothing).
+  ValueKey KeyFor(const Value& v) const;
+
+  /// Packs `v` for building, interning unseen strings.
+  ValueKey InternKey(const Value& v, StringPool* pool);
+
   PropertyKind kind_ = PropertyKind::kInlineCategorical;
   size_t total_entities_ = 0;
 
+  // Pool string keys resolve through (shared with the source database).
+  std::shared_ptr<const StringPool> pool_;
+
   // Categorical-style: value -> #entities.
-  std::unordered_map<Value, size_t, ValueHash> value_counts_;
+  std::unordered_map<ValueKey, size_t, ValueKeyHash> value_counts_;
 
   // Inline numeric: all non-null values, sorted ascending.
   std::vector<double> sorted_values_;
@@ -69,8 +103,8 @@ class PropertyStats {
 
   // Derived: value -> sorted association strengths across entities
   // (ascending), absolute and normalized by per-entity totals.
-  std::unordered_map<Value, std::vector<double>, ValueHash> theta_by_value_;
-  std::unordered_map<Value, std::vector<double>, ValueHash> theta_norm_by_value_;
+  std::unordered_map<ValueKey, std::vector<double>, ValueKeyHash> theta_by_value_;
+  std::unordered_map<ValueKey, std::vector<double>, ValueKeyHash> theta_norm_by_value_;
 };
 
 /// \brief Builds PropertyStats for descriptors.

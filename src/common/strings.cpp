@@ -6,10 +6,27 @@
 
 namespace squid {
 
+namespace {
+
+constexpr char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c | 0x20) : c;
+}
+
+}  // namespace
+
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  ToLowerInPlace(&out);
   return out;
+}
+
+void ToLowerInPlace(std::string* s) {
+  for (char& c : *s) c = AsciiLower(c);
+}
+
+void AppendLower(std::string_view s, std::string* out) {
+  out->reserve(out->size() + s.size());
+  for (char c : s) out->push_back(AsciiLower(c));
 }
 
 std::string Trim(std::string_view s) {
@@ -47,10 +64,7 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
 bool EqualsIgnoreCase(std::string_view s, std::string_view t) {
   if (s.size() != t.size()) return false;
   for (size_t i = 0; i < s.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(s[i])) !=
-        std::tolower(static_cast<unsigned char>(t[i]))) {
-      return false;
-    }
+    if (AsciiLower(s[i]) != AsciiLower(t[i])) return false;
   }
   return true;
 }

@@ -11,8 +11,17 @@
 namespace squid {
 
 /// Returns a lower-cased copy (ASCII only; sufficient for identifiers and
-/// the generated datasets).
+/// the generated datasets). Locale-independent: bytes outside 'A'..'Z' pass
+/// through unchanged.
 std::string ToLower(std::string_view s);
+
+/// Lower-cases `s` in place (ASCII only). The allocation-free variant for
+/// fold paths that reuse a buffer.
+void ToLowerInPlace(std::string* s);
+
+/// Appends the lower-cased form of `s` to `out` (ASCII only). Callers that
+/// hold a string_view or char* fold without an intermediate copy.
+void AppendLower(std::string_view s, std::string* out);
 
 /// Strips leading and trailing whitespace.
 std::string Trim(std::string_view s);

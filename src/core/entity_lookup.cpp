@@ -18,16 +18,24 @@ Result<std::vector<EntityMatch>> LookupExamples(
   if (examples.empty()) {
     return Status::InvalidArgument("no example tuples provided");
   }
-  // (relation, attribute) -> per-example candidate rows.
-  std::map<std::pair<std::string, std::string>, std::vector<std::vector<size_t>>>
-      candidates;
+  const InvertedColumnIndex& index = adb.inverted_index();
+
+  // Each example string crosses the engine boundary exactly once: one
+  // case-folding probe resolves it to its posting span, and everything
+  // after operates on symbols.
+  std::vector<InvertedColumnIndex::PostingSpan> spans(examples.size());
   for (size_t i = 0; i < examples.size(); ++i) {
-    const std::vector<Posting>* postings = adb.inverted_index().Lookup(examples[i]);
-    if (postings == nullptr) {
+    spans[i] = index.Lookup(examples[i]);
+    if (spans[i].empty()) {
       return Status::NotFound("example '" + examples[i] +
                               "' does not occur in any indexed attribute");
     }
-    for (const Posting& p : *postings) {
+  }
+
+  // (relation, attribute) symbols -> per-example candidate rows.
+  std::map<std::pair<Symbol, Symbol>, std::vector<std::vector<size_t>>> candidates;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    for (const Posting& p : spans[i]) {
       auto& per_example = candidates[{p.relation, p.attribute}];
       if (per_example.size() < examples.size()) per_example.resize(examples.size());
       per_example[i].push_back(p.row);
@@ -41,14 +49,21 @@ Result<std::vector<EntityMatch>> LookupExamples(
                                   [](const std::vector<size_t>& r) { return !r.empty(); });
     if (!covers_all) continue;
     EntityMatch match;
-    match.relation = key.first;
-    match.attribute = key.second;
+    match.relation = std::string(index.pool().View(key.first));
+    match.attribute = std::string(index.pool().View(key.second));
     match.candidate_rows = std::move(rows);
     matches.push_back(std::move(match));
   }
   if (matches.empty()) {
     return Status::NotFound("no single (relation, attribute) contains all examples");
   }
+  // Symbol ids follow intern order, not name order; restore the historical
+  // deterministic (relation, attribute) name order before ranking.
+  std::sort(matches.begin(), matches.end(),
+            [](const EntityMatch& a, const EntityMatch& b) {
+              if (a.relation != b.relation) return a.relation < b.relation;
+              return a.attribute < b.attribute;
+            });
   // Entity relations first; then fewer total candidates (less ambiguity).
   std::stable_sort(matches.begin(), matches.end(),
                    [&](const EntityMatch& a, const EntityMatch& b) {

@@ -70,7 +70,7 @@ Status PersonPopularity(const Database& db, std::vector<std::string>* names,
   scores->reserve(person->num_rows());
   for (size_t r = 0; r < person->num_rows(); ++r) {
     if (pid->IsNull(r) || pname->IsNull(r)) continue;
-    names->push_back(pname->StringAt(r));
+    names->emplace_back(pname->StringAt(r));
     auto it = credits.find(pid->Int64At(r));
     scores->push_back(it == credits.end() ? 0 : it->second);
   }

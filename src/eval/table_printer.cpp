@@ -1,10 +1,100 @@
 #include "eval/table_printer.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "common/strings.h"
 
 namespace squid {
+
+namespace {
+
+/// Singleton state behind BenchJsonSink's static interface.
+struct JsonState {
+  bool enabled = false;
+  std::string path;
+  std::string bench_name;
+  std::string section;
+  struct TableRecord {
+    std::string section;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<TableRecord> tables;
+};
+
+JsonState& State() {
+  static JsonState* state = new JsonState();
+  return *state;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// True when `s` matches the JSON number grammar: -?int frac? exp?.
+/// Stricter than strtod, which also accepts "nan", "inf", hex, "+1", ".5",
+/// and "1." — all of which would corrupt the emitted JSON.
+bool IsJsonNumber(const std::string& s) {
+  size_t i = 0;
+  if (i < s.size() && s[i] == '-') ++i;
+  size_t int_begin = i;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  if (i == int_begin) return false;
+  if (s[int_begin] == '0' && i - int_begin > 1) return false;  // no leading 0s
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    size_t frac_begin = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == frac_begin) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    size_t exp_begin = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == exp_begin) return false;
+  }
+  return i == s.size();
+}
+
+/// Emits the cell as a JSON number when it is one, else as a string (so
+/// "0.93" stays numeric but "IQ10", "3/5", and "nan" stay text).
+void AppendJsonCell(const std::string& cell, std::string* out) {
+  if (IsJsonNumber(cell)) {
+    *out += cell;
+    return;
+  }
+  AppendJsonString(cell, out);
+}
+
+}  // namespace
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
@@ -44,6 +134,68 @@ void TablePrinter::Print() const {
   }
   std::printf("%s\n", sep.c_str());
   for (const auto& row : rows_) print_row(row);
+
+  BenchJsonSink::AddTable(headers_, rows_);
+}
+
+void BenchJsonSink::Enable(std::string path, std::string bench_name) {
+  JsonState& s = State();
+  s.enabled = true;
+  s.path = std::move(path);
+  s.bench_name = std::move(bench_name);
+  std::atexit(&BenchJsonSink::Flush);
+}
+
+bool BenchJsonSink::Enabled() { return State().enabled; }
+
+void BenchJsonSink::SetSection(std::string section) {
+  State().section = std::move(section);
+}
+
+void BenchJsonSink::AddTable(const std::vector<std::string>& headers,
+                             const std::vector<std::vector<std::string>>& rows) {
+  JsonState& s = State();
+  if (!s.enabled) return;
+  s.tables.push_back(JsonState::TableRecord{s.section, headers, rows});
+}
+
+void BenchJsonSink::Flush() {
+  JsonState& s = State();
+  if (!s.enabled) return;
+  std::string out = "{\n  \"bench\": ";
+  AppendJsonString(s.bench_name, &out);
+  out += ",\n  \"tables\": [";
+  for (size_t t = 0; t < s.tables.size(); ++t) {
+    const auto& table = s.tables[t];
+    out += t == 0 ? "\n" : ",\n";
+    out += "    {\"section\": ";
+    AppendJsonString(table.section, &out);
+    out += ", \"headers\": [";
+    for (size_t i = 0; i < table.headers.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonString(table.headers[i], &out);
+    }
+    out += "],\n     \"rows\": [";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "       [";
+      for (size_t i = 0; i < table.rows[r].size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendJsonCell(table.rows[r][i], &out);
+      }
+      out += "]";
+    }
+    out += "\n     ]}";
+  }
+  out += "\n  ]\n}\n";
+  std::ofstream file(s.path);
+  if (!file) {
+    std::fprintf(stderr, "warning: cannot write bench JSON to '%s'\n",
+                 s.path.c_str());
+    return;
+  }
+  file << out;
+  s.enabled = false;  // flush once
 }
 
 }  // namespace squid

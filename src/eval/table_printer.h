@@ -3,7 +3,9 @@
 
 /// \file table_printer.h
 /// \brief Fixed-width console tables for the bench binaries (each bench
-/// prints the rows/series of the paper figure it regenerates).
+/// prints the rows/series of the paper figure it regenerates), plus an
+/// optional process-wide JSON sink so the same tables can be emitted
+/// machine-readably (--json=<path>).
 
 #include <string>
 #include <vector>
@@ -11,6 +13,9 @@
 namespace squid {
 
 /// \brief Accumulates rows and prints an aligned ASCII table to stdout.
+///
+/// When the BenchJsonSink is enabled, Print() also records the table there,
+/// so bench binaries emit JSON without any per-table wiring.
 class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> headers);
@@ -27,6 +32,28 @@ class TablePrinter {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Process-wide collector turning printed tables into one JSON file.
+///
+/// Usage (done by bench::InitBenchIo): Enable(path, name) once at startup;
+/// every TablePrinter::Print() then appends its table; Flush() writes
+/// {"bench": name, "tables": [{"section", "headers", "rows"}]}. Cells that
+/// parse fully as numbers are emitted as JSON numbers. All methods are
+/// no-ops until Enable is called.
+class BenchJsonSink {
+ public:
+  static void Enable(std::string path, std::string bench_name);
+  static bool Enabled();
+
+  /// Labels subsequent tables (set by bench banners / dataset headers).
+  static void SetSection(std::string section);
+
+  static void AddTable(const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows);
+
+  /// Writes the JSON file; registered via atexit by Enable.
+  static void Flush();
 };
 
 }  // namespace squid

@@ -1,10 +1,10 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "exec/expression.h"
-#include "storage/column_index.h"
 
 namespace squid {
 
@@ -21,17 +21,119 @@ struct JoinState {
   std::vector<bool> bound;
 };
 
+/// Packs the cell into the 64-bit join-key space of its own column:
+/// dictionary symbol for strings, bit pattern for numerics. Returns false
+/// for nulls (which never join).
+bool BuildKey(const Column& col, size_t row, uint64_t* key) {
+  if (col.IsNull(row)) return false;
+  switch (col.type()) {
+    case ValueType::kString:
+      *key = col.SymbolAt(row);
+      return true;
+    case ValueType::kInt64:
+      *key = static_cast<uint64_t>(col.Int64At(row));
+      return true;
+    case ValueType::kDouble:
+      *key = PackedDoubleBits(col.DoubleAt(row));
+      return true;
+    case ValueType::kNull:
+      return false;
+  }
+  return false;
+}
+
+/// Packs a probe cell into the *build* column's key space, preserving
+/// Value equality semantics (1 == 1.0 across numeric types; strings match
+/// exactly). Returns false when the cell is null or cannot equal any build
+/// key (type mismatch, string absent from the build dictionary).
+bool ProbeKey(const Column& build, const Column& probe, size_t row, uint64_t* key) {
+  if (probe.IsNull(row)) return false;
+  switch (build.type()) {
+    case ValueType::kString: {
+      if (probe.type() != ValueType::kString) return false;
+      if (probe.pool() == build.pool()) {
+        *key = probe.SymbolAt(row);
+        return true;
+      }
+      Symbol s = build.pool()->Find(probe.StringAt(row));
+      if (s == kNoSymbol) return false;
+      *key = s;
+      return true;
+    }
+    case ValueType::kInt64: {
+      if (probe.type() == ValueType::kInt64) {
+        *key = static_cast<uint64_t>(probe.Int64At(row));
+        return true;
+      }
+      if (probe.type() == ValueType::kDouble) {
+        double d = probe.DoubleAt(row);
+        if (d < -9.2e18 || d > 9.2e18) return false;  // cast would overflow
+        int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d) return false;  // 2.5 matches nothing
+        *key = static_cast<uint64_t>(i);
+        return true;
+      }
+      return false;
+    }
+    case ValueType::kDouble: {
+      if (probe.type() == ValueType::kDouble) {
+        *key = PackedDoubleBits(probe.DoubleAt(row));
+        return true;
+      }
+      if (probe.type() == ValueType::kInt64) {
+        *key = PackedDoubleBits(static_cast<double>(probe.Int64At(row)));
+        return true;
+      }
+      return false;
+    }
+    case ValueType::kNull:
+      return false;
+  }
+  return false;
+}
+
+/// Cell equality without materializing Values; nulls equal nothing.
+bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
+  if (a.IsNull(ra) || b.IsNull(rb)) return false;
+  const bool a_str = a.type() == ValueType::kString;
+  const bool b_str = b.type() == ValueType::kString;
+  if (a_str != b_str) return false;
+  if (a_str) {
+    if (a.pool() == b.pool()) return a.SymbolAt(ra) == b.SymbolAt(rb);
+    return a.StringAt(ra) == b.StringAt(rb);
+  }
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return a.Int64At(ra) == b.Int64At(rb);
+  }
+  return a.NumericAt(ra) == b.NumericAt(rb);
+}
+
+/// Hash for the packed group-by key (FNV-1a over the parts).
+struct GroupKeyHash {
+  size_t operator()(const std::vector<uint64_t>& parts) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t p : parts) {
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (p >> shift) & 0xFF;
+        h *= 1099511628211ULL;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
 }  // namespace
 
 Result<ResultSet> Executor::Execute(const Query& query) {
   if (query.branches.empty()) {
     return Status::InvalidArgument("query with no branches");
   }
-  SQUID_ASSIGN_OR_RETURN(ResultSet out, ExecuteSelect(query.branches[0]));
+  join_hash_cache_.clear();
+  SQUID_ASSIGN_OR_RETURN(ResultSet out, ExecuteSelectImpl(query.branches[0]));
   if (query.branches.size() > 1) {
     out.Deduplicate();  // INTERSECT has set semantics
     for (size_t i = 1; i < query.branches.size(); ++i) {
-      SQUID_ASSIGN_OR_RETURN(ResultSet other, ExecuteSelect(query.branches[i]));
+      SQUID_ASSIGN_OR_RETURN(ResultSet other, ExecuteSelectImpl(query.branches[i]));
       out.IntersectWith(other.ToSet());
     }
   }
@@ -39,6 +141,11 @@ Result<ResultSet> Executor::Execute(const Query& query) {
 }
 
 Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query) {
+  join_hash_cache_.clear();
+  return ExecuteSelectImpl(query);
+}
+
+Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
   if (query.from.empty()) return Status::InvalidArgument("empty FROM clause");
   const size_t num_aliases = query.from.size();
 
@@ -147,14 +254,32 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query) {
     const ColumnRef& new_col = pick_left_bound ? j.right : j.left;
     size_t bound_alias = *query.FindAlias(bound_col.table_alias);
 
-    // Build a hash table over the new table's filtered rows.
+    // Build (or reuse) a hash table over the new table's filtered rows,
+    // keyed by packed cell keys (symbols for strings). Unfiltered build
+    // sides are cached on the Executor and shared across INTERSECT
+    // branches, which repeat the same FK joins per branch.
     SQUID_ASSIGN_OR_RETURN(const Column* new_column,
                            state.tables[next_alias]->ColumnByName(new_col.attribute));
-    std::unordered_map<Value, std::vector<size_t>, ValueHash> hash;
-    hash.reserve(state.rows[next_alias].size());
-    for (size_t r : state.rows[next_alias]) {
-      if (new_column->IsNull(r)) continue;
-      hash[new_column->ValueAt(r)].push_back(r);
+    const bool unfiltered =
+        state.rows[next_alias].size() == state.tables[next_alias]->num_rows();
+    std::shared_ptr<const JoinHash> hash;
+    if (unfiltered) {
+      auto cached = join_hash_cache_.find(new_column);
+      if (cached != join_hash_cache_.end()) {
+        hash = cached->second;
+        ++stats_.join_hashes_reused;
+      }
+    }
+    if (!hash) {
+      auto built = std::make_shared<JoinHash>();
+      built->reserve(state.rows[next_alias].size());
+      uint64_t build_key;
+      for (size_t r : state.rows[next_alias]) {
+        if (BuildKey(*new_column, r, &build_key)) (*built)[build_key].push_back(r);
+      }
+      hash = std::move(built);
+      ++stats_.join_hashes_built;
+      if (unfiltered) join_hash_cache_.emplace(new_column, hash);
     }
 
     // Probe side: locate the bound alias position within tuples.
@@ -208,17 +333,16 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query) {
     }
 
     std::vector<std::vector<size_t>> joined;
+    uint64_t probe_key;
     for (const auto& t : state.tuples) {
       size_t probe_row = t[bound_pos];
-      if (bound_column->IsNull(probe_row)) continue;
-      auto it = hash.find(bound_column->ValueAt(probe_row));
-      if (it == hash.end()) continue;
+      if (!ProbeKey(*new_column, *bound_column, probe_row, &probe_key)) continue;
+      auto it = hash->find(probe_key);
+      if (it == hash->end()) continue;
       for (size_t nr : it->second) {
         bool ok = true;
         for (const auto& ex : extras) {
-          Value a = ex.bound_column->ValueAt(t[ex.tuple_pos]);
-          Value b = ex.new_column->ValueAt(nr);
-          if (a.is_null() || b.is_null() || !(a == b)) {
+          if (!CellsEqual(*ex.bound_column, t[ex.tuple_pos], *ex.new_column, nr)) {
             ok = false;
             break;
           }
@@ -257,9 +381,10 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query) {
     std::vector<std::vector<size_t>> kept;
     kept.reserve(state.tuples.size());
     for (auto& t : state.tuples) {
-      Value a = lcol->ValueAt(t[lpos]);
-      Value b = rcol->ValueAt(t[rpos]);
-      if (!a.is_null() && !b.is_null() && !(a == b)) kept.push_back(std::move(t));
+      if (!lcol->IsNull(t[lpos]) && !rcol->IsNull(t[rpos]) &&
+          !CellsEqual(*lcol, t[lpos], *rcol, t[rpos])) {
+        kept.push_back(std::move(t));
+      }
     }
     state.tuples = std::move(kept);
   }
@@ -308,13 +433,21 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectQuery& query) {
       size_t count = 0;
       std::vector<size_t> first_tuple;
     };
-    std::unordered_map<std::string, Group> groups;
+    // Grouping keys are packed per column — (validity, symbol-or-bits)
+    // pairs — instead of encoding Values into strings. Each part's column
+    // is fixed, so per-column packing preserves equality.
+    std::unordered_map<std::vector<uint64_t>, Group, GroupKeyHash> groups;
+    std::vector<uint64_t> key_parts;
     for (const auto& t : state.tuples) {
-      std::vector<Value> key_vals;
-      key_vals.reserve(keys.size());
-      for (const auto& [col, pos] : keys) key_vals.push_back(col->ValueAt(t[pos]));
-      std::string key = ResultSet::EncodeRow(key_vals);
-      auto [it, inserted] = groups.try_emplace(std::move(key));
+      key_parts.clear();
+      key_parts.reserve(keys.size() * 2);
+      for (const auto& [col, pos] : keys) {
+        uint64_t packed = 0;
+        bool valid = BuildKey(*col, t[pos], &packed);
+        key_parts.push_back(valid ? 1 : 0);
+        key_parts.push_back(valid ? packed : 0);
+      }
+      auto [it, inserted] = groups.try_emplace(key_parts);
       if (inserted) it->second.first_tuple = t;
       ++it->second.count;
     }

@@ -9,6 +9,11 @@
 /// This is the substrate both for evaluating ground-truth benchmark queries
 /// and for running SQuID's abduced queries (Fig. 11 compares the two).
 
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
 #include "common/status.h"
 #include "exec/result_set.h"
 #include "sql/ast.h"
@@ -21,6 +26,8 @@ struct ExecStats {
   size_t rows_scanned = 0;
   size_t rows_joined = 0;
   size_t groups = 0;
+  size_t join_hashes_built = 0;
+  size_t join_hashes_reused = 0;
 };
 
 /// \brief Executes queries against a Database.
@@ -37,8 +44,22 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
 
  private:
+  /// Build-side hash table of one join: packed 64-bit cell key -> row ids.
+  /// String cells key by dictionary symbol, numerics by bit pattern.
+  using JoinHash = std::unordered_map<uint64_t, std::vector<size_t>>;
+
+  /// ExecuteSelect body; assumes the join-hash cache is valid for the
+  /// current top-level call (tables unchanged since it was cleared).
+  Result<ResultSet> ExecuteSelectImpl(const SelectQuery& query);
+
   const Database* db_;
   ExecStats stats_;
+  // Hash tables over unfiltered build columns, reused across the INTERSECT
+  // branches of one query (abduced queries repeat the same FK joins in
+  // every branch). Keyed by column identity; cleared at every top-level
+  // Execute/ExecuteSelect so table mutations between calls cannot leave
+  // stale entries.
+  std::unordered_map<const Column*, std::shared_ptr<const JoinHash>> join_hash_cache_;
 };
 
 /// Convenience wrapper: one-shot execution.

@@ -78,7 +78,7 @@ Result<MlDataset> MlDataset::FromTable(const Table& table,
       }
       missing[j] = false;
       if (ds.feature(j).categorical) {
-        category[j] = col.StringAt(r);
+        category[j] = std::string(col.StringAt(r));
       } else {
         numeric[j] = col.NumericAt(r);
       }

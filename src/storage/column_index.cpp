@@ -44,16 +44,70 @@ Result<HashColumnIndex> HashColumnIndex::Build(const Table& table,
                                                const std::string& attr) {
   SQUID_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attr));
   HashColumnIndex index;
+  index.key_type_ = col->type();
+  index.pool_ = table.pool();
   index.entries_.reserve(table.num_rows());
   for (size_t r = 0; r < col->size(); ++r) {
     if (col->IsNull(r)) continue;
-    index.entries_[col->ValueAt(r)].push_back(r);
+    uint64_t key;
+    switch (col->type()) {
+      case ValueType::kString:
+        key = col->SymbolAt(r);
+        break;
+      case ValueType::kInt64:
+        key = static_cast<uint64_t>(col->Int64At(r));
+        break;
+      case ValueType::kDouble:
+        key = PackedDoubleBits(col->DoubleAt(r));
+        break;
+      case ValueType::kNull:
+        continue;
+    }
+    index.entries_[key].push_back(r);
   }
   return index;
 }
 
 const std::vector<size_t>* HashColumnIndex::Lookup(const Value& v) const {
-  auto it = entries_.find(v);
+  switch (v.type()) {
+    case ValueType::kNull:
+      return nullptr;  // nulls are never indexed
+    case ValueType::kString: {
+      if (key_type_ != ValueType::kString) return nullptr;
+      Symbol s = pool_->Find(v.AsString());
+      return s == kNoSymbol ? nullptr : LookupKey(s);
+    }
+    case ValueType::kInt64:
+      if (key_type_ == ValueType::kInt64) {
+        return LookupKey(static_cast<uint64_t>(v.AsInt64()));
+      }
+      if (key_type_ == ValueType::kDouble) {
+        return LookupKey(PackedDoubleBits(static_cast<double>(v.AsInt64())));
+      }
+      return nullptr;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      if (key_type_ == ValueType::kDouble) return LookupKey(PackedDoubleBits(d));
+      if (key_type_ == ValueType::kInt64) {
+        // 2.0 matches int64 2; 2.5 matches nothing (Value equality).
+        if (d < -9.2e18 || d > 9.2e18) return nullptr;  // cast would overflow
+        int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d) return nullptr;
+        return LookupKey(static_cast<uint64_t>(i));
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<size_t>* HashColumnIndex::LookupSymbol(Symbol s) const {
+  if (key_type_ != ValueType::kString || s == kNoSymbol) return nullptr;
+  return LookupKey(s);
+}
+
+const std::vector<size_t>* HashColumnIndex::LookupKey(uint64_t key) const {
+  auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   return &it->second;
 }

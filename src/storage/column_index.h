@@ -45,18 +45,33 @@ class SortedColumnIndex {
   size_t num_rows_ = 0;
 };
 
-/// \brief Hash index: value -> row ids, for equality-only probes (joins).
+/// \brief Hash index: value -> row ids, for equality-only probes (joins and
+/// the αDB's per-entity point queries).
+///
+/// Keys are packed to 64-bit integers instead of hashing Values: string
+/// cells key by their dictionary Symbol (probes resolve through the pool
+/// without copying), numeric cells by their bit pattern (int64 columns
+/// exactly; double columns via the double image, preserving Value's
+/// cross-type 1 == 1.0 equality for mixed probes).
 class HashColumnIndex {
  public:
   static Result<HashColumnIndex> Build(const Table& table, const std::string& attr);
 
-  /// Row ids with exactly this value (empty when absent).
+  /// Row ids with exactly this value (nullptr when absent).
   const std::vector<size_t>* Lookup(const Value& v) const;
+
+  /// Symbol-probe fast path (string-keyed indexes only; `s` must be a
+  /// symbol of the indexed column's pool).
+  const std::vector<size_t>* LookupSymbol(Symbol s) const;
 
   size_t NumDistinct() const { return entries_.size(); }
 
  private:
-  std::unordered_map<Value, std::vector<size_t>, ValueHash> entries_;
+  const std::vector<size_t>* LookupKey(uint64_t key) const;
+
+  ValueType key_type_ = ValueType::kNull;
+  std::shared_ptr<const StringPool> pool_;  // keeps symbol keys resolvable
+  std::unordered_map<uint64_t, std::vector<size_t>> entries_;
 };
 
 }  // namespace squid

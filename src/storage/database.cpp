@@ -23,7 +23,7 @@ Result<std::shared_ptr<Table>> Database::GetShared(const std::string& name) cons
 }
 
 Result<Table*> Database::CreateTable(Schema schema) {
-  auto table = std::make_shared<Table>(std::move(schema));
+  auto table = std::make_shared<Table>(std::move(schema), pool_);
   Table* raw = table.get();
   SQUID_RETURN_NOT_OK(AddTable(std::move(table)));
   return raw;
@@ -66,7 +66,7 @@ size_t Database::TotalRows() const {
 }
 
 size_t Database::ApproxBytes() const {
-  size_t bytes = 0;
+  size_t bytes = pool_->ApproxBytes();
   for (const auto& [_, t] : tables_) bytes += t->ApproxBytes();
   return bytes;
 }

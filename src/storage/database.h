@@ -22,8 +22,9 @@ namespace squid {
 /// the base tables of the original database without copying them.
 class Database {
  public:
-  Database() = default;
-  explicit Database(std::string name) : name_(std::move(name)) {}
+  Database() : pool_(std::make_shared<StringPool>()) {}
+  explicit Database(std::string name)
+      : name_(std::move(name)), pool_(std::make_shared<StringPool>()) {}
 
   // Movable, not copyable (tables can be large).
   Database(Database&&) = default;
@@ -32,6 +33,11 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// The catalog's string dictionary. Every table created through
+  /// CreateTable shares it, so string symbols compare across those tables.
+  /// Tables attached from another database keep their own pool.
+  const std::shared_ptr<StringPool>& pool() const { return pool_; }
 
   /// Registers a table; the relation name must be unused.
   Status AddTable(std::shared_ptr<Table> table);
@@ -70,6 +76,7 @@ class Database {
 
  private:
   std::string name_;
+  std::shared_ptr<StringPool> pool_;
   std::map<std::string, std::shared_ptr<Table>> tables_;
 };
 

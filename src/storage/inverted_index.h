@@ -6,44 +6,107 @@
 /// lookup"): maps a (case-normalized) string value to every
 /// (relation, attribute, row) position where it occurs. SQuID uses it to
 /// match user-provided example strings to candidate entities.
+///
+/// Layout: one contiguous postings array in CSR form. Keys are case-folded
+/// StringPool symbols; a dense symbol->slot table plus a slot offset array
+/// locate each key's posting span. Lookup is a single case-folding hash of
+/// the probe text and two array reads — no per-lookup allocation, no string
+/// materialization.
 
-#include <string>
-#include <unordered_map>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/database.h"
+#include "storage/string_pool.h"
 
 namespace squid {
 
-/// One occurrence of a value in the database.
+/// One occurrence of a value in the database. Relation and attribute names
+/// are symbols in the index's pool (see InvertedColumnIndex::RelationName).
 struct Posting {
-  std::string relation;
-  std::string attribute;
-  size_t row = 0;
+  Symbol relation = kNoSymbol;
+  Symbol attribute = kNoSymbol;
+  uint32_t row = 0;
 
   bool operator==(const Posting& o) const {
     return relation == o.relation && attribute == o.attribute && row == o.row;
   }
 };
 
-/// \brief Case-insensitive exact-value inverted index.
+/// \brief Case-insensitive exact-value inverted index (flat CSR layout).
 class InvertedColumnIndex {
  public:
+  /// Non-owning view of one key's postings (contiguous in the CSR array).
+  class PostingSpan {
+   public:
+    PostingSpan() = default;
+    PostingSpan(const Posting* data, size_t size) : data_(data), size_(size) {}
+
+    const Posting* begin() const { return data_; }
+    const Posting* end() const { return data_ + size_; }
+    const Posting& operator[](size_t i) const { return data_[i]; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+   private:
+    const Posting* data_ = nullptr;
+    size_t size_ = 0;
+  };
+
   /// Indexes every text_search_attribute declared in the schemas of `db`
   /// (falls back to all string attributes of entity tables when a table
-  /// declares none).
+  /// declares none). Keys intern into `db`'s StringPool.
   static Result<InvertedColumnIndex> Build(const Database& db);
 
-  /// All positions whose value equals `text` (case-insensitive).
-  const std::vector<Posting>* Lookup(const std::string& text) const;
+  /// All positions whose value equals `text` (ASCII case-insensitive).
+  /// Zero-allocation: one case-folding hash of `text`, then a linear probe
+  /// of a flat open-addressing table of 16-byte entries.
+  PostingSpan Lookup(std::string_view text) const;
 
-  size_t NumKeys() const { return postings_.size(); }
-  size_t NumPostings() const { return num_postings_; }
+  /// Lookup by an already-folded pool symbol (the symbol-threaded fast path
+  /// for callers that interned the probe once at the API boundary).
+  PostingSpan LookupFolded(Symbol folded) const;
+
+  /// Folded symbol of `text`, or kNoSymbol when no *indexed* value matches
+  /// (unlike StringPool::FindFolded this only sees indexed keys).
+  Symbol FoldedSymbolOf(std::string_view text) const;
+
+  /// Resolves a posting's relation / attribute symbol to its name.
+  std::string_view RelationName(const Posting& p) const { return pool_->View(p.relation); }
+  std::string_view AttributeName(const Posting& p) const { return pool_->View(p.attribute); }
+
+  /// The pool posting symbols index into (valid after a successful Build).
+  const StringPool& pool() const { return *pool_; }
+
+  size_t NumKeys() const { return num_keys_; }
+  size_t NumPostings() const { return postings_.size(); }
 
  private:
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
-  size_t num_postings_ = 0;
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One bucket of the flat probe table. 16 bytes; a lookup touches one or
+  /// two cache lines instead of chasing unordered_map nodes.
+  struct ProbeEntry {
+    uint64_t hash = 0;          // full fold-hash of the key
+    Symbol folded = kNoSymbol;  // the key's folded pool symbol
+    uint32_t slot = kNoSlot;    // kNoSlot marks an empty bucket
+  };
+
+  const ProbeEntry* FindProbeEntry(std::string_view text) const;
+
+  std::shared_ptr<const StringPool> pool_;
+  // Folded symbol -> dense slot (kNoSlot when the symbol has no postings).
+  std::vector<uint32_t> slot_of_folded_;
+  // Open-addressing (linear probing) table over the folded keys, sized to
+  // a power of two at <= 50% load.
+  std::vector<ProbeEntry> probe_table_;
+  uint64_t probe_mask_ = 0;
+  // Slot s owns postings_[offsets_[s], offsets_[s + 1]).
+  std::vector<uint32_t> offsets_;
+  std::vector<Posting> postings_;
+  size_t num_keys_ = 0;
 };
 
 }  // namespace squid

@@ -1,0 +1,79 @@
+#include "storage/string_pool.h"
+
+#include <cstring>
+
+namespace squid {
+
+namespace {
+
+bool HasUpper(std::string_view s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view StringPool::Store(std::string_view s) {
+  if (s.size() > kBlockBytes) {
+    oversize_.emplace_back(s);
+    return oversize_.back();
+  }
+  if (blocks_.empty() || block_used_ + s.size() > kBlockBytes) {
+    blocks_.push_back(std::make_unique<char[]>(kBlockBytes));
+    block_used_ = 0;
+  }
+  char* dst = blocks_.back().get() + block_used_;
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());  // s.data() may be null
+  block_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+Symbol StringPool::Intern(std::string_view s) {
+  auto it = exact_.find(s);
+  if (it != exact_.end()) return it->second;
+
+  if (HasUpper(s)) {
+    // Intern the folded form first (recursing at most once: the folded form
+    // has no upper-case bytes), then record the mixed-case spelling.
+    fold_buf_.assign(s.data(), s.size());
+    for (char& c : fold_buf_) c = FoldChar(c);
+    Symbol folded = Intern(fold_buf_);
+    std::string_view view = Store(s);
+    Symbol id = static_cast<Symbol>(entries_.size());
+    entries_.push_back(Entry{view, folded});
+    exact_.emplace(view, id);
+    return id;
+  }
+
+  // Already folded: the string is its own case-folded form.
+  std::string_view view = Store(s);
+  Symbol id = static_cast<Symbol>(entries_.size());
+  entries_.push_back(Entry{view, id});
+  exact_.emplace(view, id);
+  folded_.emplace(view, id);
+  return id;
+}
+
+Symbol StringPool::Find(std::string_view s) const {
+  auto it = exact_.find(s);
+  return it == exact_.end() ? kNoSymbol : it->second;
+}
+
+Symbol StringPool::FindFolded(std::string_view s) const {
+  auto it = folded_.find(s);
+  return it == folded_.end() ? kNoSymbol : it->second;
+}
+
+size_t StringPool::ApproxBytes() const {
+  size_t bytes = blocks_.size() * kBlockBytes;
+  for (const std::string& s : oversize_) bytes += s.size();
+  bytes += entries_.capacity() * sizeof(Entry);
+  // Two hash maps of (view, symbol) nodes; bucket arrays ignored.
+  bytes += (exact_.size() + folded_.size()) *
+           (sizeof(std::string_view) + sizeof(Symbol) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace squid

@@ -1,0 +1,187 @@
+#ifndef SQUID_STORAGE_STRING_POOL_H_
+#define SQUID_STORAGE_STRING_POOL_H_
+
+/// \file string_pool.h
+/// \brief Arena-backed string interner mapping strings <-> dense `Symbol`
+/// (uint32) ids. Every interned string also records the id of its ASCII
+/// case-folded form, so case-insensitive comparison is integer equality and
+/// the inverted column index can key postings by folded symbol.
+///
+/// One pool is owned per Database (tables created through the catalog share
+/// it), which makes symbol ids directly comparable across that database's
+/// columns — the executor's string join keys and the αDB's value-frequency
+/// maps rely on this.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace squid {
+
+/// Dense id of an interned string. Valid ids are < StringPool::size().
+using Symbol = uint32_t;
+
+/// Sentinel returned by the Find* lookups when the string is not interned.
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+/// \brief String interner with stable storage and case-folded twin ids.
+///
+/// Views returned by View() point into an internal arena and stay valid for
+/// the lifetime of the pool (arena blocks are never freed or reallocated).
+/// Not thread-safe for concurrent Intern; concurrent const lookups are fine.
+class StringPool {
+ public:
+  StringPool() = default;
+
+  // Interned views point into the arena; copying/moving the maps would be
+  // cheap but error-prone, so the pool is pinned and shared via shared_ptr.
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Interns `s` (idempotent) and returns its symbol. Also interns the ASCII
+  /// case-folded form of `s` so FoldedOf() is always answerable.
+  Symbol Intern(std::string_view s);
+
+  /// Symbol of exactly `s`, or kNoSymbol. Never inserts, never allocates.
+  Symbol Find(std::string_view s) const;
+
+  /// Symbol of the case-folded form of `s` (ASCII case-insensitive match),
+  /// or kNoSymbol. Folds on the fly while hashing — never inserts, never
+  /// allocates. This is the inverted-index lookup fast path.
+  Symbol FindFolded(std::string_view s) const;
+
+  /// The interned string. `id` must be a valid symbol of this pool.
+  std::string_view View(Symbol id) const { return entries_[id].view; }
+
+  /// Symbol of the case-folded form of `id` (== `id` when already folded).
+  Symbol FoldedOf(Symbol id) const { return entries_[id].folded; }
+
+  /// Number of interned strings (folded forms included).
+  size_t size() const { return entries_.size(); }
+
+  /// Approximate heap footprint (arena + entry table + hash maps).
+  size_t ApproxBytes() const;
+
+  /// ASCII-only lower-casing of one byte; bytes outside 'A'..'Z' pass
+  /// through unchanged (locale-independent, matching ToLower()).
+  static constexpr char FoldChar(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c | 0x20) : c;
+  }
+
+  /// SWAR lower-casing of 8 bytes at once: ORs 0x20 into every byte in
+  /// ['A','Z'], leaves all other bytes (including non-ASCII) untouched.
+  static uint64_t FoldWord(uint64_t x) {
+    constexpr uint64_t kOnes = 0x0101010101010101ULL;
+    constexpr uint64_t kHigh = 0x8080808080808080ULL;
+    uint64_t heptets = x & ~kHigh;
+    // Bit 7 of each byte: set iff the (7-bit) byte is >= 'A' / > 'Z'.
+    uint64_t ge_a = heptets + (0x80 - 'A') * kOnes;
+    uint64_t gt_z = heptets + (0x80 - 'Z' - 1) * kOnes;
+    uint64_t is_upper = (ge_a & ~gt_z & ~x) & kHigh;
+    return x | (is_upper >> 2);  // 0x80 >> 2 == 0x20
+  }
+
+  /// Hash of the ASCII-folded bytes of `s`. Equal for any two
+  /// case-insensitively equal strings; processes 8 bytes per step. Strings
+  /// of >= 8 bytes finish with a (possibly overlapping) last-word read —
+  /// positions are length-determined, so equal-length inputs stay
+  /// consistent; shorter tails assemble a word by shifts, avoiding a
+  /// variable-length memcpy call.
+  static uint64_t FoldHashOf(std::string_view s) {
+    constexpr uint64_t kMul = 0x9E3779B97F4A7C15ULL;
+    uint64_t h = 1469598103934665603ULL ^ (s.size() * kMul);
+    const char* p = s.data();
+    size_t n = s.size();
+    if (n >= 8) {
+      while (n > 8) {
+        h = (h ^ FoldWord(LoadWord(p))) * kMul;
+        p += 8;
+        n -= 8;
+      }
+      h = (h ^ FoldWord(LoadWord(p + n - 8))) * kMul;
+    } else if (n > 0) {
+      h = (h ^ FoldWord(LoadTail(p, n))) * kMul;
+    }
+    return h ^ (h >> 32);
+  }
+
+  /// ASCII case-insensitive equality (8 bytes per step).
+  static bool FoldEqual(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    const char* pa = a.data();
+    const char* pb = b.data();
+    size_t n = a.size();
+    if (n >= 8) {
+      while (n > 8) {
+        if (FoldWord(LoadWord(pa)) != FoldWord(LoadWord(pb))) return false;
+        pa += 8;
+        pb += 8;
+        n -= 8;
+      }
+      return FoldWord(LoadWord(pa + n - 8)) == FoldWord(LoadWord(pb + n - 8));
+    }
+    if (n == 0) return true;
+    return FoldWord(LoadTail(pa, n)) == FoldWord(LoadTail(pb, n));
+  }
+
+ private:
+  struct Entry {
+    std::string_view view;
+    Symbol folded = kNoSymbol;
+  };
+
+  static uint64_t LoadWord(const char* p) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    return w;
+  }
+
+  /// Assembles 1..7 bytes into a word (little-endian byte order).
+  static uint64_t LoadTail(const char* p, size_t n) {
+    uint64_t w = 0;
+    for (size_t i = 0; i < n; ++i) {
+      w |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return w;
+  }
+
+  struct FoldHash {
+    size_t operator()(std::string_view s) const {
+      return static_cast<size_t>(FoldHashOf(s));
+    }
+  };
+
+  struct FoldEq {
+    bool operator()(std::string_view a, std::string_view b) const {
+      return FoldEqual(a, b);
+    }
+  };
+
+  /// Copies `s` into the arena and returns the stable view.
+  std::string_view Store(std::string_view s);
+
+  static constexpr size_t kBlockBytes = 1 << 16;
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t block_used_ = kBlockBytes;  // forces allocation of the first block
+  // Strings larger than a block get dedicated storage; std::string buffers
+  // beyond the SSO threshold stay put when the vector grows.
+  std::vector<std::string> oversize_;
+
+  std::vector<Entry> entries_;
+  // Exact-match map over every interned string.
+  std::unordered_map<std::string_view, Symbol> exact_;
+  // Case-insensitive map; keys are the (already lower-case) folded forms,
+  // values their symbols. Probed with raw mixed-case input.
+  std::unordered_map<std::string_view, Symbol, FoldHash, FoldEq> folded_;
+  // Scratch for folding during Intern (reused to avoid per-call allocation).
+  std::string fold_buf_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_STORAGE_STRING_POOL_H_

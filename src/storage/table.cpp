@@ -52,8 +52,8 @@ void Column::AppendDouble(double v) {
   valid_.push_back(1);
 }
 
-void Column::AppendString(std::string v) {
-  strings_.push_back(std::move(v));
+void Column::AppendString(std::string_view v) {
+  syms_.push_back(pool_->Intern(v));
   valid_.push_back(1);
 }
 
@@ -66,7 +66,7 @@ void Column::AppendNull() {
       doubles_.push_back(0.0);
       break;
     case ValueType::kString:
-      strings_.emplace_back();
+      syms_.push_back(pool_->Intern(std::string_view()));
       break;
     case ValueType::kNull:
       break;
@@ -82,7 +82,7 @@ Value Column::ValueAt(size_t row) const {
     case ValueType::kDouble:
       return Value(doubles_[row]);
     case ValueType::kString:
-      return Value(strings_[row]);
+      return Value(std::string(StringAt(row)));
     case ValueType::kNull:
       return Value::Null();
   }
@@ -99,17 +99,19 @@ void Column::Reserve(size_t n) {
       doubles_.reserve(n);
       break;
     case ValueType::kString:
-      strings_.reserve(n);
+      syms_.reserve(n);
       break;
     case ValueType::kNull:
       break;
   }
 }
 
-Table::Table(Schema schema) : schema_(std::move(schema)) {
+Table::Table(Schema schema, std::shared_ptr<StringPool> pool)
+    : schema_(std::move(schema)), pool_(std::move(pool)) {
+  if (!pool_) pool_ = std::make_shared<StringPool>();
   columns_.reserve(schema_.num_attributes());
   for (const auto& attr : schema_.attributes()) {
-    columns_.push_back(std::make_unique<Column>(attr.type));
+    columns_.push_back(std::make_unique<Column>(attr.type, pool_.get()));
   }
 }
 
@@ -154,9 +156,7 @@ size_t Table::ApproxBytes() const {
         bytes += col->size() * sizeof(double);
         break;
       case ValueType::kString:
-        for (size_t i = 0; i < col->size(); ++i) {
-          bytes += sizeof(std::string) + (col->IsNull(i) ? 0 : col->StringAt(i).size());
-        }
+        bytes += col->size() * sizeof(Symbol);  // dictionary codes
         break;
       case ValueType::kNull:
         break;

@@ -3,26 +3,31 @@
 
 /// \file table.h
 /// \brief In-memory columnar table. Columns are typed vectors with a null
-/// bitmap; rows are addressed by dense row id. This is the storage substrate
-/// under the executor, the αDB, and the data generators.
+/// bitmap; rows are addressed by dense row id. String columns are
+/// dictionary-encoded: cells store StringPool symbols, so equal values share
+/// one arena copy and equality is integer comparison. This is the storage
+/// substrate under the executor, the αDB, and the data generators.
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/schema.h"
+#include "storage/string_pool.h"
 #include "storage/value.h"
 
 namespace squid {
 
 /// \brief One typed column with a validity (non-null) mask.
 ///
-/// Only the vector matching the declared type is populated.
+/// Only the vector matching the declared type is populated. String columns
+/// intern into the owning table's StringPool and store symbols.
 class Column {
  public:
-  explicit Column(ValueType type) : type_(type) {}
+  Column(ValueType type, StringPool* pool) : type_(type), pool_(pool) {}
 
   ValueType type() const { return type_; }
   size_t size() const { return valid_.size(); }
@@ -33,13 +38,23 @@ class Column {
 
   void AppendInt64(int64_t v);
   void AppendDouble(double v);
-  void AppendString(std::string v);
+  void AppendString(std::string_view v);
   void AppendNull();
 
   bool IsNull(size_t row) const { return !valid_[row]; }
   int64_t Int64At(size_t row) const { return ints_[row]; }
   double DoubleAt(size_t row) const { return doubles_[row]; }
-  const std::string& StringAt(size_t row) const { return strings_[row]; }
+
+  /// The cell's string (valid for the pool's lifetime; no copy).
+  std::string_view StringAt(size_t row) const { return pool_->View(syms_[row]); }
+
+  /// The cell's dictionary symbol (string columns; null cells hold the
+  /// empty-string symbol, check IsNull first).
+  Symbol SymbolAt(size_t row) const { return syms_[row]; }
+
+  /// The pool string symbols index into (shared by all columns of a table,
+  /// and by all tables created through one Database).
+  const StringPool* pool() const { return pool_; }
 
   /// Materializes the cell as a Value (kNull if invalid).
   Value ValueAt(size_t row) const;
@@ -55,16 +70,19 @@ class Column {
 
  private:
   ValueType type_;
+  StringPool* pool_;
   std::vector<uint8_t> valid_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  std::vector<Symbol> syms_;
 };
 
 /// \brief A relation instance: schema + columns of equal length.
 class Table {
  public:
-  explicit Table(Schema schema);
+  /// When `pool` is null the table owns a fresh pool; Database::CreateTable
+  /// passes the catalog's shared pool so symbols compare across tables.
+  explicit Table(Schema schema, std::shared_ptr<StringPool> pool = nullptr);
 
   const Schema& schema() const { return schema_; }
   Schema* mutable_schema() { return &schema_; }
@@ -87,13 +105,18 @@ class Table {
 
   Value ValueAt(size_t row, size_t col) const { return columns_[col]->ValueAt(row); }
 
+  /// The table's string dictionary.
+  const std::shared_ptr<StringPool>& pool() const { return pool_; }
+
   void Reserve(size_t n);
 
-  /// Approximate heap footprint in bytes (for the dataset stats table).
+  /// Approximate heap footprint in bytes, excluding the (shared) string
+  /// pool — Database::ApproxBytes adds the pool once.
   size_t ApproxBytes() const;
 
  private:
   Schema schema_;
+  std::shared_ptr<StringPool> pool_;
   std::vector<std::unique_ptr<Column>> columns_;
   size_t num_rows_ = 0;
 };

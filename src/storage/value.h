@@ -7,6 +7,7 @@
 /// table.h.
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <variant>
 
@@ -74,6 +75,17 @@ class Value {
 struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
+
+/// Bit image of a double for packed 64-bit map keys, with -0.0 canonicalized
+/// to +0.0 (they compare equal). The one definition shared by every
+/// subsystem that keys on packed cells (executor joins, HashColumnIndex,
+/// PropertyStats) — their key spaces must agree.
+inline uint64_t PackedDoubleBits(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
 
 }  // namespace squid
 

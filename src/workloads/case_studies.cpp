@@ -72,7 +72,7 @@ Result<CaseStudy> SciFi2000sCaseStudy(const Database& imdb) {
   universe.reserve(movie->num_rows());
   for (size_t r = 0; r < movie->num_rows(); ++r) {
     if (title->IsNull(r)) continue;
-    universe.push_back(title->StringAt(r));
+    universe.emplace_back(title->StringAt(r));
     for (size_t i = 0; i < cohort.size(); ++i) {
       if (cohort[i] == title->StringAt(r)) {
         cohort_pop[i] = rating->IsNull(r) ? 0 : rating->DoubleAt(r);
@@ -110,9 +110,9 @@ Result<CaseStudy> ProlificResearchersCaseStudy(const Database& dblp,
   std::unordered_map<std::string, double> pop_by_name;
   for (size_t r = 0; r < author->num_rows(); ++r) {
     if (aid->IsNull(r) || aname->IsNull(r)) continue;
-    universe.push_back(aname->StringAt(r));
+    universe.emplace_back(aname->StringAt(r));
     auto it = pubs.find(aid->Int64At(r));
-    pop_by_name[aname->StringAt(r)] = it == pubs.end() ? 0 : it->second;
+    pop_by_name[std::string(aname->StringAt(r))] = it == pubs.end() ? 0 : it->second;
   }
   std::vector<double> cohort_pop;
   for (const std::string& member : manifest.prolific_authors) {

@@ -155,7 +155,7 @@ TEST(DerivedRelationTest, PersonToGenreCountsMatchFig5) {
   const Column* count = table.value()->ColumnByName("count").value();
   std::map<std::string, int64_t> jim;
   for (size_t r = 0; r < table.value()->num_rows(); ++r) {
-    if (entity->Int64At(r) == 1) jim[value->StringAt(r)] = count->Int64At(r);
+    if (entity->Int64At(r) == 1) jim[std::string(value->StringAt(r))] = count->Int64At(r);
   }
   EXPECT_EQ(jim["Comedy"], 3);
   EXPECT_EQ(jim["Fantasy"], 1);
@@ -209,7 +209,7 @@ TEST(DerivedRelationTest, CoActorPathSkipsSelf) {
   const Column* count = table.value()->ColumnByName("count").value();
   std::map<std::string, int64_t> jim;
   for (size_t r = 0; r < table.value()->num_rows(); ++r) {
-    if (entity->Int64At(r) == 1) jim[value->StringAt(r)] = count->Int64At(r);
+    if (entity->Int64At(r) == 1) jim[std::string(value->StringAt(r))] = count->Int64At(r);
   }
   EXPECT_EQ(jim["Male"], 2);
   EXPECT_EQ(jim["Female"], 1);

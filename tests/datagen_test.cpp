@@ -294,7 +294,7 @@ TEST(AdultGeneratorTest, ScaleFactorReplicatesDistribution) {
   ASSERT_TRUE(names.ok());
   std::unordered_set<std::string> unique;
   for (size_t r = 0; r < b.value()->GetTable("adult").value()->num_rows(); ++r) {
-    unique.insert(names.value()->StringAt(r));
+    unique.emplace(names.value()->StringAt(r));
   }
   EXPECT_EQ(unique.size(), 1500u);
 }

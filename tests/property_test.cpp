@@ -177,7 +177,7 @@ TEST_P(AbductionInvariantTest, AbducedQueryContainsExamples) {
   std::vector<std::string> names;
   for (size_t r = 0; r < person->num_rows(); ++r) {
     if (rng.Bernoulli(0.5)) {
-      names.push_back(person->ColumnByName("name").value()->StringAt(r));
+      names.emplace_back(person->ColumnByName("name").value()->StringAt(r));
     }
   }
   if (names.size() < 2) names = {"Jim Carris", "Ewan McGregg"};

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <set>
+#include <tuple>
 
+#include "common/strings.h"
 #include "storage/column_index.h"
 #include "storage/csv.h"
 #include "storage/database.h"
@@ -243,13 +246,12 @@ TEST(InvertedIndexTest, CaseInsensitiveLookup) {
   auto db = testing::MakeAcademicsDb();
   auto index = InvertedColumnIndex::Build(*db);
   ASSERT_TRUE(index.ok());
-  const auto* postings = index.value().Lookup("dan susic");
-  ASSERT_NE(postings, nullptr);
-  ASSERT_EQ(postings->size(), 1u);
-  EXPECT_EQ((*postings)[0].relation, "academics");
-  EXPECT_EQ((*postings)[0].attribute, "name");
-  EXPECT_EQ(index.value().Lookup("DAN SUSIC")->size(), 1u);
-  EXPECT_EQ(index.value().Lookup("nobody"), nullptr);
+  auto postings = index.value().Lookup("dan susic");
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(index.value().RelationName(postings[0]), "academics");
+  EXPECT_EQ(index.value().AttributeName(postings[0]), "name");
+  EXPECT_EQ(index.value().Lookup("DAN SUSIC").size(), 1u);
+  EXPECT_TRUE(index.value().Lookup("nobody").empty());
 }
 
 TEST(InvertedIndexTest, IndexesDeclaredTextAttributes) {
@@ -257,9 +259,119 @@ TEST(InvertedIndexTest, IndexesDeclaredTextAttributes) {
   auto index = InvertedColumnIndex::Build(*db);
   ASSERT_TRUE(index.ok());
   // interest.name is declared text-searchable.
-  const auto* postings = index.value().Lookup("data management");
-  ASSERT_NE(postings, nullptr);
-  EXPECT_EQ((*postings)[0].relation, "interest");
+  auto postings = index.value().Lookup("data management");
+  ASSERT_FALSE(postings.empty());
+  EXPECT_EQ(index.value().RelationName(postings[0]), "interest");
+}
+
+/// Naive reference: scans every indexed column for case-insensitive
+/// matches of `text` and returns (relation, attribute, row) triples.
+std::multiset<std::tuple<std::string, std::string, size_t>> NaiveScan(
+    const Database& db, std::string_view text) {
+  std::multiset<std::tuple<std::string, std::string, size_t>> out;
+  std::string probe = ToLower(std::string(text));
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.GetTable(name).value();
+    std::vector<std::string> attrs = table->schema().text_search_attributes();
+    if (attrs.empty() && table->schema().is_entity()) {
+      for (const auto& a : table->schema().attributes()) {
+        if (a.type == ValueType::kString) attrs.push_back(a.name);
+      }
+    }
+    for (const std::string& attr : attrs) {
+      const Column* col = table->ColumnByName(attr).value();
+      if (col->type() != ValueType::kString) continue;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (col->IsNull(r)) continue;
+        if (ToLower(col->StringAt(r)) == probe) out.emplace(name, attr, r);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(InvertedIndexTest, CsrLookupMatchesNaiveScan) {
+  auto db = testing::MakeAcademicsDb();
+  // Exercise the edge keys the CSR build must keep distinct: the empty
+  // string, a key with non-ASCII bytes (folding must only touch A-Z), and a
+  // duplicate value spanning two relations.
+  Table* academics = db->GetMutableTable("academics").value();
+  ASSERT_TRUE(academics
+                  ->AppendRow({Value(static_cast<int64_t>(100)), Value("")})
+                  .ok());
+  ASSERT_TRUE(academics
+                  ->AppendRow({Value(static_cast<int64_t>(101)),
+                               Value("Jalape\xc3\xb1o Pepper")})
+                  .ok());
+  ASSERT_TRUE(academics
+                  ->AppendRow({Value(static_cast<int64_t>(102)),
+                               Value("JALAPE\xc3\xb1O PEPPER")})
+                  .ok());
+
+  auto index = InvertedColumnIndex::Build(*db);
+  ASSERT_TRUE(index.ok());
+
+  // Every value occurring in the data, plus mixed-case and missing probes.
+  std::vector<std::string> probes;
+  for (const std::string& name : db->TableNames()) {
+    const Table* table = db->GetTable(name).value();
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const Column& col = table->column(c);
+      if (col.type() != ValueType::kString) continue;
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (!col.IsNull(r)) probes.emplace_back(col.StringAt(r));
+      }
+    }
+  }
+  probes.push_back("DAN susic");
+  probes.push_back("jalape\xc3\xb1o pepper");
+  probes.push_back("not in any table");
+  probes.push_back("");
+
+  size_t total_hits = 0;
+  for (const std::string& probe : probes) {
+    std::multiset<std::tuple<std::string, std::string, size_t>> got;
+    for (const Posting& p : index.value().Lookup(probe)) {
+      got.emplace(std::string(index.value().RelationName(p)),
+                  std::string(index.value().AttributeName(p)), p.row);
+    }
+    EXPECT_EQ(got, NaiveScan(*db, probe)) << "probe '" << probe << "'";
+    total_hits += got.size();
+  }
+  EXPECT_GT(total_hits, 0u);
+
+  // The two Jalapeño spellings fold to one key (ASCII-only folding keeps
+  // the UTF-8 bytes intact), so either spelling finds both rows.
+  EXPECT_EQ(index.value().Lookup("jalape\xc3\xb1o PEPPER").size(), 2u);
+  // A probe differing only in a non-ASCII byte is a different key.
+  EXPECT_TRUE(index.value().Lookup("jalapeno pepper").empty());
+}
+
+TEST(InvertedIndexTest, PostingCountsSurviveCsrRebuild) {
+  auto db = testing::MakeAcademicsDb();
+  auto index = InvertedColumnIndex::Build(*db);
+  ASSERT_TRUE(index.ok());
+  // Postings across all keys must cover exactly the non-null cells of the
+  // indexed columns.
+  size_t cells = 0;
+  for (const std::string& name : db->TableNames()) {
+    const Table* table = db->GetTable(name).value();
+    std::vector<std::string> attrs = table->schema().text_search_attributes();
+    if (attrs.empty() && table->schema().is_entity()) {
+      for (const auto& a : table->schema().attributes()) {
+        if (a.type == ValueType::kString) attrs.push_back(a.name);
+      }
+    }
+    for (const std::string& attr : attrs) {
+      const Column* col = table->ColumnByName(attr).value();
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (!col->IsNull(r)) ++cells;
+      }
+    }
+  }
+  EXPECT_EQ(index.value().NumPostings(), cells);
+  EXPECT_GT(index.value().NumKeys(), 0u);
+  EXPECT_LE(index.value().NumKeys(), index.value().NumPostings());
 }
 
 // ---------- CSV ----------

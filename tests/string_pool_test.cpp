@@ -1,0 +1,167 @@
+#include "storage/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "storage/inverted_index.h"
+#include "tests/test_util.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (this test binary only): lets the tests assert
+// that the inverted-index / pool lookup hit paths perform zero heap
+// allocations, which is part of the CSR refactor's contract.
+// ---------------------------------------------------------------------------
+
+namespace {
+size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace squid {
+namespace {
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  Symbol a = pool.Intern("alpha");
+  Symbol b = pool.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.Intern("beta"), b);
+  EXPECT_EQ(pool.View(a), "alpha");
+  EXPECT_EQ(pool.View(b), "beta");
+}
+
+TEST(StringPoolTest, FoldedIdsAgreeAcrossCasings) {
+  StringPool pool;
+  Symbol lower = pool.Intern("dan suciu");
+  Symbol mixed = pool.Intern("Dan Suciu");
+  Symbol upper = pool.Intern("DAN SUCIU");
+  // Distinct exact spellings, one shared folded id.
+  EXPECT_NE(mixed, upper);
+  EXPECT_NE(mixed, lower);
+  EXPECT_EQ(pool.FoldedOf(mixed), lower);
+  EXPECT_EQ(pool.FoldedOf(upper), lower);
+  EXPECT_EQ(pool.FoldedOf(lower), lower);  // folded form is its own fold
+  // Case-insensitive lookup resolves any casing, including unseen ones.
+  EXPECT_EQ(pool.FindFolded("dAn SuCiU"), lower);
+  EXPECT_EQ(pool.FindFolded("DAN SUCIU"), lower);
+  EXPECT_EQ(pool.FindFolded("dan suciu"), lower);
+  EXPECT_EQ(pool.FindFolded("dan suciu "), kNoSymbol);
+}
+
+TEST(StringPoolTest, FindNeverInserts) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("ghost"), kNoSymbol);
+  EXPECT_EQ(pool.FindFolded("ghost"), kNoSymbol);
+  EXPECT_EQ(pool.size(), 0u);
+  Symbol g = pool.Intern("ghost");
+  EXPECT_EQ(pool.Find("ghost"), g);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, EmptyStringIsAnOrdinaryKey) {
+  StringPool pool;
+  Symbol empty = pool.Intern("");
+  EXPECT_EQ(pool.View(empty), "");
+  EXPECT_EQ(pool.FoldedOf(empty), empty);
+  EXPECT_EQ(pool.Find(""), empty);
+  EXPECT_EQ(pool.FindFolded(""), empty);
+  EXPECT_EQ(pool.Intern(""), empty);
+}
+
+TEST(StringPoolTest, NonAsciiBytesPassThroughFolding) {
+  StringPool pool;
+  // UTF-8 "Jalapeño": folding only touches A-Z, so the ñ bytes survive and
+  // the two casings share one folded id.
+  Symbol a = pool.Intern("Jalape\xc3\xb1o");
+  Symbol b = pool.Intern("JALAPE\xc3\xb1O");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.FoldedOf(a), pool.FoldedOf(b));
+  EXPECT_EQ(pool.View(pool.FoldedOf(a)), "jalape\xc3\xb1o");
+  // A string differing only in the non-ASCII byte folds elsewhere.
+  EXPECT_EQ(pool.FindFolded("jalapeno"), kNoSymbol);
+  EXPECT_EQ(pool.FindFolded("jalape\xc3\xb1O"), pool.FoldedOf(a));
+}
+
+TEST(StringPoolTest, ViewsStayStableAsThePoolGrows) {
+  StringPool pool;
+  // Force many arena blocks (64 KiB each) and record early views.
+  std::vector<std::pair<Symbol, std::string>> expected;
+  for (int i = 0; i < 20000; ++i) {
+    std::string s = "entity-" + std::to_string(i) + "-with-some-padding";
+    Symbol id = pool.Intern(s);
+    if (i % 997 == 0) expected.emplace_back(id, s);
+  }
+  // An oversize string (> one block) takes the dedicated-storage path.
+  std::string big(100000, 'x');
+  Symbol big_id = pool.Intern(big);
+  for (int i = 20000; i < 24000; ++i) {
+    pool.Intern("more-growth-" + std::to_string(i));
+  }
+  for (const auto& [id, s] : expected) {
+    EXPECT_EQ(pool.View(id), s);
+  }
+  EXPECT_EQ(pool.View(big_id), big);
+  EXPECT_GT(pool.ApproxBytes(), size_t{100000});
+}
+
+TEST(StringPoolTest, FoldHashMatchesAcrossCasingsAndLengths) {
+  // The SWAR fold hash must agree for case-insensitively equal strings of
+  // every length mod 8 (covering the overlapping-last-word and short-tail
+  // paths).
+  const std::string base = "AbCdEfGhIjKlMnOpQrStU";
+  for (size_t len = 0; len <= base.size(); ++len) {
+    std::string upper = base.substr(0, len);
+    std::string lower = upper;
+    for (char& c : lower) c = StringPool::FoldChar(c);
+    EXPECT_EQ(StringPool::FoldHashOf(upper), StringPool::FoldHashOf(lower))
+        << "len " << len;
+    EXPECT_TRUE(StringPool::FoldEqual(upper, lower)) << "len " << len;
+    if (len > 0) {
+      std::string other = lower;
+      other[len / 2] = '#';
+      EXPECT_FALSE(StringPool::FoldEqual(upper, other)) << "len " << len;
+    }
+  }
+}
+
+TEST(StringPoolTest, LookupHitPathDoesNotAllocate) {
+  auto db = testing::MakeAcademicsDb();
+  auto index = InvertedColumnIndex::Build(*db);
+  ASSERT_TRUE(index.ok());
+  const StringPool& pool = *db->pool();
+
+  // Mixed-case probes of values that are present (the hit path).
+  const char* probes[] = {"DAN SUSIC", "dan susic", "Data Management"};
+  // Warm up so lazy hash-map rehashing cannot be blamed on the probe.
+  size_t hits = 0;
+  for (const char* probe : probes) hits += index.value().Lookup(probe).size();
+  ASSERT_GT(hits, 0u);
+
+  size_t before = g_alloc_count;
+  size_t total = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (const char* probe : probes) {
+      total += index.value().Lookup(probe).size();
+      total += pool.FindFolded(probe) == kNoSymbol ? 0 : 1;
+    }
+  }
+  EXPECT_EQ(g_alloc_count, before) << "Lookup allocated on the hit path";
+  EXPECT_EQ(total, 100 * (hits + 3));
+}
+
+}  // namespace
+}  // namespace squid
