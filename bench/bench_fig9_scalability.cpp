@@ -4,8 +4,13 @@
 // Expected shape: time grows ~linearly with |E| (per-example point queries)
 // and logarithmically-ish with data size; bd > bs (denser associations mean
 // more derived properties per entity).
+// Also measures the offline phase (§5): serial vs parallel αDB build time
+// over a scale sweep (--scale= base, --maxsweep= largest multiplier,
+// --threads= worker count, 0 = hardware). The speedup column feeds the
+// bench-trend checker (scripts/check_bench_trends.py) via --json.
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "core/squid.h"
 
 using namespace squid;
@@ -43,7 +48,38 @@ int main(int argc, char** argv) {
   squid::bench::InitBenchIo(argc, argv, "bench_fig9_scalability");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
   size_t runs = static_cast<size_t>(FlagOr(argc, argv, "runs", 2));
+  size_t threads = SizeFlagOr(argc, argv, "threads", 0);
+  size_t maxsweep = SizeFlagOr(argc, argv, "maxsweep", 4);
   const std::vector<size_t> sizes = {5, 10, 15, 20, 25, 30};
+
+  Banner("aDB build scalability", "serial vs parallel build, scale sweep");
+  {
+    const size_t resolved = ThreadPool::ResolveThreads(threads);
+    TablePrinter table({"dataset", "scale", "rows", "threads", "serial (s)",
+                        "parallel (s)", "speedup"});
+    for (size_t factor = 1; factor <= maxsweep; factor *= 2) {
+      ImdbOptions options;
+      options.scale = scale * static_cast<double>(factor);
+      auto data = GenerateImdb(options);
+      SQUID_CHECK(data.ok());
+      AdbOptions serial_options;
+      serial_options.threads = 1;
+      auto serial = AbductionReadyDb::Build(*data.value().db, serial_options);
+      SQUID_CHECK(serial.ok());
+      AdbOptions parallel_options;
+      parallel_options.threads = threads;
+      auto parallel = AbductionReadyDb::Build(*data.value().db, parallel_options);
+      SQUID_CHECK(parallel.ok());
+      double serial_s = serial.value()->report().build_seconds;
+      double parallel_s = parallel.value()->report().build_seconds;
+      table.AddRow({"IMDb", TablePrinter::Num(options.scale, 2),
+                    TablePrinter::Int(data.value().db->TotalRows()),
+                    TablePrinter::Int(resolved), TablePrinter::Num(serial_s, 3),
+                    TablePrinter::Num(parallel_s, 3),
+                    TablePrinter::Num(parallel_s > 0 ? serial_s / parallel_s : 0, 2)});
+    }
+    table.Print();
+  }
 
   Banner("Figure 9(a)", "abduction time vs #examples (IMDb, DBLP)");
   {

@@ -175,7 +175,9 @@ BENCHMARK(BM_EndToEndDiscover);
 
 /// Custom main: supports --scale=<s> (fixture dataset scale; CI uses a tiny
 /// one) and --json=<path> (mapped onto google-benchmark's JSON reporter, so
-/// all bench binaries share one flag). Everything else is passed through.
+/// all bench binaries share one flag). --benchmark_* flags pass through;
+/// other figure-bench flags (e.g. --runs=, --threads= from run_benches.sh's
+/// SQUID_BENCH_ARGS) are ignored rather than rejected.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   std::vector<std::string> storage;  // keeps rewritten flags alive
@@ -186,7 +188,7 @@ int main(int argc, char** argv) {
       storage.push_back("--benchmark_out_format=json");
     } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       squid::g_fixture_scale = std::atof(argv[i] + 8);
-    } else {
+    } else if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
       args.push_back(argv[i]);
     }
   }

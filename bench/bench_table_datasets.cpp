@@ -1,9 +1,12 @@
 // Regenerates the dataset-description tables (Figs. 17/18) and the
 // benchmark-query tables (Figs. 19/20/22): relation counts, row counts,
 // aDB precomputation size/time, and per-query join / selection counts with
-// result cardinalities on the generated data.
+// result cardinalities on the generated data. Also reports serial-vs-
+// parallel αDB build time per dataset (--threads=, 0 = hardware) for the
+// JSON sink / trend checker.
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 
 using namespace squid;
 using namespace squid::bench;
@@ -40,6 +43,7 @@ void DatasetRow(TablePrinter* table, const char* name, const Database& db,
 int main(int argc, char** argv) {
   squid::bench::InitBenchIo(argc, argv, "bench_table_datasets");
   double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  size_t threads = SizeFlagOr(argc, argv, "threads", 0);
   Banner("Figures 17/18", "datasets and aDB precomputation");
 
   ImdbBench imdb = BuildImdbBench(scale);
@@ -52,6 +56,34 @@ int main(int argc, char** argv) {
   DatasetRow(&datasets, "DBLP", *dblp.data.db, dblp.adb->report());
   DatasetRow(&datasets, "Adult", *adult.db, adult.adb->report());
   datasets.Print();
+
+  Banner("aDB build speedup", "serial vs parallel precomputation");
+  {
+    const size_t resolved = ThreadPool::ResolveThreads(threads);
+    TablePrinter speedups(
+        {"dataset", "threads", "serial (s)", "parallel (s)", "speedup"});
+    auto add_row = [&](const char* name, const Database& db) {
+      AdbOptions serial_options;
+      serial_options.threads = 1;
+      auto serial = AbductionReadyDb::Build(db, serial_options);
+      SQUID_CHECK(serial.ok());
+      AdbOptions parallel_options;
+      parallel_options.threads = threads;
+      auto parallel = AbductionReadyDb::Build(db, parallel_options);
+      SQUID_CHECK(parallel.ok());
+      double serial_s = serial.value()->report().build_seconds;
+      double parallel_s = parallel.value()->report().build_seconds;
+      speedups.AddRow({name, TablePrinter::Int(resolved),
+                       TablePrinter::Num(serial_s, 3),
+                       TablePrinter::Num(parallel_s, 3),
+                       TablePrinter::Num(
+                           parallel_s > 0 ? serial_s / parallel_s : 0, 2)});
+    };
+    add_row("IMDb", *imdb.data.db);
+    add_row("DBLP", *dblp.data.db);
+    add_row("Adult", *adult.db);
+    speedups.Print();
+  }
 
   QueryTable("IMDb (Fig. 19)", *imdb.data.db, imdb.queries);
   QueryTable("DBLP (Fig. 20)", *dblp.data.db, dblp.queries);

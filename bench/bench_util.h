@@ -46,6 +46,12 @@ inline double FlagOr(int argc, char** argv, const char* name, double fallback) {
   return fallback;
 }
 
+/// Integer flag lookup: --name=value.
+inline size_t SizeFlagOr(int argc, char** argv, const char* name, size_t fallback) {
+  return static_cast<size_t>(
+      FlagOr(argc, argv, name, static_cast<double>(fallback)));
+}
+
 /// String-valued flag lookup: --name=value ("" when absent).
 inline std::string StringFlagOr(int argc, char** argv, const char* name,
                                 const char* fallback = "") {

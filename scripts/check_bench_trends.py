@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Asserts trend SHAPES against the bench JSON output in bench/out/.
+
+The reproduction target for the paper figures is the shape of each trend,
+not absolute numbers (synthetic data, different hardware) — see
+docs/EXPERIMENTS.md. This checker runs after scripts/run_benches.sh (and in
+CI) and fails when a shape regresses:
+
+  * Fig. 10 (bench_fig10_accuracy.json): accuracy rises with the number of
+    examples — per dataset table, the mean f-score over queries at the
+    largest |E| must not fall more than EPS below the mean at the smallest
+    |E|, and the pooled least-squares slope of f-score vs |E| must be
+    non-negative (within EPS per example).
+  * Fig. 9 (bench_fig9_scalability.json) and bench_table_datasets.json:
+    αDB build time grows sub-linearly with threads at fixed scale — the
+    parallel build must not be materially slower than the serial build
+    (single-core CI leaves speedup ~1, so the bound is a tolerance, not a
+    required speedup).
+
+Usage: scripts/check_bench_trends.py [json-dir]   (default: bench/out)
+Exits non-zero on the first failed assertion; missing benches are skipped
+with a note, but if NO known bench file is present the script fails (that
+means the harness did not run).
+"""
+
+import json
+import pathlib
+import sys
+
+EPS = 0.05
+# Parallel build may be this much slower than serial before we call it a
+# regression (covers timer noise and 1-core runners, where the worker-pool
+# overhead is all there is to measure).
+PARALLEL_SLOWDOWN_TOLERANCE = 1.35
+PARALLEL_SLOWDOWN_SLACK_SECONDS = 0.05
+
+failures = []
+checks_run = 0
+
+
+def fail(msg):
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg):
+    print(f"  ok: {msg}")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def tables_with_headers(doc, required):
+    """Tables whose header list contains every name in `required`."""
+    out = []
+    for table in doc.get("tables", []):
+        headers = table.get("headers", [])
+        if all(h in headers for h in required):
+            out.append(table)
+    return out
+
+
+def column(table, name):
+    idx = table["headers"].index(name)
+    return [row[idx] for row in table["rows"]]
+
+
+def check_fig10(path):
+    global checks_run
+    doc = load(path)
+    tables = tables_with_headers(doc, ["query", "#examples", "f-score"])
+    if not tables:
+        fail(f"{path.name}: no accuracy table with (query, #examples, f-score)")
+        return
+    for table in tables:
+        section = table.get("section", "?")
+        examples = [float(v) for v in column(table, "#examples")]
+        fscores = [float(v) for v in column(table, "f-score")]
+        if not examples:
+            fail(f"{path.name} [{section}]: accuracy table is empty")
+            continue
+        lo, hi = min(examples), max(examples)
+        f_at_lo = [f for e, f in zip(examples, fscores) if e == lo]
+        f_at_hi = [f for e, f in zip(examples, fscores) if e == hi]
+        mean_lo = sum(f_at_lo) / len(f_at_lo)
+        mean_hi = sum(f_at_hi) / len(f_at_hi)
+        checks_run += 1
+        if mean_hi + EPS < mean_lo:
+            fail(
+                f"{path.name} [{section}]: mean f-score FELL with |E| "
+                f"({mean_lo:.3f} @ |E|={lo:.0f} -> {mean_hi:.3f} @ |E|={hi:.0f})"
+            )
+        else:
+            ok(
+                f"{section}: f-score {mean_lo:.3f} @ |E|={lo:.0f} -> "
+                f"{mean_hi:.3f} @ |E|={hi:.0f}"
+            )
+        # Pooled least-squares slope over every (|E|, f) point.
+        n = len(examples)
+        mean_e = sum(examples) / n
+        mean_f = sum(fscores) / n
+        var_e = sum((e - mean_e) ** 2 for e in examples)
+        if var_e > 0:
+            slope = sum(
+                (e - mean_e) * (f - mean_f) for e, f in zip(examples, fscores)
+            ) / var_e
+            checks_run += 1
+            if slope < -EPS:
+                fail(f"{path.name} [{section}]: f-score slope vs |E| is {slope:.4f}")
+            else:
+                ok(f"{section}: f-score slope vs |E| = {slope:+.4f}")
+
+
+def check_build_speedup(path):
+    global checks_run
+    doc = load(path)
+    tables = tables_with_headers(doc, ["serial (s)", "parallel (s)", "speedup"])
+    if not tables:
+        fail(f"{path.name}: no serial-vs-parallel build table")
+        return
+    for table in tables:
+        section = table.get("section", "?")
+        serial = [float(v) for v in column(table, "serial (s)")]
+        parallel = [float(v) for v in column(table, "parallel (s)")]
+        labels = column(table, table["headers"][0])
+        for label, s, p in zip(labels, serial, parallel):
+            checks_run += 1
+            bound = s * PARALLEL_SLOWDOWN_TOLERANCE + PARALLEL_SLOWDOWN_SLACK_SECONDS
+            if p > bound:
+                fail(
+                    f"{path.name} [{section}] {label}: parallel build {p:.3f}s "
+                    f"exceeds serial {s:.3f}s beyond tolerance"
+                )
+            else:
+                ok(f"{section} {label}: serial {s:.3f}s, parallel {p:.3f}s")
+
+
+def main():
+    json_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench/out")
+    if not json_dir.is_dir():
+        print(f"error: {json_dir} does not exist; run scripts/run_benches.sh first")
+        return 1
+
+    known = {
+        "bench_fig10_accuracy": check_fig10,
+        "bench_fig9_scalability": check_build_speedup,
+        "bench_table_datasets": check_build_speedup,
+    }
+    seen = 0
+    for path in sorted(json_dir.glob("*.json")):
+        for stem, checker in known.items():
+            if stem in path.name:
+                print(f"== {path.name}")
+                seen += 1
+                try:
+                    checker(path)
+                except (KeyError, ValueError, json.JSONDecodeError) as e:
+                    fail(f"{path.name}: malformed bench JSON ({e})")
+    if seen == 0:
+        print(f"error: no known bench JSON under {json_dir} " f"(expected {sorted(known)})")
+        return 1
+    print(
+        f"\n{checks_run} trend assertion(s) over {seen} bench file(s): "
+        + ("FAILED" if failures else "all OK")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

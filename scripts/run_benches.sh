@@ -2,15 +2,19 @@
 # Runs every paper-figure bench binary in sequence, teeing each one's output
 # to results/<bench>.txt and collecting machine-readable JSON results into
 # bench/out/<bench>.json (every bench supports --json=<path>; see
-# bench/bench_util.h). Build first:
+# bench/bench_util.h), then asserts trend shapes against the JSON via
+# scripts/check_bench_trends.py. Build first:
 #   cmake -B build -S . && cmake --build build -j
 #
 # Usage: scripts/run_benches.sh [build-dir] [results-dir] [json-dir]
+# Extra per-bench flags (e.g. a CI-friendly scale) go in SQUID_BENCH_ARGS:
+#   SQUID_BENCH_ARGS="--scale=0.15 --runs=1" scripts/run_benches.sh
 set -eu
 
 build_dir="${1:-build}"
 results_dir="${2:-results}"
 json_dir="${3:-bench/out}"
+bench_args="${SQUID_BENCH_ARGS:-}"
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found; build the project first" >&2
@@ -24,8 +28,11 @@ for bin in "$build_dir"/bench/bench_*; do
   name="$(basename "$bin")"
   echo "==> $name"
   # Redirect instead of tee: a pipeline would report tee's exit status and
-  # silently swallow a crashing bench.
-  if ! "$bin" --json="$json_dir/$name.json" > "$results_dir/$name.txt" 2>&1; then
+  # silently swallow a crashing bench. $bench_args is intentionally
+  # word-split (it carries whitespace-separated --flags).
+  # shellcheck disable=SC2086
+  if ! "$bin" --json="$json_dir/$name.json" $bench_args \
+      > "$results_dir/$name.txt" 2>&1; then
     cat "$results_dir/$name.txt"
     echo "FAILED: $name (output in $results_dir/$name.txt)" >&2
     exit 1
@@ -35,3 +42,10 @@ for bin in "$build_dir"/bench/bench_*; do
 done
 
 echo "Wrote $results_dir/*.txt and $json_dir/*.json"
+
+if command -v python3 > /dev/null 2>&1; then
+  echo "==> check_bench_trends"
+  python3 "$(dirname "$0")/check_bench_trends.py" "$json_dir"
+else
+  echo "note: python3 not found; skipping scripts/check_bench_trends.py" >&2
+fi

@@ -1,15 +1,76 @@
 #include "adb/abduction_ready_db.h"
 
+#include <algorithm>
+#include <optional>
+#include <set>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace squid {
+
+namespace {
+
+/// Per-descriptor build output, filled by one worker and merged serially in
+/// descriptor order. Everything a descriptor needs (stats maps, the derived
+/// table, its entity index, per-entity totals) is local to this slot, so
+/// workers hold no locks on the αDB's maps.
+struct DescriptorWork {
+  Status status = Status::OK();
+  std::optional<PropertyStats> stats;
+  std::shared_ptr<Table> derived;  // null for basic descriptors
+  bool oversized = false;          // derived skipped by max_derived_rows
+  std::optional<HashColumnIndex> entity_index;
+  std::unordered_map<Value, double, ValueHash> totals;
+};
+
+/// Materializes + computes statistics for one descriptor against the base
+/// database. Read-only on `base`; every string it interns (derived values,
+/// statistics keys) already exists in the base pool, so the shared interner
+/// sees no inserts and symbol assignment stays canonical.
+DescriptorWork BuildDescriptor(const Database& base, const PropertyDescriptor& desc,
+                               const AdbOptions& options) {
+  DescriptorWork work;
+  auto fail = [&](Status status) {
+    work.status = std::move(status);
+    return work;
+  };
+  auto etable = base.GetTable(desc.entity_relation);
+  if (!etable.ok()) return fail(etable.status());
+  if (desc.hops.empty()) {
+    auto stats = StatisticsBuilder::BuildBasic(base, desc);
+    if (!stats.ok()) return fail(stats.status());
+    work.stats.emplace(std::move(stats).value());
+    return work;
+  }
+  auto derived = MaterializeDerivedRelation(base, desc);
+  if (!derived.ok()) return fail(derived.status());
+  if (options.max_derived_rows > 0 &&
+      derived.value()->num_rows() > options.max_derived_rows) {
+    work.oversized = true;
+    work.derived = std::move(derived).value();
+    return work;
+  }
+  auto stats = StatisticsBuilder::BuildFromDerived(
+      *derived.value(), etable.value()->num_rows(), &work.totals);
+  if (!stats.ok()) return fail(stats.status());
+  auto entity_idx = HashColumnIndex::Build(*derived.value(), "entity_id");
+  if (!entity_idx.ok()) return fail(entity_idx.status());
+  work.stats.emplace(std::move(stats).value());
+  work.entity_index.emplace(std::move(entity_idx).value());
+  work.derived = std::move(derived).value();
+  return work;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::Build(
     const Database& base, const AdbOptions& options) {
   Stopwatch timer;
   auto adb = std::unique_ptr<AbductionReadyDb>(new AbductionReadyDb());
+  adb->report_.threads_used = ThreadPool::ResolveThreads(options.threads);
 
   // Alias all base tables.
   for (const std::string& name : base.TableNames()) {
@@ -27,48 +88,69 @@ Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::Build(
 
   // Primary-key indexes for every keyed relation (entities for context
   // discovery, dimensions for display resolution and IQ7-style base queries
-  // over property relations).
+  // over property relations). Each index reads one base table and lands in
+  // its own slot; the merge below keeps (sorted) name order.
+  std::vector<std::string> keyed_names;
   for (const std::string& name : base.TableNames()) {
     SQUID_ASSIGN_OR_RETURN(const Table* table, base.GetTable(name));
-    const auto& pk = table->schema().primary_key();
-    if (!pk) continue;
-    SQUID_ASSIGN_OR_RETURN(HashColumnIndex idx, HashColumnIndex::Build(*table, *pk));
-    adb->entity_pk_index_.emplace(name, std::move(idx));
+    if (table->schema().primary_key()) keyed_names.push_back(name);
   }
 
-  // Materialize derived relations and compute statistics.
-  for (const PropertyDescriptor& desc : adb->graph_.descriptors()) {
-    if (adb->stats_.count(desc.id)) {
-      return Status::Internal("duplicate property descriptor id: " + desc.id);
+  // The widest fan-out is one task per keyed relation or per descriptor;
+  // cap the worker count so wide machines don't spawn threads that can
+  // never receive work.
+  const size_t max_tasks = std::max<size_t>(
+      {keyed_names.size(), adb->graph_.descriptors().size(), 1});
+  ThreadPool pool(std::min(adb->report_.threads_used, max_tasks));
+
+  std::vector<std::optional<Result<HashColumnIndex>>> pk_results(keyed_names.size());
+  pool.ParallelFor(keyed_names.size(), [&](size_t i) {
+    const Table* table = base.GetTable(keyed_names[i]).value();
+    pk_results[i].emplace(HashColumnIndex::Build(*table, *table->schema().primary_key()));
+  });
+  for (size_t i = 0; i < keyed_names.size(); ++i) {
+    if (!pk_results[i]->ok()) return pk_results[i]->status();
+    adb->entity_pk_index_.emplace(keyed_names[i], std::move(*pk_results[i]).value());
+  }
+
+  // Materialize derived relations and compute statistics — embarrassingly
+  // parallel per descriptor. Workers fill per-descriptor slots; the serial
+  // merge walks descriptors in their canonical order, so report counters,
+  // table registration, and every stats map are identical for any thread
+  // count (the determinism tests in tests/adb_test.cpp pin this down).
+  const auto& descriptors = adb->graph_.descriptors();
+  {
+    std::set<std::string> ids;
+    for (const PropertyDescriptor& desc : descriptors) {
+      if (!ids.insert(desc.id).second) {
+        return Status::Internal("duplicate property descriptor id: " + desc.id);
+      }
     }
-    SQUID_ASSIGN_OR_RETURN(const Table* etable, base.GetTable(desc.entity_relation));
-    if (desc.hops.empty()) {
-      SQUID_ASSIGN_OR_RETURN(PropertyStats stats,
-                             StatisticsBuilder::BuildBasic(base, desc));
-      adb->stats_.emplace(desc.id, std::move(stats));
-      continue;
-    }
-    SQUID_ASSIGN_OR_RETURN(std::shared_ptr<Table> derived,
-                           MaterializeDerivedRelation(base, desc));
-    if (options.max_derived_rows > 0 &&
-        derived->num_rows() > options.max_derived_rows) {
+  }
+  std::vector<DescriptorWork> work(descriptors.size());
+  pool.ParallelFor(descriptors.size(), [&](size_t i) {
+    work[i] = BuildDescriptor(base, descriptors[i], options);
+  });
+  for (size_t i = 0; i < descriptors.size(); ++i) {
+    const PropertyDescriptor& desc = descriptors[i];
+    DescriptorWork& w = work[i];
+    SQUID_RETURN_NOT_OK(w.status);
+    if (w.oversized) {
       SQUID_LOG(Warn) << "skipping oversized derived relation " << desc.derived_table
-                      << " (" << derived->num_rows() << " rows)";
+                      << " (" << w.derived->num_rows() << " rows)";
       continue;
     }
-    std::unordered_map<Value, double, ValueHash> totals;
-    SQUID_ASSIGN_OR_RETURN(
-        PropertyStats stats,
-        StatisticsBuilder::BuildFromDerived(*derived, etable->num_rows(), &totals));
-    SQUID_ASSIGN_OR_RETURN(HashColumnIndex entity_idx,
-                           HashColumnIndex::Build(*derived, "entity_id"));
-    adb->report_.derived_rows += derived->num_rows();
-    adb->report_.derived_bytes += derived->ApproxBytes();
+    if (w.derived == nullptr) {  // basic descriptor: stats only
+      adb->stats_.emplace(desc.id, std::move(*w.stats));
+      continue;
+    }
+    adb->report_.derived_rows += w.derived->num_rows();
+    adb->report_.derived_bytes += w.derived->ApproxBytes();
     ++adb->report_.num_derived_relations;
-    SQUID_RETURN_NOT_OK(adb->db_.AddTable(std::move(derived)));
-    adb->stats_.emplace(desc.id, std::move(stats));
-    adb->derived_entity_index_.emplace(desc.id, std::move(entity_idx));
-    adb->entity_totals_.emplace(desc.id, std::move(totals));
+    SQUID_RETURN_NOT_OK(adb->db_.AddTable(std::move(w.derived)));
+    adb->stats_.emplace(desc.id, std::move(*w.stats));
+    adb->derived_entity_index_.emplace(desc.id, std::move(*w.entity_index));
+    adb->entity_totals_.emplace(desc.id, std::move(w.totals));
   }
 
   // Inverted column index over the base database.

@@ -29,11 +29,21 @@ struct AdbOptions {
   /// Skip materializing derived relations larger than this many rows
   /// (0 = no limit). A safety valve for adversarial schemas.
   size_t max_derived_rows = 0;
+  /// Worker threads for the offline build (PK indexing and per-descriptor
+  /// materialization + statistics). 0 = hardware concurrency, 1 = serial.
+  /// The result is bit-identical for every thread count: workers only write
+  /// per-descriptor slots (merged in canonical descriptor order) and never
+  /// intern new strings, so symbol assignment cannot race.
+  size_t threads = 0;
 };
 
 /// Build-time and size report (feeds the dataset description tables).
 struct AdbReport {
   double build_seconds = 0;
+  /// Configured build parallelism (after resolving threads == 0 to the
+  /// hardware concurrency; the worker pool itself is additionally capped at
+  /// the widest per-phase fan-out).
+  size_t threads_used = 1;
   size_t num_descriptors = 0;
   size_t num_derived_relations = 0;
   size_t derived_rows = 0;

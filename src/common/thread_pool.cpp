@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace squid {
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t threads) : num_threads_(ResolveThreads(threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (job_fn_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunJob();
+  }
+}
+
+void ThreadPool::RunJob() {
+  for (;;) {
+    size_t index;
+    const std::function<void(size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_fn_ == nullptr || job_next_ >= job_size_) return;
+      index = job_next_++;
+      ++job_pending_;
+      fn = job_fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job_pending_;
+      if (job_next_ >= job_size_ && job_pending_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_size_ = n;
+    job_next_ = 0;
+    job_pending_ = 0;
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+  RunJob();  // the calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [&] { return job_next_ >= job_size_ && job_pending_ == 0; });
+    job_fn_ = nullptr;
+  }
+}
+
+}  // namespace squid

@@ -1,0 +1,68 @@
+#ifndef SQUID_COMMON_THREAD_POOL_H_
+#define SQUID_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// \brief Small reusable worker pool for the offline phase (parallel αDB
+/// construction and dataset generation). Tasks are independent closures;
+/// callers that need deterministic output write results into per-task slots
+/// and merge them in canonical (task-index) order after Wait().
+///
+/// `threads == 0` resolves to the hardware concurrency; `threads == 1` runs
+/// every task inline on the calling thread (exact serial semantics, no
+/// worker threads are ever spawned) — the determinism tests compare that
+/// mode against multi-threaded runs.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace squid {
+
+/// \brief Fixed-size worker pool with a run-to-completion ParallelFor.
+class ThreadPool {
+ public:
+  /// Spawns `ResolveThreads(threads) - 1` workers (the calling thread
+  /// participates in ParallelFor, so n threads means n-1 workers).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute a ParallelFor (>= 1).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(0) .. fn(n - 1), returning when all calls finished. Indexes
+  /// are claimed from a shared counter, so assignment to threads is
+  /// nondeterministic — fn must only write state owned by its index. With
+  /// one thread (or n <= 1) the calls run inline in index order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// 0 -> hardware concurrency (at least 1); anything else passes through.
+  static size_t ResolveThreads(size_t requested);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indexes of the current job until they run out.
+  void RunJob();
+
+  size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(size_t)>* job_fn_ = nullptr;  // null = no job
+  size_t job_size_ = 0;
+  size_t job_next_ = 0;     // next index to claim
+  size_t job_pending_ = 0;  // indexes claimed but not finished
+  uint64_t job_epoch_ = 0;  // bumped per ParallelFor so workers wake once
+  bool shutdown_ = false;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_COMMON_THREAD_POOL_H_

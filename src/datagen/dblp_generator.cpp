@@ -1,11 +1,13 @@
 #include "datagen/dblp_generator.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "datagen/emit_util.h"
 
 namespace squid {
 
@@ -223,7 +225,88 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     }
   }
 
-  // ---- Emit dimensions. ----
+  // ---- Stage the remaining emission inputs (serial; keeps the rng draw
+  // sequence identical to the historical serial generator, which drew these
+  // during emission in exactly this order). ----
+  struct AffiliationRow {
+    std::string name;
+    int64_t country_id;
+  };
+  std::vector<AffiliationRow> affiliations;
+  affiliations.reserve(num_affiliations);
+  for (size_t i = 0; i < num_affiliations; ++i) {
+    std::string name;
+    if (i + 2 == num_affiliations) name = manifest.lab_a;
+    else if (i + 1 == num_affiliations) name = manifest.lab_b;
+    else name = StrFormat("Institute %03zu", i);
+    // Lab A is in the USA, lab B in Canada (drives DQ5 overlaps).
+    int64_t country =
+        i + 2 == num_affiliations ? 1
+        : i + 1 == num_affiliations
+            ? 2
+            : static_cast<int64_t>(rng.Zipf(std::size(kCountries), 1.0) + 1);
+    affiliations.push_back({std::move(name), country});
+  }
+
+  struct CitationRow {
+    int64_t pub_id;
+    int64_t cited_pub_id;
+  };
+  std::vector<CitationRow> citations;
+  for (const PubRow& p : pubs) {
+    size_t ncites = static_cast<size_t>(rng.UniformInt(0, 6));
+    std::set<int64_t> cited;
+    for (size_t i = 0; i < ncites; ++i) {
+      int64_t c = static_cast<int64_t>(rng.Zipf(num_pubs, 1.0) + 1);
+      if (c != p.id) cited.insert(c);
+    }
+    for (int64_t c : cited) citations.push_back({p.id, c});
+  }
+
+  struct PcRow {
+    int64_t author_id;
+    int64_t venue_id;
+    int64_t year;
+  };
+  std::vector<PcRow> pc_rows;
+  {
+    // Prolific authors serve frequently (the Fig. 13(c) sampling frame).
+    std::unordered_set<std::string> prolific(manifest.prolific_authors.begin(),
+                                             manifest.prolific_authors.end());
+    for (const AuthorRow& a : authors) {
+      if (!prolific.count(a.name)) continue;
+      for (int64_t year = 2011; year <= 2015; ++year) {
+        if (rng.Bernoulli(0.7)) pc_rows.push_back({a.id, 1, year});
+      }
+    }
+    for (size_t i = 0; i < num_authors / 10; ++i) {
+      int64_t a = static_cast<int64_t>(rng.Zipf(num_authors, 0.8) + 1);
+      pc_rows.push_back(
+          {a, static_cast<int64_t>(rng.Zipf(std::size(kVenues), 0.9) + 1),
+           2011 + rng.UniformInt(0, 4)});
+    }
+  }
+
+  struct AwardRow {
+    int64_t author_id;
+    int64_t award_id;
+  };
+  std::vector<AwardRow> award_rows;
+  award_rows.reserve(num_authors / 20);
+  for (size_t i = 0; i < num_authors / 20; ++i) {
+    int64_t a = static_cast<int64_t>(rng.Zipf(num_authors, 0.8) + 1);
+    award_rows.push_back(
+        {a, rng.UniformInt(1, static_cast<int64_t>(std::size(kAwards)))});
+  }
+
+  // ---- Create tables and batch-intern every string cell in canonical
+  // (creation) order; then fill in parallel — see datagen/emit_util.h for
+  // the determinism contract. ----
+  StringPool* pool = db->pool().get();
+  pool->Reserve(authors.size() + pubs.size() + affiliations.size() +
+                num_keywords + 128);
+  std::vector<std::function<Status()>> fillers;
+
   {
     Schema s("venue", {{"id", ValueType::kInt64},
                        {"name", ValueType::kString},
@@ -235,32 +318,51 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"area_id", "area", "id"});
     s.AddForeignKey({"series_id", "series", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    for (size_t i = 0; i < std::size(kVenues); ++i) {
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(static_cast<int64_t>(i + 1)), Value(std::string(kVenues[i])),
-           Value(static_cast<int64_t>(kVenueArea[i] + 1)),
-           Value(static_cast<int64_t>(i % std::size(kSeries) + 1))}));
-    }
+    for (const char* v : kVenues) pool->Intern(v);
+    fillers.push_back([t]() -> Status {
+      for (size_t i = 0; i < std::size(kVenues); ++i) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(static_cast<int64_t>(i + 1)), Value(std::string(kVenues[i])),
+             Value(static_cast<int64_t>(kVenueArea[i] + 1)),
+             Value(static_cast<int64_t>(i % std::size(kSeries) + 1))}));
+      }
+      return Status::OK();
+    });
   }
-  auto emit_dim = [&](const std::string& name, const char* const* values,
-                      size_t count) -> Status {
+  auto add_dim = [&](const std::string& name, const char* const* values,
+                     size_t count) -> Status {
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema(name)));
-    for (size_t i = 0; i < count; ++i) {
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(static_cast<int64_t>(i + 1)), Value(std::string(values[i]))}));
-    }
+    for (size_t i = 0; i < count; ++i) pool->Intern(values[i]);
+    fillers.push_back([t, values, count]() -> Status {
+      t->Reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(static_cast<int64_t>(i + 1)), Value(std::string(values[i]))}));
+      }
+      return Status::OK();
+    });
     return Status::OK();
   };
-  SQUID_RETURN_NOT_OK(emit_dim("area", kAreas, std::size(kAreas)));
-  SQUID_RETURN_NOT_OK(emit_dim("country", kCountries, std::size(kCountries)));
-  SQUID_RETURN_NOT_OK(emit_dim("series", kSeries, std::size(kSeries)));
-  SQUID_RETURN_NOT_OK(emit_dim("award", kAwards, std::size(kAwards)));
+  SQUID_RETURN_NOT_OK(add_dim("area", kAreas, std::size(kAreas)));
+  SQUID_RETURN_NOT_OK(add_dim("country", kCountries, std::size(kCountries)));
+  SQUID_RETURN_NOT_OK(add_dim("series", kSeries, std::size(kSeries)));
+  SQUID_RETURN_NOT_OK(add_dim("award", kAwards, std::size(kAwards)));
+  std::vector<std::string> topic_names;
+  topic_names.reserve(num_keywords);
+  for (size_t i = 0; i < num_keywords; ++i) {
+    topic_names.push_back(StrFormat("topic_%03zu", i));
+  }
   {
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema("keyword")));
-    for (size_t i = 0; i < num_keywords; ++i) {
-      SQUID_RETURN_NOT_OK(t->AppendRow({Value(static_cast<int64_t>(i + 1)),
-                                        Value(StrFormat("topic_%03zu", i))}));
-    }
+    for (const std::string& name : topic_names) pool->Intern(name);
+    fillers.push_back([t, &topic_names]() -> Status {
+      t->Reserve(topic_names.size());
+      for (size_t i = 0; i < topic_names.size(); ++i) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(static_cast<int64_t>(i + 1)), Value(topic_names[i])}));
+      }
+      return Status::OK();
+    });
   }
   {
     Schema s("affiliation", {{"id", ValueType::kInt64},
@@ -271,20 +373,16 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddTextSearchAttribute("name");
     s.AddForeignKey({"country_id", "country", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    for (size_t i = 0; i < num_affiliations; ++i) {
-      std::string name;
-      if (i + 2 == num_affiliations) name = manifest.lab_a;
-      else if (i + 1 == num_affiliations) name = manifest.lab_b;
-      else name = StrFormat("Institute %03zu", i);
-      // Lab A is in the USA, lab B in Canada (drives DQ5 overlaps).
-      int64_t country =
-          i + 2 == num_affiliations ? 1
-          : i + 1 == num_affiliations
-              ? 2
-              : static_cast<int64_t>(rng.Zipf(std::size(kCountries), 1.0) + 1);
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(static_cast<int64_t>(i + 1)), Value(name), Value(country)}));
-    }
+    for (const AffiliationRow& a : affiliations) pool->Intern(a.name);
+    fillers.push_back([t, &affiliations]() -> Status {
+      t->Reserve(affiliations.size());
+      int64_t id = 1;
+      for (const AffiliationRow& a : affiliations) {
+        SQUID_RETURN_NOT_OK(
+            t->AppendRow({Value(id++), Value(a.name), Value(a.country_id)}));
+      }
+      return Status::OK();
+    });
   }
 
   // ---- Entities. ----
@@ -297,11 +395,15 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"affiliation_id", "affiliation", "id"});
     s.AddTextSearchAttribute("name");
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    t->Reserve(authors.size());
-    for (const AuthorRow& a : authors) {
-      SQUID_RETURN_NOT_OK(
-          t->AppendRow({Value(a.id), Value(a.name), Value(a.affiliation_id)}));
-    }
+    for (const AuthorRow& a : authors) pool->Intern(a.name);
+    fillers.push_back([t, &authors]() -> Status {
+      t->Reserve(authors.size());
+      for (const AuthorRow& a : authors) {
+        SQUID_RETURN_NOT_OK(
+            t->AppendRow({Value(a.id), Value(a.name), Value(a.affiliation_id)}));
+      }
+      return Status::OK();
+    });
   }
   {
     Schema s("publication", {{"id", ValueType::kInt64},
@@ -314,11 +416,15 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"venue_id", "venue", "id"});
     s.AddTextSearchAttribute("title");
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    t->Reserve(pubs.size());
-    for (const PubRow& p : pubs) {
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(p.id), Value(p.title), Value(p.year), Value(p.venue_id)}));
-    }
+    for (const PubRow& p : pubs) pool->Intern(p.title);
+    fillers.push_back([t, &pubs]() -> Status {
+      t->Reserve(pubs.size());
+      for (const PubRow& p : pubs) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(p.id), Value(p.title), Value(p.year), Value(p.venue_id)}));
+      }
+      return Status::OK();
+    });
   }
 
   // ---- Facts. ----
@@ -330,12 +436,15 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"author_id", "author", "id"});
     s.AddForeignKey({"pub_id", "publication", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    int64_t id = 1;
-    for (const PubRow& p : pubs) {
-      for (int64_t a : p.authors) {
-        SQUID_RETURN_NOT_OK(t->AppendRow({Value(id++), Value(a), Value(p.id)}));
+    fillers.push_back([t, &pubs]() -> Status {
+      int64_t id = 1;
+      for (const PubRow& p : pubs) {
+        for (int64_t a : p.authors) {
+          SQUID_RETURN_NOT_OK(t->AppendRow({Value(id++), Value(a), Value(p.id)}));
+        }
       }
-    }
+      return Status::OK();
+    });
   }
   {
     Schema s("pubtokeyword", {{"id", ValueType::kInt64},
@@ -345,13 +454,16 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"pub_id", "publication", "id"});
     s.AddForeignKey({"keyword_id", "keyword", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    int64_t id = 1;
-    for (const PubRow& p : pubs) {
-      for (size_t k : p.keywords) {
-        SQUID_RETURN_NOT_OK(t->AppendRow(
-            {Value(id++), Value(p.id), Value(static_cast<int64_t>(k + 1))}));
+    fillers.push_back([t, &pubs]() -> Status {
+      int64_t id = 1;
+      for (const PubRow& p : pubs) {
+        for (size_t k : p.keywords) {
+          SQUID_RETURN_NOT_OK(t->AppendRow(
+              {Value(id++), Value(p.id), Value(static_cast<int64_t>(k + 1))}));
+        }
       }
-    }
+      return Status::OK();
+    });
   }
   {
     Schema s("citation", {{"id", ValueType::kInt64},
@@ -361,18 +473,15 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"pub_id", "publication", "id"});
     s.AddForeignKey({"cited_pub_id", "publication", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    int64_t id = 1;
-    for (const PubRow& p : pubs) {
-      size_t ncites = static_cast<size_t>(rng.UniformInt(0, 6));
-      std::set<int64_t> cited;
-      for (size_t i = 0; i < ncites; ++i) {
-        int64_t c = static_cast<int64_t>(rng.Zipf(num_pubs, 1.0) + 1);
-        if (c != p.id) cited.insert(c);
+    fillers.push_back([t, &citations]() -> Status {
+      t->Reserve(citations.size());
+      int64_t id = 1;
+      for (const CitationRow& c : citations) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(id++), Value(c.pub_id), Value(c.cited_pub_id)}));
       }
-      for (int64_t c : cited) {
-        SQUID_RETURN_NOT_OK(t->AppendRow({Value(id++), Value(p.id), Value(c)}));
-      }
-    }
+      return Status::OK();
+    });
   }
   {
     Schema s("pc_member", {{"id", ValueType::kInt64},
@@ -383,27 +492,15 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"author_id", "author", "id"});
     s.AddForeignKey({"venue_id", "venue", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    int64_t id = 1;
-    // Prolific authors serve frequently (the Fig. 13(c) sampling frame).
-    std::unordered_set<std::string> prolific(manifest.prolific_authors.begin(),
-                                             manifest.prolific_authors.end());
-    for (const AuthorRow& a : authors) {
-      if (!prolific.count(a.name)) continue;
-      for (int64_t year = 2011; year <= 2015; ++year) {
-        if (rng.Bernoulli(0.7)) {
-          SQUID_RETURN_NOT_OK(t->AppendRow(
-              {Value(id++), Value(a.id), Value(static_cast<int64_t>(1)),
-               Value(year)}));
-        }
+    fillers.push_back([t, &pc_rows]() -> Status {
+      t->Reserve(pc_rows.size());
+      int64_t id = 1;
+      for (const PcRow& r : pc_rows) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(id++), Value(r.author_id), Value(r.venue_id), Value(r.year)}));
       }
-    }
-    for (size_t i = 0; i < num_authors / 10; ++i) {
-      int64_t a = static_cast<int64_t>(rng.Zipf(num_authors, 0.8) + 1);
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(id++), Value(a),
-           Value(static_cast<int64_t>(rng.Zipf(std::size(kVenues), 0.9) + 1)),
-           Value(2011 + rng.UniformInt(0, 4))}));
-    }
+      return Status::OK();
+    });
   }
   {
     Schema s("authoraward", {{"id", ValueType::kInt64},
@@ -413,14 +510,19 @@ Result<DblpData> GenerateDblp(const DblpOptions& options) {
     s.AddForeignKey({"author_id", "author", "id"});
     s.AddForeignKey({"award_id", "award", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    int64_t id = 1;
-    for (size_t i = 0; i < num_authors / 20; ++i) {
-      int64_t a = static_cast<int64_t>(rng.Zipf(num_authors, 0.8) + 1);
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(id++), Value(a),
-           Value(rng.UniformInt(1, static_cast<int64_t>(std::size(kAwards))))}));
-    }
+    fillers.push_back([t, &award_rows]() -> Status {
+      t->Reserve(award_rows.size());
+      int64_t id = 1;
+      for (const AwardRow& r : award_rows) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(id++), Value(r.author_id), Value(r.award_id)}));
+      }
+      return Status::OK();
+    });
   }
+
+  // ---- Parallel fill. ----
+  SQUID_RETURN_NOT_OK(FillTablesParallel(options.threads, *pool, fillers));
 
   return out;
 }

@@ -25,6 +25,10 @@ namespace squid {
 struct DblpOptions {
   uint64_t seed = 43;
   double scale = 1.0;
+  /// Worker threads for table emission (0 = hardware concurrency,
+  /// 1 = serial); bit-identical output for every thread count — see
+  /// ImdbOptions::threads.
+  size_t threads = 0;
   size_t num_authors = 3000;
   size_t num_publications = 6000;
   size_t num_affiliations = 120;

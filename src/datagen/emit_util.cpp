@@ -1,0 +1,29 @@
+#include "datagen/emit_util.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace squid {
+
+Status FillTablesParallel(size_t threads, const StringPool& pool,
+                          const std::vector<std::function<Status()>>& fillers) {
+  const size_t interned_before = pool.size();
+  std::vector<Status> statuses(fillers.size(), Status::OK());
+  // One task per table: never spawn more workers than tables to fill.
+  ThreadPool worker_pool(std::min(ThreadPool::ResolveThreads(threads),
+                                  std::max<size_t>(fillers.size(), 1)));
+  worker_pool.ParallelFor(fillers.size(),
+                          [&](size_t i) { statuses[i] = fillers[i](); });
+  for (const Status& status : statuses) {
+    SQUID_RETURN_NOT_OK(status);
+  }
+  if (pool.size() != interned_before) {
+    return Status::Internal(
+        "table fill interned strings the pre-intern pass missed; parallel "
+        "generation would not be deterministic");
+  }
+  return Status::OK();
+}
+
+}  // namespace squid

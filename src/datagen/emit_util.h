@@ -1,0 +1,35 @@
+#ifndef SQUID_DATAGEN_EMIT_UTIL_H_
+#define SQUID_DATAGEN_EMIT_UTIL_H_
+
+/// \file emit_util.h
+/// \brief Parallel table-fill helper for the dataset generators.
+///
+/// The generators keep three phases strictly separated so that output is
+/// bit-identical for every thread count:
+///   1. serial staging — all RNG draws, in the exact order of the serial
+///      generator;
+///   2. serial catalog work — table creation plus a canonical-order batch
+///      pre-intern pass over every string cell that will be emitted;
+///   3. parallel fill — one closure per table, run here.
+/// Phase 3 re-interns only strings phase 2 already interned, which is
+/// order-independent; FillTablesParallel enforces that invariant by failing
+/// if the pool grew during the fan-out.
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/string_pool.h"
+
+namespace squid {
+
+/// Runs the per-table fill closures on `threads` workers (0 = hardware
+/// concurrency, 1 = inline/serial). Returns the first failure in closure
+/// order, or Internal if a fill interned a string the pre-intern pass
+/// missed (which would let symbol assignment depend on thread timing).
+Status FillTablesParallel(size_t threads, const StringPool& pool,
+                          const std::vector<std::function<Status()>>& fillers);
+
+}  // namespace squid
+
+#endif  // SQUID_DATAGEN_EMIT_UTIL_H_

@@ -1,11 +1,13 @@
 #include "datagen/imdb_generator.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "datagen/emit_util.h"
 
 namespace squid {
 
@@ -107,16 +109,6 @@ Schema DimensionSchema(const std::string& name) {
   s.AddPropertyAttribute("name");
   s.AddTextSearchAttribute("name");
   return s;
-}
-
-Status EmitDimension(Database* db, const std::string& name,
-                     const char* const* values, size_t count) {
-  SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema(name)));
-  for (size_t i = 0; i < count; ++i) {
-    SQUID_RETURN_NOT_OK(t->AppendRow(
-        {Value(static_cast<int64_t>(i + 1)), Value(std::string(values[i]))}));
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -617,21 +609,69 @@ Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
     }
   }
 
-  // ---- Stage 6: emit tables. ----
-  SQUID_RETURN_NOT_OK(EmitDimension(db, "genre", kGenres, std::size(kGenres)));
+  // ---- Stage 6a: stage the remaining emission inputs (serial; keeps the
+  // rng draw sequence identical to the historical serial generator). ----
+  struct CompanyRow {
+    std::string name;
+    int64_t country_id;
+  };
+  std::vector<CompanyRow> companies;
+  companies.reserve(num_companies);
+  for (size_t i = 0; i < num_companies; ++i) {
+    std::string name;
+    if (i == 0) name = manifest.disney_company;
+    else if (i == 1) name = manifest.pixar_company;
+    else name = StrFormat("Studio %03zu Films", i);
+    companies.push_back(
+        {std::move(name),
+         static_cast<int64_t>(rng.Zipf(std::size(kCountries), 1.2) + 1)});
+  }
+  std::vector<std::string> keyword_names;
+  keyword_names.reserve(num_keywords);
+  for (size_t i = 0; i < num_keywords; ++i) {
+    keyword_names.push_back(StrFormat("keyword_%03zu", i));
+  }
+
+  // ---- Stage 6b: create tables and batch-intern every string cell in
+  // canonical (creation) order. The parallel fill below then only
+  // re-interns existing strings, so symbols — and therefore the whole
+  // database — are bit-identical for every thread count. ----
+  StringPool* pool = db->pool().get();
+  pool->Reserve(persons.size() + movies.size() + companies.size() +
+                keyword_names.size() + 128);
+  std::vector<std::function<Status()>> fillers;
+
+  auto add_dim = [&](const std::string& name, const char* const* values,
+                     size_t count) -> Status {
+    SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema(name)));
+    for (size_t i = 0; i < count; ++i) pool->Intern(values[i]);
+    fillers.push_back([t, values, count]() -> Status {
+      t->Reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(static_cast<int64_t>(i + 1)), Value(std::string(values[i]))}));
+      }
+      return Status::OK();
+    });
+    return Status::OK();
+  };
+  SQUID_RETURN_NOT_OK(add_dim("genre", kGenres, std::size(kGenres)));
+  SQUID_RETURN_NOT_OK(add_dim("country", kCountries, std::size(kCountries)));
+  SQUID_RETURN_NOT_OK(add_dim("language", kLanguages, std::size(kLanguages)));
+  SQUID_RETURN_NOT_OK(add_dim("roletype", kRoles, std::size(kRoles)));
   SQUID_RETURN_NOT_OK(
-      EmitDimension(db, "country", kCountries, std::size(kCountries)));
-  SQUID_RETURN_NOT_OK(
-      EmitDimension(db, "language", kLanguages, std::size(kLanguages)));
-  SQUID_RETURN_NOT_OK(EmitDimension(db, "roletype", kRoles, std::size(kRoles)));
-  SQUID_RETURN_NOT_OK(
-      EmitDimension(db, "certificate", kCertificates, std::size(kCertificates)));
+      add_dim("certificate", kCertificates, std::size(kCertificates)));
   {
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(DimensionSchema("keyword")));
-    for (size_t i = 0; i < num_keywords; ++i) {
-      SQUID_RETURN_NOT_OK(t->AppendRow({Value(static_cast<int64_t>(i + 1)),
-                                        Value(StrFormat("keyword_%03zu", i))}));
-    }
+    for (const std::string& name : keyword_names) pool->Intern(name);
+    fillers.push_back([t, &keyword_names]() -> Status {
+      t->Reserve(keyword_names.size());
+      for (size_t i = 0; i < keyword_names.size(); ++i) {
+        SQUID_RETURN_NOT_OK(t->AppendRow(
+            {Value(static_cast<int64_t>(i + 1)), Value(keyword_names[i])}));
+      }
+      return Status::OK();
+    });
   }
 
   {
@@ -647,12 +687,19 @@ Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
     s.AddForeignKey({"country_id", "country", "id"});
     s.AddTextSearchAttribute("name");
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    t->Reserve(persons.size());
     for (const PersonRow& p : persons) {
-      SQUID_RETURN_NOT_OK(t->AppendRow({Value(p.id), Value(p.name),
-                                        Value(p.gender), Value(p.birth_year),
-                                        Value(p.country_id)}));
+      pool->Intern(p.name);
+      pool->Intern(p.gender);
     }
+    fillers.push_back([t, &persons]() -> Status {
+      t->Reserve(persons.size());
+      for (const PersonRow& p : persons) {
+        SQUID_RETURN_NOT_OK(t->AppendRow({Value(p.id), Value(p.name),
+                                          Value(p.gender), Value(p.birth_year),
+                                          Value(p.country_id)}));
+      }
+      return Status::OK();
+    });
   }
   {
     Schema s("movie", {{"id", ValueType::kInt64},
@@ -669,13 +716,17 @@ Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
     s.AddForeignKey({"certificate_id", "certificate", "id"});
     s.AddTextSearchAttribute("title");
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    t->Reserve(movies.size());
-    for (const MovieRow& m : movies) {
-      SQUID_RETURN_NOT_OK(t->AppendRow({Value(m.id), Value(m.title),
-                                        Value(m.year), Value(m.runtime),
-                                        Value(m.rating),
-                                        Value(m.certificate_id)}));
-    }
+    for (const MovieRow& m : movies) pool->Intern(m.title);
+    fillers.push_back([t, &movies]() -> Status {
+      t->Reserve(movies.size());
+      for (const MovieRow& m : movies) {
+        SQUID_RETURN_NOT_OK(t->AppendRow({Value(m.id), Value(m.title),
+                                          Value(m.year), Value(m.runtime),
+                                          Value(m.rating),
+                                          Value(m.certificate_id)}));
+      }
+      return Status::OK();
+    });
   }
   {
     Schema s("company", {{"id", ValueType::kInt64},
@@ -686,15 +737,16 @@ Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
     s.AddForeignKey({"country_id", "country", "id"});
     s.AddTextSearchAttribute("name");
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    for (size_t i = 0; i < num_companies; ++i) {
-      std::string name;
-      if (i == 0) name = manifest.disney_company;
-      else if (i == 1) name = manifest.pixar_company;
-      else name = StrFormat("Studio %03zu Films", i);
-      SQUID_RETURN_NOT_OK(t->AppendRow(
-          {Value(static_cast<int64_t>(i + 1)), Value(name),
-           Value(static_cast<int64_t>(rng.Zipf(std::size(kCountries), 1.2) + 1))}));
-    }
+    for (const CompanyRow& c : companies) pool->Intern(c.name);
+    fillers.push_back([t, &companies]() -> Status {
+      t->Reserve(companies.size());
+      int64_t id = 1;
+      for (const CompanyRow& c : companies) {
+        SQUID_RETURN_NOT_OK(
+            t->AppendRow({Value(id++), Value(c.name), Value(c.country_id)}));
+      }
+      return Status::OK();
+    });
   }
   {
     Schema s("castinfo", {{"id", ValueType::kInt64},
@@ -706,17 +758,20 @@ Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
     s.AddForeignKey({"movie_id", "movie", "id"});
     s.AddForeignKey({"role_id", "roletype", "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    t->Reserve(cast.size());
-    int64_t id = 1;
-    for (const CastRow& c : cast) {
-      SQUID_RETURN_NOT_OK(
-          t->AppendRow({Value(id++), Value(c.person_id), Value(c.movie_id),
-                        Value(static_cast<int64_t>(c.role + 1))}));
-    }
+    fillers.push_back([t, &cast]() -> Status {
+      t->Reserve(cast.size());
+      int64_t id = 1;
+      for (const CastRow& c : cast) {
+        SQUID_RETURN_NOT_OK(
+            t->AppendRow({Value(id++), Value(c.person_id), Value(c.movie_id),
+                          Value(static_cast<int64_t>(c.role + 1))}));
+      }
+      return Status::OK();
+    });
   }
 
-  auto emit_link = [&](const std::string& name, const std::string& far,
-                       auto values_of) -> Status {
+  auto add_link = [&](const std::string& name, const std::string& far,
+                      auto values_of) -> Status {
     Schema s(name, {{"id", ValueType::kInt64},
                     {"movie_id", ValueType::kInt64},
                     {far + "_id", ValueType::kInt64}});
@@ -724,42 +779,48 @@ Result<ImdbData> GenerateImdb(const ImdbOptions& options) {
     s.AddForeignKey({"movie_id", "movie", "id"});
     s.AddForeignKey({far + "_id", far, "id"});
     SQUID_ASSIGN_OR_RETURN(Table * t, db->CreateTable(std::move(s)));
-    int64_t id = 1;
-    for (const MovieRow& m : movies) {
-      for (int64_t v : values_of(m)) {
-        SQUID_RETURN_NOT_OK(t->AppendRow({Value(id++), Value(m.id), Value(v)}));
+    fillers.push_back([t, &movies, values_of]() -> Status {
+      int64_t id = 1;
+      for (const MovieRow& m : movies) {
+        for (int64_t v : values_of(m)) {
+          SQUID_RETURN_NOT_OK(t->AppendRow({Value(id++), Value(m.id), Value(v)}));
+        }
       }
-    }
+      return Status::OK();
+    });
     return Status::OK();
   };
-  SQUID_RETURN_NOT_OK(emit_link("movietogenre", "genre", [](const MovieRow& m) {
+  SQUID_RETURN_NOT_OK(add_link("movietogenre", "genre", [](const MovieRow& m) {
     std::vector<int64_t> out;
     for (size_t g : m.genres) out.push_back(static_cast<int64_t>(g + 1));
     return out;
   }));
   SQUID_RETURN_NOT_OK(
-      emit_link("movietocountry", "country", [](const MovieRow& m) {
+      add_link("movietocountry", "country", [](const MovieRow& m) {
         std::vector<int64_t> out;
         for (size_t c : m.countries) out.push_back(static_cast<int64_t>(c + 1));
         return out;
       }));
   SQUID_RETURN_NOT_OK(
-      emit_link("movietolanguage", "language", [](const MovieRow& m) {
+      add_link("movietolanguage", "language", [](const MovieRow& m) {
         std::vector<int64_t> out;
         std::set<size_t> seen(m.languages.begin(), m.languages.end());
         for (size_t l : seen) out.push_back(static_cast<int64_t>(l + 1));
         return out;
       }));
   SQUID_RETURN_NOT_OK(
-      emit_link("movietokeyword", "keyword", [](const MovieRow& m) {
+      add_link("movietokeyword", "keyword", [](const MovieRow& m) {
         std::vector<int64_t> out;
         for (size_t k : m.keywords) out.push_back(static_cast<int64_t>(k + 1));
         return out;
       }));
   SQUID_RETURN_NOT_OK(
-      emit_link("movietocompany", "company", [](const MovieRow& m) {
+      add_link("movietocompany", "company", [](const MovieRow& m) {
         return m.companies;
       }));
+
+  // ---- Stage 6c: parallel fill. ----
+  SQUID_RETURN_NOT_OK(FillTablesParallel(options.threads, *pool, fillers));
 
   return out;
 }

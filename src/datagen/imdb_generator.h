@@ -30,6 +30,11 @@ struct ImdbOptions {
   uint64_t seed = 42;
   /// Entity-count scale factor (1.0 = the defaults below).
   double scale = 1.0;
+  /// Worker threads for table emission (0 = hardware concurrency,
+  /// 1 = serial). Row staging and every RNG draw stay serial, and all
+  /// strings are batch-interned in a canonical order before the fan-out, so
+  /// the generated database is bit-identical for every thread count.
+  size_t threads = 0;
 
   size_t num_persons = 6000;
   size_t num_movies = 3000;

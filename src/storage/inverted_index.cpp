@@ -42,7 +42,8 @@ Result<InvertedColumnIndex> InvertedColumnIndex::Build(const Database& db) {
 
   // Pass 2: counting sort by key into the flat CSR arrays. Slots are
   // assigned in first-occurrence order; postings keep scan order per key.
-  index.slot_of_folded_.assign(pool->size(), kNoSlot);
+  // Sized by IdBound(): the sharded pool's symbol space is not dense.
+  index.slot_of_folded_.assign(pool->IdBound(), kNoSlot);
   for (const auto& [folded, _] : raw) {
     if (index.slot_of_folded_[folded] == kNoSlot) {
       index.slot_of_folded_[folded] = static_cast<uint32_t>(index.num_keys_++);

@@ -8,7 +8,8 @@
 /// match user-provided example strings to candidate entities.
 ///
 /// Layout: one contiguous postings array in CSR form. Keys are case-folded
-/// StringPool symbols; a dense symbol->slot table plus a slot offset array
+/// StringPool symbols; a symbol->slot table (sized by StringPool::IdBound(),
+/// the sharded pool's id space is not dense) plus a slot offset array
 /// locate each key's posting span. Lookup is a single case-folding hash of
 /// the probe text and two array reads — no per-lookup allocation, no string
 /// materialization.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace squid {
 
 namespace {
@@ -15,64 +17,135 @@ bool HasUpper(std::string_view s) {
 
 }  // namespace
 
-std::string_view StringPool::Store(std::string_view s) {
+std::string_view StringPool::Store(Shard* shard, std::string_view s) {
   if (s.size() > kBlockBytes) {
-    oversize_.emplace_back(s);
-    return oversize_.back();
+    shard->oversize.emplace_back(s);
+    return shard->oversize.back();
   }
-  if (blocks_.empty() || block_used_ + s.size() > kBlockBytes) {
-    blocks_.push_back(std::make_unique<char[]>(kBlockBytes));
-    block_used_ = 0;
+  if (shard->blocks.empty() || shard->block_used + s.size() > kBlockBytes) {
+    shard->blocks.push_back(std::make_unique<char[]>(kBlockBytes));
+    shard->block_used = 0;
   }
-  char* dst = blocks_.back().get() + block_used_;
+  char* dst = shard->blocks.back().get() + shard->block_used;
   if (!s.empty()) std::memcpy(dst, s.data(), s.size());  // s.data() may be null
-  block_used_ += s.size();
+  shard->block_used += s.size();
   return std::string_view(dst, s.size());
 }
 
-Symbol StringPool::Intern(std::string_view s) {
-  auto it = exact_.find(s);
-  if (it != exact_.end()) return it->second;
+Symbol StringPool::PushEntry(Shard* shard, size_t shard_index,
+                             std::string_view view, Symbol folded_or_self) {
+  uint32_t local = shard->count.load(std::memory_order_relaxed);
+  // The last slot of each shard is reserved: the top shard's final id would
+  // collide with the kNoSymbol sentinel (0xFFFFFFFF).
+  SQUID_CHECK(local + 1 < kMaxPerShard) << "string pool shard overflow";
+  size_t chunk, offset;
+  Locate(local, &chunk, &offset);
+  Entry* entries = shard->chunks[chunk].load(std::memory_order_relaxed);
+  if (entries == nullptr) {
+    entries = new Entry[kChunk0 << chunk];
+    shard->chunks[chunk].store(entries, std::memory_order_release);
+  }
+  Symbol id = (local << kShardBits) | static_cast<Symbol>(shard_index);
+  entries[offset].view = view;
+  entries[offset].folded = folded_or_self == kNoSymbol ? id : folded_or_self;
+  // Publish after the entry is fully written; same-thread readers see it by
+  // program order, other threads learn the symbol through a synchronizing
+  // operation (this shard's mutex or a thread join).
+  shard->count.store(local + 1, std::memory_order_release);
+  return id;
+}
+
+Symbol StringPool::InternLocked(Shard* shard, size_t shard_index,
+                                std::string_view s) {
+  auto it = shard->exact.find(s);
+  if (it != shard->exact.end()) return it->second;
 
   if (HasUpper(s)) {
-    // Intern the folded form first (recursing at most once: the folded form
-    // has no upper-case bytes), then record the mixed-case spelling.
-    fold_buf_.assign(s.data(), s.size());
-    for (char& c : fold_buf_) c = FoldChar(c);
-    Symbol folded = Intern(fold_buf_);
-    std::string_view view = Store(s);
-    Symbol id = static_cast<Symbol>(entries_.size());
-    entries_.push_back(Entry{view, folded});
-    exact_.emplace(view, id);
+    // Intern the folded form first (it hashes to this same shard: the fold
+    // hash is casing-invariant), then record the mixed-case spelling.
+    shard->fold_buf.assign(s.data(), s.size());
+    for (char& c : shard->fold_buf) c = FoldChar(c);
+    Symbol folded = InternLocked(shard, shard_index, shard->fold_buf);
+    std::string_view view = Store(shard, s);
+    Symbol id = PushEntry(shard, shard_index, view, folded);
+    shard->exact.emplace(view, id);
     return id;
   }
 
   // Already folded: the string is its own case-folded form.
-  std::string_view view = Store(s);
-  Symbol id = static_cast<Symbol>(entries_.size());
-  entries_.push_back(Entry{view, id});
-  exact_.emplace(view, id);
-  folded_.emplace(view, id);
+  std::string_view view = Store(shard, s);
+  Symbol id = PushEntry(shard, shard_index, view, kNoSymbol);
+  shard->exact.emplace(view, id);
+  shard->folded.emplace(view, id);
   return id;
 }
 
+Symbol StringPool::Intern(std::string_view s) {
+  size_t shard_index = FoldHashOf(s) & (kNumShards - 1);
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return InternLocked(&shard, shard_index, s);
+}
+
 Symbol StringPool::Find(std::string_view s) const {
-  auto it = exact_.find(s);
-  return it == exact_.end() ? kNoSymbol : it->second;
+  const Shard& shard = shards_[FoldHashOf(s) & (kNumShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.exact.find(s);
+  return it == shard.exact.end() ? kNoSymbol : it->second;
 }
 
 Symbol StringPool::FindFolded(std::string_view s) const {
-  auto it = folded_.find(s);
-  return it == folded_.end() ? kNoSymbol : it->second;
+  const Shard& shard = shards_[FoldHashOf(s) & (kNumShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.folded.find(s);
+  return it == shard.folded.end() ? kNoSymbol : it->second;
+}
+
+size_t StringPool::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.count.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+size_t StringPool::IdBound() const {
+  uint32_t max_count = 0;
+  for (const Shard& shard : shards_) {
+    uint32_t c = shard.count.load(std::memory_order_acquire);
+    if (c > max_count) max_count = c;
+  }
+  // Every id is (local << kShardBits) | shard with local < max_count, so
+  // (max_count << kShardBits) bounds them all strictly.
+  return static_cast<size_t>(max_count) << kShardBits;
+}
+
+void StringPool::Reserve(size_t expected_strings) {
+  // Interning a mixed-case string also interns its folded twin; ~2x covers
+  // the worst case. Divide across shards (fold hashes spread uniformly).
+  size_t per_shard = 2 * expected_strings / kNumShards + 1;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.exact.reserve(per_shard);
+    shard.folded.reserve(per_shard);
+  }
 }
 
 size_t StringPool::ApproxBytes() const {
-  size_t bytes = blocks_.size() * kBlockBytes;
-  for (const std::string& s : oversize_) bytes += s.size();
-  bytes += entries_.capacity() * sizeof(Entry);
-  // Two hash maps of (view, symbol) nodes; bucket arrays ignored.
-  bytes += (exact_.size() + folded_.size()) *
-           (sizeof(std::string_view) + sizeof(Symbol) + sizeof(void*));
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.blocks.size() * kBlockBytes;
+    for (const std::string& s : shard.oversize) bytes += s.size();
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      if (shard.chunks[c].load(std::memory_order_relaxed) != nullptr) {
+        bytes += (kChunk0 << c) * sizeof(Entry);
+      }
+    }
+    // Two hash maps of (view, symbol) nodes; bucket arrays ignored.
+    bytes += (shard.exact.size() + shard.folded.size()) *
+             (sizeof(std::string_view) + sizeof(Symbol) + sizeof(void*));
+  }
   return bytes;
 }
 

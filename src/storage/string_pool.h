@@ -2,7 +2,7 @@
 #define SQUID_STORAGE_STRING_POOL_H_
 
 /// \file string_pool.h
-/// \brief Arena-backed string interner mapping strings <-> dense `Symbol`
+/// \brief Sharded, arena-backed string interner mapping strings <-> `Symbol`
 /// (uint32) ids. Every interned string also records the id of its ASCII
 /// case-folded form, so case-insensitive comparison is integer equality and
 /// the inverted column index can key postings by folded symbol.
@@ -11,28 +11,55 @@
 /// it), which makes symbol ids directly comparable across that database's
 /// columns — the executor's string join keys and the αDB's value-frequency
 /// maps rely on this.
+///
+/// Concurrency: the pool is internally sharded 16 ways by the case-folded
+/// hash of the key (all casings of a string share one fold hash, so a string
+/// and its folded twin always land in the same shard). Each shard owns its
+/// own mutex, arena, probe maps, and entry table, so Intern / Find /
+/// FindFolded are safe to call from any number of threads concurrently —
+/// contention is limited to threads touching the same shard. View() and
+/// FoldedOf() are lock-free: entry storage is chunked (chunks are never
+/// moved once published), and any valid symbol a thread can legitimately
+/// hold was published to it through a synchronizing operation (its own
+/// Intern call, a shard mutex, or a thread join).
+///
+/// Determinism contract (relied on by the parallel αDB build and the
+/// parallel dataset generators): a symbol is (shard, per-shard insertion
+/// index). The shard depends only on the string, so symbol assignment is a
+/// pure function of the per-shard first-insertion order. Callers that need
+/// bit-identical symbols across thread counts intern new strings in a
+/// canonical serial order (or not at all) before fanning out work; parallel
+/// phases then only re-intern existing strings, which is order-independent.
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#if defined(_MSC_VER) && !defined(__clang__)
+#include <intrin.h>
+#endif
+
 namespace squid {
 
-/// Dense id of an interned string. Valid ids are < StringPool::size().
+/// Id of an interned string. Symbols are NOT dense: the low bits carry the
+/// shard, the high bits the per-shard insertion index. Use
+/// StringPool::IdBound() to size symbol-indexed arrays.
 using Symbol = uint32_t;
 
 /// Sentinel returned by the Find* lookups when the string is not interned.
 inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
 
-/// \brief String interner with stable storage and case-folded twin ids.
+/// \brief Sharded string interner with stable storage and case-folded twin
+/// ids. All member functions are safe for concurrent use.
 ///
 /// Views returned by View() point into an internal arena and stay valid for
 /// the lifetime of the pool (arena blocks are never freed or reallocated).
-/// Not thread-safe for concurrent Intern; concurrent const lookups are fine.
 class StringPool {
  public:
   StringPool() = default;
@@ -43,7 +70,9 @@ class StringPool {
   StringPool& operator=(const StringPool&) = delete;
 
   /// Interns `s` (idempotent) and returns its symbol. Also interns the ASCII
-  /// case-folded form of `s` so FoldedOf() is always answerable.
+  /// case-folded form of `s` so FoldedOf() is always answerable. Takes the
+  /// key's shard mutex; re-interning an existing string is a single locked
+  /// hash lookup.
   Symbol Intern(std::string_view s);
 
   /// Symbol of exactly `s`, or kNoSymbol. Never inserts, never allocates.
@@ -55,15 +84,27 @@ class StringPool {
   Symbol FindFolded(std::string_view s) const;
 
   /// The interned string. `id` must be a valid symbol of this pool.
-  std::string_view View(Symbol id) const { return entries_[id].view; }
+  /// Lock-free.
+  std::string_view View(Symbol id) const { return EntryOf(id).view; }
 
   /// Symbol of the case-folded form of `id` (== `id` when already folded).
-  Symbol FoldedOf(Symbol id) const { return entries_[id].folded; }
+  /// Lock-free.
+  Symbol FoldedOf(Symbol id) const { return EntryOf(id).folded; }
 
   /// Number of interned strings (folded forms included).
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
-  /// Approximate heap footprint (arena + entry table + hash maps).
+  /// Smallest value strictly greater than every valid symbol of this pool.
+  /// Because the id space is sharded it is larger than size(); use it (not
+  /// size()) to size dense symbol-indexed arrays.
+  size_t IdBound() const;
+
+  /// Pre-sizes the per-shard hash maps for ~`expected_strings` distinct
+  /// interned strings (the dataset generators call this before their batch
+  /// pre-intern pass to avoid rehashing).
+  void Reserve(size_t expected_strings);
+
+  /// Approximate heap footprint (arenas + entry tables + hash maps).
   size_t ApproxBytes() const;
 
   /// ASCII-only lower-casing of one byte; bytes outside 'A'..'Z' pass
@@ -128,11 +169,22 @@ class StringPool {
     return FoldWord(LoadTail(pa, n)) == FoldWord(LoadTail(pb, n));
   }
 
+  static constexpr size_t kShardBits = 4;
+  static constexpr size_t kNumShards = size_t{1} << kShardBits;
+
  private:
   struct Entry {
     std::string_view view;
     Symbol folded = kNoSymbol;
   };
+
+  // Per-shard entry storage is chunked so View() can run lock-free while
+  // another thread interns into the same shard: chunk k holds
+  // kChunk0 << k entries, published chunks are never moved or freed, and
+  // the chunk directory is a fixed array of atomic pointers.
+  static constexpr size_t kChunk0 = 1024;      // entries in chunk 0
+  static constexpr size_t kMaxChunks = 19;     // >= 2^28 entries per shard
+  static constexpr uint32_t kMaxPerShard = 1u << (32 - kShardBits);
 
   static uint64_t LoadWord(const char* p) {
     uint64_t w;
@@ -161,25 +213,74 @@ class StringPool {
     }
   };
 
-  /// Copies `s` into the arena and returns the stable view.
-  std::string_view Store(std::string_view s);
+  struct Shard {
+    mutable std::mutex mu;
+
+    // Arena blocks (stable storage for interned bytes).
+    std::vector<std::unique_ptr<char[]>> blocks;
+    size_t block_used = 0;
+    // Strings larger than a block get dedicated storage; std::string
+    // buffers beyond the SSO threshold stay put when the vector grows.
+    std::vector<std::string> oversize;
+
+    // Chunked entry table (see kChunk0/kMaxChunks above). `count` is the
+    // number of published entries; readers only dereference indexes below a
+    // count they learned through a synchronizing operation.
+    std::atomic<Entry*> chunks[kMaxChunks] = {};
+    std::atomic<uint32_t> count{0};
+
+    // Exact-match map over every interned string of this shard.
+    std::unordered_map<std::string_view, Symbol> exact;
+    // Case-insensitive map; keys are the (already lower-case) folded forms,
+    // values their symbols. Probed with raw mixed-case input.
+    std::unordered_map<std::string_view, Symbol, FoldHash, FoldEq> folded;
+    // Scratch for folding during Intern (guarded by mu).
+    std::string fold_buf;
+
+    ~Shard() {
+      for (std::atomic<Entry*>& c : chunks) delete[] c.load(std::memory_order_relaxed);
+    }
+  };
+
+  /// floor(log2(x)) for x >= 1.
+  static size_t FloorLog2(uint64_t x) {
+#if defined(_MSC_VER) && !defined(__clang__)
+    unsigned long index;
+    _BitScanReverse64(&index, x);
+    return static_cast<size_t>(index);
+#else
+    return 63 - static_cast<size_t>(__builtin_clzll(x));
+#endif
+  }
+
+  /// Chunk index and in-chunk offset for per-shard entry index `local`:
+  /// chunk k spans [kChunk0 * (2^k - 1), kChunk0 * (2^(k+1) - 1)).
+  static void Locate(uint32_t local, size_t* chunk, size_t* offset) {
+    size_t k = FloorLog2(local / kChunk0 + 1);
+    *chunk = k;
+    *offset = local - kChunk0 * ((size_t{1} << k) - 1);
+  }
+
+  const Entry& EntryOf(Symbol id) const {
+    const Shard& shard = shards_[id & (kNumShards - 1)];
+    size_t chunk, offset;
+    Locate(id >> kShardBits, &chunk, &offset);
+    return shard.chunks[chunk].load(std::memory_order_acquire)[offset];
+  }
+
+  /// Appends an entry to `shard` (mu held) and returns its symbol.
+  Symbol PushEntry(Shard* shard, size_t shard_index, std::string_view view,
+                   Symbol folded_or_self);
+
+  /// Copies `s` into the shard arena (mu held) and returns the stable view.
+  static std::string_view Store(Shard* shard, std::string_view s);
+
+  /// Interns `s` into `shard` (mu held). `s` must hash to `shard_index`.
+  Symbol InternLocked(Shard* shard, size_t shard_index, std::string_view s);
 
   static constexpr size_t kBlockBytes = 1 << 16;
 
-  std::vector<std::unique_ptr<char[]>> blocks_;
-  size_t block_used_ = kBlockBytes;  // forces allocation of the first block
-  // Strings larger than a block get dedicated storage; std::string buffers
-  // beyond the SSO threshold stay put when the vector grows.
-  std::vector<std::string> oversize_;
-
-  std::vector<Entry> entries_;
-  // Exact-match map over every interned string.
-  std::unordered_map<std::string_view, Symbol> exact_;
-  // Case-insensitive map; keys are the (already lower-case) folded forms,
-  // values their symbols. Probed with raw mixed-case input.
-  std::unordered_map<std::string_view, Symbol, FoldHash, FoldEq> folded_;
-  // Scratch for folding during Intern (reused to avoid per-call allocation).
-  std::string fold_buf_;
+  Shard shards_[kNumShards];
 };
 
 }  // namespace squid

@@ -4,6 +4,7 @@
 #include "adb/derived_relation.h"
 #include "adb/schema_graph.h"
 #include "adb/statistics.h"
+#include "datagen/imdb_generator.h"
 #include "tests/test_util.h"
 
 namespace squid {
@@ -374,6 +375,89 @@ TEST(AdbTest, MaxDerivedRowsSkipsOversized) {
   auto adb = AbductionReadyDb::Build(*db, options);
   ASSERT_TRUE(adb.ok());
   EXPECT_EQ(adb.value()->report().num_derived_relations, 0u);
+}
+
+// ---------- Serial-vs-parallel determinism ----------
+
+/// Builds the αDB over `db` at each thread count and asserts the parallel
+/// builds are byte-identical to the serial one: same relations, same cell
+/// values, same dictionary symbols, same report counters, and identical
+/// selectivities for every descriptor.
+void ExpectBuildIsThreadCountInvariant(const Database& db) {
+  AdbOptions serial_options;
+  serial_options.threads = 1;
+  auto serial = AbductionReadyDb::Build(db, serial_options);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : {2u, 8u}) {
+    AdbOptions options;
+    options.threads = threads;
+    auto parallel = AbductionReadyDb::Build(db, options);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel.value()->report().threads_used, threads);
+
+    const AdbReport& sr = serial.value()->report();
+    const AdbReport& pr = parallel.value()->report();
+    EXPECT_EQ(sr.num_descriptors, pr.num_descriptors) << "threads=" << threads;
+    EXPECT_EQ(sr.num_derived_relations, pr.num_derived_relations);
+    EXPECT_EQ(sr.derived_rows, pr.derived_rows);
+    EXPECT_EQ(sr.base_rows, pr.base_rows);
+    EXPECT_EQ(sr.derived_bytes, pr.derived_bytes);
+
+    testing::ExpectDatabasesIdentical(serial.value()->database(),
+                                      parallel.value()->database());
+
+    EXPECT_EQ(serial.value()->inverted_index().NumKeys(),
+              parallel.value()->inverted_index().NumKeys());
+    EXPECT_EQ(serial.value()->inverted_index().NumPostings(),
+              parallel.value()->inverted_index().NumPostings());
+
+    // Statistics must agree probe-for-probe: walk every descriptor and
+    // compare selectivities over each derived relation's observed values.
+    for (const PropertyDescriptor& desc :
+         serial.value()->schema_graph().descriptors()) {
+      auto ss = serial.value()->StatsFor(desc.id);
+      auto ps = parallel.value()->StatsFor(desc.id);
+      ASSERT_EQ(ss.ok(), ps.ok()) << desc.id;
+      if (!ss.ok()) continue;
+      EXPECT_EQ(ss.value()->total_entities(), ps.value()->total_entities())
+          << desc.id;
+      EXPECT_EQ(ss.value()->domain_size(), ps.value()->domain_size()) << desc.id;
+      EXPECT_EQ(ss.value()->domain_min(), ps.value()->domain_min()) << desc.id;
+      EXPECT_EQ(ss.value()->domain_max(), ps.value()->domain_max()) << desc.id;
+      if (desc.derived) {
+        auto table = serial.value()->database().GetTable(desc.derived_table);
+        if (!table.ok()) continue;
+        const Column* value_col = table.value()->ColumnByName("value").value();
+        const Column* count_col = table.value()->ColumnByName("count").value();
+        for (size_t r = 0; r < table.value()->num_rows(); ++r) {
+          Value v = value_col->ValueAt(r);
+          double theta = static_cast<double>(count_col->Int64At(r));
+          EXPECT_EQ(ss.value()->SelectivityDerived(v, theta),
+                    ps.value()->SelectivityDerived(v, theta))
+              << desc.id << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(AdbDeterminismTest, MoviesBuildIsThreadCountInvariant) {
+  auto db = MakeMoviesDb();
+  ExpectBuildIsThreadCountInvariant(*db);
+}
+
+TEST(AdbDeterminismTest, AcademicsBuildIsThreadCountInvariant) {
+  auto db = MakeAcademicsDb();
+  ExpectBuildIsThreadCountInvariant(*db);
+}
+
+TEST(AdbDeterminismTest, GeneratedImdbBuildIsThreadCountInvariant) {
+  ImdbOptions options;
+  options.scale = 0.05;
+  auto data = GenerateImdb(options);
+  ASSERT_TRUE(data.ok());
+  ExpectBuildIsThreadCountInvariant(*data.value().db);
 }
 
 }  // namespace

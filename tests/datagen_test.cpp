@@ -8,6 +8,7 @@
 #include "datagen/imdb_generator.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
+#include "tests/test_util.h"
 #include "workloads/benchmark_query.h"
 
 namespace squid {
@@ -140,6 +141,20 @@ TEST_F(ImdbFixture, DeterministicForSameSeed) {
             data_->manifest.funny_actor_names);
 }
 
+TEST_F(ImdbFixture, GenerationIsThreadCountInvariant) {
+  // The fixture generated with the default thread count; serial (threads=1)
+  // and wide (threads=8) runs must reproduce it bit-for-bit — cell values
+  // AND dictionary symbols (the batch pre-intern pass pins symbol order).
+  for (size_t threads : {1u, 8u}) {
+    ImdbOptions o = SmallImdb();
+    o.threads = threads;
+    auto other = GenerateImdb(o);
+    ASSERT_TRUE(other.ok()) << "threads=" << threads;
+    testing::ExpectDatabasesIdentical(*data_->db, *other.value().db);
+    EXPECT_EQ(other.value().db->pool()->size(), data_->db->pool()->size());
+  }
+}
+
 TEST_F(ImdbFixture, DifferentSeedDiffers) {
   ImdbOptions o = SmallImdb();
   o.seed = 999;
@@ -214,6 +229,16 @@ TEST_F(DblpFixture, HasFourteenRelations) {
 
 TEST_F(DblpFixture, ForeignKeysAreValid) {
   EXPECT_TRUE(data_->db->ValidateForeignKeys().ok());
+}
+
+TEST_F(DblpFixture, GenerationIsThreadCountInvariant) {
+  for (size_t threads : {1u, 8u}) {
+    DblpOptions o = SmallDblp();
+    o.threads = threads;
+    auto other = GenerateDblp(o);
+    ASSERT_TRUE(other.ok()) << "threads=" << threads;
+    testing::ExpectDatabasesIdentical(*data_->db, *other.value().db);
+  }
 }
 
 TEST_F(DblpFixture, ProlificAuthorsHaveFlagshipPublications) {

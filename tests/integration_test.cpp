@@ -8,6 +8,7 @@
 #include "eval/sampler.h"
 #include "exec/executor.h"
 #include "sql/printer.h"
+#include "tests/test_util.h"
 
 namespace squid {
 namespace {
@@ -172,6 +173,81 @@ TEST_F(IntegrationFixture, AbductionIsDeterministic) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(ToSql(a.value().original_query), ToSql(b.value().original_query));
   EXPECT_EQ(a.value().log_posterior, b.value().log_posterior);
+}
+
+TEST_F(IntegrationFixture, ParallelAdbBuildPreservesDiscoverOutput) {
+  // The offline phase's determinism contract, end to end: an αDB built with
+  // 8 threads must be indistinguishable from the serial build — identical
+  // αDB relations, identical abduced queries, identical posteriors, and
+  // identical result sets for the same examples.
+  AdbOptions serial_options;
+  serial_options.threads = 1;
+  auto serial = AbductionReadyDb::Build(*bench_->data.db, serial_options);
+  ASSERT_TRUE(serial.ok());
+  AdbOptions parallel_options;
+  parallel_options.threads = 8;
+  auto parallel = AbductionReadyDb::Build(*bench_->data.db, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+
+  testing::ExpectDatabasesIdentical(serial.value()->database(),
+                                    parallel.value()->database());
+
+  for (const char* id : {"IQ1", "IQ6", "IQ13", "IQ15"}) {
+    auto query = FindQuery(bench_->queries, id).value();
+    auto truth = GroundTruth(*bench_->data.db, *query);
+    ASSERT_TRUE(truth.ok());
+    Rng rng(51);
+    auto examples = SampleExamples(truth.value(), 8, &rng);
+    if (examples.size() < 2) continue;
+    Squid squid_serial(serial.value().get());
+    Squid squid_parallel(parallel.value().get());
+    auto a = squid_serial.Discover(examples);
+    auto b = squid_parallel.Discover(examples);
+    ASSERT_TRUE(a.ok()) << id;
+    ASSERT_TRUE(b.ok()) << id;
+    EXPECT_EQ(ToSql(a.value().original_query), ToSql(b.value().original_query)) << id;
+    EXPECT_EQ(ToSql(a.value().adb_query), ToSql(b.value().adb_query)) << id;
+    EXPECT_EQ(a.value().log_posterior, b.value().log_posterior) << id;
+    auto rs_a = ExecuteQuery(serial.value()->database(), a.value().adb_query);
+    auto rs_b = ExecuteQuery(parallel.value()->database(), b.value().adb_query);
+    ASSERT_TRUE(rs_a.ok()) << id;
+    ASSERT_TRUE(rs_b.ok()) << id;
+    EXPECT_EQ(ToStringSet(rs_a.value()), ToStringSet(rs_b.value())) << id;
+  }
+}
+
+TEST_F(IntegrationFixture, ParallelAdbBuildPreservesAccuracyFigures) {
+  // Fig. 10's protocol (AccuracyAtSize) must produce the same numbers on a
+  // serial and a parallel αDB: same examples drawn, same metrics, bit for
+  // bit.
+  AdbOptions parallel_options;
+  parallel_options.threads = 8;
+  auto parallel = AbductionReadyDb::Build(*bench_->data.db, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  SquidConfig config;
+  for (const char* id : {"IQ1", "IQ13"}) {
+    auto query = FindQuery(bench_->queries, id).value();
+    auto truth = GroundTruth(*bench_->data.db, *query);
+    ASSERT_TRUE(truth.ok());
+    for (size_t n : {5u, 10u}) {
+      if (n > truth.value().num_rows()) break;
+      auto serial_point =
+          AccuracyAtSize(*bench_->adb, config, truth.value(), n, 2, 500 + n);
+      auto parallel_point =
+          AccuracyAtSize(*parallel.value(), config, truth.value(), n, 2, 500 + n);
+      ASSERT_EQ(serial_point.ok(), parallel_point.ok()) << id;
+      if (!serial_point.ok()) continue;
+      EXPECT_EQ(serial_point.value().metrics.precision,
+                parallel_point.value().metrics.precision)
+          << id << " n=" << n;
+      EXPECT_EQ(serial_point.value().metrics.recall,
+                parallel_point.value().metrics.recall)
+          << id << " n=" << n;
+      EXPECT_EQ(serial_point.value().metrics.fscore,
+                parallel_point.value().metrics.fscore)
+          << id << " n=" << n;
+    }
+  }
 }
 
 TEST_F(IntegrationFixture, MoreExamplesNeverLoseValidity) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <map>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/inverted_index.h"
@@ -13,15 +16,16 @@
 // ---------------------------------------------------------------------------
 // Global allocation counter (this test binary only): lets the tests assert
 // that the inverted-index / pool lookup hit paths perform zero heap
-// allocations, which is part of the CSR refactor's contract.
+// allocations, which is part of the CSR refactor's contract. Atomic because
+// the concurrency stress tests allocate from several threads.
 // ---------------------------------------------------------------------------
 
 namespace {
-size_t g_alloc_count = 0;
+std::atomic<size_t> g_alloc_count{0};
 }  // namespace
 
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
   return p;
@@ -151,7 +155,7 @@ TEST(StringPoolTest, LookupHitPathDoesNotAllocate) {
   for (const char* probe : probes) hits += index.value().Lookup(probe).size();
   ASSERT_GT(hits, 0u);
 
-  size_t before = g_alloc_count;
+  size_t before = g_alloc_count.load();
   size_t total = 0;
   for (int round = 0; round < 100; ++round) {
     for (const char* probe : probes) {
@@ -159,8 +163,154 @@ TEST(StringPoolTest, LookupHitPathDoesNotAllocate) {
       total += pool.FindFolded(probe) == kNoSymbol ? 0 : 1;
     }
   }
-  EXPECT_EQ(g_alloc_count, before) << "Lookup allocated on the hit path";
+  EXPECT_EQ(g_alloc_count.load(), before) << "Lookup allocated on the hit path";
   EXPECT_EQ(total, 100 * (hits + 3));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the sharded interner must hand out one symbol per distinct
+// string no matter how many threads intern overlapping key sets, including
+// case-folded collisions, the empty key, and non-ASCII keys. Run under
+// -DSQUID_TSAN=ON in CI to catch data races, not just logic errors.
+// ---------------------------------------------------------------------------
+
+/// Deterministic key universe with deliberate overlaps: for each base index
+/// three casings of the same word (folding collisions), plus empty and
+/// non-ASCII keys sprinkled in.
+std::vector<std::string> StressKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(4 * n + 2);
+  keys.emplace_back("");
+  keys.emplace_back("Jalape\xc3\xb1o");  // non-ASCII bytes survive folding
+  for (size_t i = 0; i < n; ++i) {
+    std::string base = "entity key " + std::to_string(i);
+    keys.push_back(base);
+    std::string upper = base;
+    for (char& c : upper) c = static_cast<char>(c >= 'a' && c <= 'z' ? c & ~0x20 : c);
+    keys.push_back(upper);
+    std::string mixed = base;
+    mixed[0] = static_cast<char>(mixed[0] & ~0x20);
+    keys.push_back(mixed);
+    keys.push_back("JALAPE\xc3\xb1O " + std::to_string(i % 7));
+  }
+  return keys;
+}
+
+TEST(StringPoolConcurrencyTest, OverlappingInternsAgreeAcrossThreads) {
+  constexpr size_t kThreads = 8;
+  const std::vector<std::string> keys = StressKeys(500);
+
+  StringPool pool;
+  // Per-thread observation: key index -> symbol. Threads walk the shared
+  // key set from different offsets (and some backwards) so first-intern
+  // races cover every interleaving class.
+  std::vector<std::vector<Symbol>> seen(kThreads,
+                                        std::vector<Symbol>(keys.size(), kNoSymbol));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t offset = t * keys.size() / kThreads;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        size_t k = t % 2 == 0 ? (offset + i) % keys.size()
+                              : (offset + keys.size() - i) % keys.size();
+        Symbol sym = pool.Intern(keys[k]);
+        seen[t][k] = sym;
+        // Read-side calls interleaved with other threads' inserts.
+        EXPECT_EQ(pool.View(sym), keys[k]);
+        EXPECT_NE(pool.Find(keys[k]), kNoSymbol);
+        EXPECT_NE(pool.FindFolded(keys[k]), kNoSymbol);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Idempotence and cross-thread agreement: every thread saw the same
+  // symbol for the same key, and a fresh intern returns it again.
+  for (size_t k = 0; k < keys.size(); ++k) {
+    Symbol expected = seen[0][k];
+    ASSERT_NE(expected, kNoSymbol);
+    for (size_t t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(seen[t][k], expected) << "thread " << t << " key '" << keys[k] << "'";
+    }
+    EXPECT_EQ(pool.Intern(keys[k]), expected);
+    EXPECT_EQ(pool.Find(keys[k]), expected);
+    EXPECT_EQ(pool.View(expected), keys[k]);
+  }
+
+  // One entry per distinct string: n distinct exact spellings + their
+  // folded twins and nothing else; count via a reference serial pool.
+  StringPool reference;
+  for (const std::string& k : keys) reference.Intern(k);
+  EXPECT_EQ(pool.size(), reference.size());
+
+  // Folded twins are shared across casings, concurrently interned or not.
+  Symbol lower = pool.Find("entity key 0");
+  Symbol upper = pool.Find("ENTITY KEY 0");
+  Symbol mixed = pool.Find("Entity key 0");
+  ASSERT_NE(lower, kNoSymbol);
+  ASSERT_NE(upper, kNoSymbol);
+  ASSERT_NE(mixed, kNoSymbol);
+  EXPECT_EQ(pool.FoldedOf(upper), lower);
+  EXPECT_EQ(pool.FoldedOf(mixed), lower);
+  EXPECT_EQ(pool.FoldedOf(lower), lower);
+  EXPECT_EQ(pool.FindFolded("eNtItY kEy 0"), lower);
+}
+
+TEST(StringPoolConcurrencyTest, ReadersRaceWritersSafely) {
+  // Writers intern a growing key range while readers hammer Find /
+  // FindFolded / View on already-published keys. Mostly a TSan target; the
+  // logic assertions double as sanity checks.
+  constexpr size_t kKeys = 4000;
+  StringPool pool;
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (size_t i = 0; i < kKeys; ++i) {
+    keys.push_back("Shared Key " + std::to_string(i));
+  }
+  std::atomic<size_t> published{0};
+  std::thread writer([&] {
+    for (size_t i = 0; i < kKeys; ++i) {
+      Symbol sym = pool.Intern(keys[i]);
+      EXPECT_EQ(pool.View(sym), keys[i]);
+      published.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      size_t hits = 0;
+      while (hits < kKeys) {
+        size_t limit = published.load(std::memory_order_acquire);
+        hits = 0;
+        for (size_t i = 0; i < limit; ++i) {
+          Symbol sym = pool.Find(keys[i]);
+          ASSERT_NE(sym, kNoSymbol) << i;  // published => visible
+          ASSERT_EQ(pool.View(sym), keys[i]);
+          ASSERT_NE(pool.FindFolded(keys[i]), kNoSymbol);
+          ++hits;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(pool.size(), 2 * kKeys);  // each key + its folded twin
+}
+
+/// The determinism contract: identical first-intern order => identical
+/// symbols, regardless of what other strings other threads interned in
+/// other pools. (Symbols are per-shard insertion indexes, so this is the
+/// invariant the parallel αDB build and generators rely on.)
+TEST(StringPoolConcurrencyTest, CanonicalInternOrderGivesCanonicalSymbols) {
+  const std::vector<std::string> keys = StressKeys(200);
+  StringPool a;
+  StringPool b;
+  for (const std::string& k : keys) {
+    EXPECT_EQ(a.Intern(k), b.Intern(k)) << k;
+  }
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.IdBound(), b.IdBound());
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "tests/test_util.h"
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
 
 #include "common/logging.h"
@@ -195,6 +197,43 @@ std::set<std::string> NameSet(const ResultSet& rs) {
     if (!v.is_null()) out.insert(v.ToString());
   }
   return out;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << a.name();
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << a.name();
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const std::string& attr = a.schema().attributes()[c].name;
+    EXPECT_EQ(attr, b.schema().attributes()[c].name) << a.name();
+    const Column& ca = a.column(c);
+    const Column& cb = b.column(c);
+    ASSERT_EQ(ca.type(), cb.type()) << a.name() << "." << attr;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      ASSERT_EQ(ca.IsNull(r), cb.IsNull(r))
+          << a.name() << "." << attr << " row " << r;
+      if (ca.IsNull(r)) continue;
+      ASSERT_TRUE(ca.ValueAt(r) == cb.ValueAt(r))
+          << a.name() << "." << attr << " row " << r << ": "
+          << ca.ValueAt(r).ToString() << " vs " << cb.ValueAt(r).ToString();
+      if (ca.type() == ValueType::kString) {
+        ASSERT_EQ(ca.SymbolAt(r), cb.SymbolAt(r))
+            << a.name() << "." << attr << " row " << r
+            << ": symbol assignment diverged for '" << ca.StringAt(r) << "'";
+      }
+    }
+  }
+}
+
+void ExpectDatabasesIdentical(const Database& a, const Database& b) {
+  ASSERT_EQ(a.TableNames(), b.TableNames());
+  for (const std::string& name : a.TableNames()) {
+    auto ta = a.GetTable(name);
+    auto tb = b.GetTable(name);
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    ExpectTablesIdentical(*ta.value(), *tb.value());
+  }
 }
 
 }  // namespace testing

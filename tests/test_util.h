@@ -32,6 +32,16 @@ std::vector<std::string> NamesOf(const ResultSet& rs);
 /// Convenience set construction.
 std::set<std::string> NameSet(const ResultSet& rs);
 
+/// Asserts (via gtest EXPECT) that two tables have identical schema, row
+/// count, cell values, and — for string columns — identical dictionary
+/// symbols. Used by the serial-vs-parallel determinism tests: the builds
+/// must agree not just on strings but on symbol assignment.
+void ExpectTablesIdentical(const Table& a, const Table& b);
+
+/// Asserts that two databases contain the same relations with identical
+/// contents (see ExpectTablesIdentical).
+void ExpectDatabasesIdentical(const Database& a, const Database& b);
+
 }  // namespace testing
 }  // namespace squid
 
