@@ -1,0 +1,172 @@
+// Serve-mode throughput/latency: closed-loop sweep over worker threads ×
+// context-cache budget × workload mix against one SquidService per cell.
+//
+// Workload mixes:
+//  - repeat-heavy: clients cycle over a handful of example sets (session
+//    traffic with hot entities) — the cache's best case;
+//  - unique-heavy: clients walk a long list of distinct example sets (cold
+//    long-tail traffic) — the cache's worst case.
+//
+// Each cell runs the same request list twice on one service: the first pass
+// is the cold measurement (cache filling), the second the warm measurement
+// (cache serving). Closed loop: one client thread per worker thread, each
+// waiting for its answer before sending the next request.
+//
+// scripts/check_bench_trends.py asserts (per mix): warm-cache throughput is
+// not below cold on the repeat-heavy mix, and multi-thread serve is not
+// slower than single-thread (within tolerance; 1-core CI leaves both ~1x).
+//
+// Flags: --scale=0.25 --requests=24 --json=<path>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "serve/squid_service.h"
+
+namespace squid {
+namespace bench {
+namespace {
+
+/// Example sets for one mix: repeat-heavy cycles `distinct` sets, so every
+/// request after the first cycle re-touches cached entities.
+std::vector<std::vector<std::string>> BuildExampleSets(const ImdbBench& bench,
+                                                       size_t distinct) {
+  std::vector<std::vector<std::string>> sets;
+  sets.push_back(
+      {bench.data.manifest.costar_a, bench.data.manifest.costar_b});
+  const char* ids[] = {"IQ1", "IQ6", "IQ13", "IQ15"};
+  uint64_t seed = 101;
+  while (sets.size() < distinct) {
+    bool grew = false;
+    for (const char* id : ids) {
+      if (sets.size() >= distinct) break;
+      auto query = FindQuery(bench.queries, id);
+      if (!query.ok()) continue;
+      auto truth = GroundTruth(*bench.data.db, *query.value());
+      if (!truth.ok()) continue;
+      Rng rng(seed++);
+      auto examples = SampleExamples(truth.value(), 5, &rng);
+      if (examples.size() >= 2) {
+        sets.push_back(std::move(examples));
+        grew = true;
+      }
+    }
+    if (!grew) break;  // ground truths exhausted; cycle what we have
+  }
+  return sets;
+}
+
+struct PassResult {
+  double seconds = 0;
+  size_t answered = 0;
+};
+
+/// Closed loop: `clients` threads each drain their slice of the request
+/// list, one in-flight request per client.
+PassResult RunPass(SquidService* service,
+                   const std::vector<const std::vector<std::string>*>& requests,
+                   size_t clients) {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> answered{0};
+  Stopwatch timer;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests.size()) return;
+        auto result = service->DiscoverSync(*requests[i]);
+        if (result.ok()) answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  PassResult out;
+  out.seconds = timer.ElapsedSeconds();
+  out.answered = answered.load();
+  return out;
+}
+
+}  // namespace
+
+void Run(int argc, char** argv) {
+  InitBenchIo(argc, argv, "bench_serve_throughput");
+  const double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  const size_t requests = SizeFlagOr(argc, argv, "requests", 24);
+
+  ImdbBench bench = BuildImdbBench(scale);
+  Banner("Serve throughput", "closed-loop Discover sweep (threads x cache x mix)");
+  std::printf("IMDb scale %.2f, %zu requests per pass, %zu descriptors\n\n",
+              scale, requests, bench.adb->report().num_descriptors);
+
+  struct Mix {
+    const char* name;
+    size_t distinct;
+  };
+  const Mix mixes[] = {{"repeat", 3}, {"unique", 64}};
+  const size_t thread_counts[] = {1, 2, 4};
+  const size_t cache_budgets[] = {0, 8u << 20};
+
+  TablePrinter table({"mix", "threads", "cache (KiB)", "requests", "cold (s)",
+                      "cold req/s", "warm (s)", "warm req/s", "mean warm ms",
+                      "warm hits", "hits", "misses", "evictions"});
+  for (const Mix& mix : mixes) {
+    auto sets = BuildExampleSets(bench, mix.distinct);
+    std::vector<const std::vector<std::string>*> request_list;
+    request_list.reserve(requests);
+    for (size_t i = 0; i < requests; ++i) {
+      request_list.push_back(&sets[i % sets.size()]);
+    }
+    for (size_t threads : thread_counts) {
+      for (size_t cache_bytes : cache_budgets) {
+        ServeOptions options;
+        options.threads = threads;
+        options.cache_bytes = cache_bytes;
+        options.queue_capacity = 2 * threads;
+        SquidService service(bench.adb.get(), options);
+        PassResult cold = RunPass(&service, request_list, threads);
+        ServeStats after_cold = service.stats();
+        PassResult warm = RunPass(&service, request_list, threads);
+        SQUID_CHECK(cold.answered == requests && warm.answered == requests)
+            << "serve bench requests failed (" << cold.answered << "/"
+            << warm.answered << " of " << requests << ")";
+        ServeStats stats = service.stats();
+        // Hits scored by the warm pass alone — the cold pass already hits
+        // on repeat-heavy mixes, so the cumulative counter can't tell
+        // whether the warm pass was actually served from cache.
+        const uint64_t warm_hits = stats.hits - after_cold.hits;
+        auto rate = [&](const PassResult& p) {
+          return p.seconds > 0 ? static_cast<double>(requests) / p.seconds : 0.0;
+        };
+        table.AddRow({mix.name, TablePrinter::Int(threads),
+                      TablePrinter::Int(cache_bytes >> 10),
+                      TablePrinter::Int(requests),
+                      TablePrinter::Num(cold.seconds, 4),
+                      TablePrinter::Num(rate(cold), 1),
+                      TablePrinter::Num(warm.seconds, 4),
+                      TablePrinter::Num(rate(warm), 1),
+                      TablePrinter::Num(warm.seconds / requests * 1e3, 3),
+                      TablePrinter::Int(warm_hits),
+                      TablePrinter::Int(stats.hits),
+                      TablePrinter::Int(stats.misses),
+                      TablePrinter::Int(stats.evictions)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nClosed loop, one client per worker thread; warm pass repeats the\n"
+      "cold pass's requests on the same service (cache already filled).\n");
+}
+
+}  // namespace bench
+}  // namespace squid
+
+int main(int argc, char** argv) {
+  squid::bench::Run(argc, argv);
+  return 0;
+}

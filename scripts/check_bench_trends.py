@@ -16,6 +16,11 @@ CI) and fails when a shape regresses:
     parallel build must not be materially slower than the serial build
     (single-core CI leaves speedup ~1, so the bound is a tolerance, not a
     required speedup).
+  * Serve mode (bench_serve_throughput.json): on the repeat-heavy mix with a
+    non-zero cache budget the warm pass (cache filled) must not be slower
+    than the cold pass beyond tolerance, warm repeat-heavy traffic must
+    actually hit the cache, and multi-thread serve must not be slower than
+    single-thread serve beyond tolerance (same 1-core-CI caveat).
 
 Usage: scripts/check_bench_trends.py [json-dir]   (default: bench/out)
 Exits non-zero on the first failed assertion; missing benches are skipped
@@ -137,6 +142,87 @@ def check_build_speedup(path):
                 ok(f"{section} {label}: serial {s:.3f}s, parallel {p:.3f}s")
 
 
+# Warm serve pass may be this much slower than cold before it's a
+# regression; both passes are short on CI scales, so a seconds slack soaks
+# timer noise.
+SERVE_WARM_SLOWDOWN_TOLERANCE = 1.25
+# Multi-thread serve may be this much slower than single-thread (1-core CI
+# runners measure only the coordination overhead).
+SERVE_THREAD_SLOWDOWN_TOLERANCE = 2.0
+SERVE_SLACK_SECONDS = 0.05
+
+
+def check_serve(path):
+    global checks_run
+    doc = load(path)
+    required = ["mix", "threads", "cache (KiB)", "cold (s)", "warm (s)", "warm hits"]
+    tables = tables_with_headers(doc, required)
+    if not tables:
+        fail(f"{path.name}: no serve sweep table with {required}")
+        return
+    for table in tables:
+        section = table.get("section", "?")
+        rows = [
+            {h: v for h, v in zip(table["headers"], row)} for row in table["rows"]
+        ]
+        # Warm >= cold on the repeat-heavy cached rows (the cache's best
+        # case: a warm pass rebuilds nothing).
+        for row in rows:
+            if row["mix"] != "repeat" or float(row["cache (KiB)"]) == 0:
+                continue
+            cold_s = float(row["cold (s)"])
+            warm_s = float(row["warm (s)"])
+            checks_run += 1
+            bound = cold_s * SERVE_WARM_SLOWDOWN_TOLERANCE + SERVE_SLACK_SECONDS
+            label = f"repeat threads={row['threads']:.0f}"
+            if warm_s > bound:
+                fail(
+                    f"{path.name} [{section}] {label}: warm pass {warm_s:.4f}s "
+                    f"slower than cold {cold_s:.4f}s beyond tolerance"
+                )
+            else:
+                ok(f"{section} {label}: cold {cold_s:.4f}s, warm {warm_s:.4f}s")
+            checks_run += 1
+            if float(row["warm hits"]) <= 0:
+                fail(
+                    f"{path.name} [{section}] {label}: repeat-heavy warm pass "
+                    f"never hit the cache"
+                )
+            else:
+                ok(f"{section} {label}: warm-pass cache hits={row['warm hits']:.0f}")
+        # Multi-thread serve not slower than single-thread (per mix x cache).
+        for row in rows:
+            if float(row["threads"]) <= 1:
+                continue
+            base = next(
+                (
+                    r
+                    for r in rows
+                    if r["mix"] == row["mix"]
+                    and float(r["threads"]) == 1
+                    and float(r["cache (KiB)"]) == float(row["cache (KiB)"])
+                ),
+                None,
+            )
+            if base is None:
+                continue
+            checks_run += 1
+            single_s = float(base["warm (s)"])
+            multi_s = float(row["warm (s)"])
+            bound = single_s * SERVE_THREAD_SLOWDOWN_TOLERANCE + SERVE_SLACK_SECONDS
+            label = (
+                f"{row['mix']} cache={row['cache (KiB)']:.0f}KiB "
+                f"threads={row['threads']:.0f}"
+            )
+            if multi_s > bound:
+                fail(
+                    f"{path.name} [{section}] {label}: warm {multi_s:.4f}s vs "
+                    f"single-thread {single_s:.4f}s beyond tolerance"
+                )
+            else:
+                ok(f"{section} {label}: warm {multi_s:.4f}s (1-thread {single_s:.4f}s)")
+
+
 def main():
     json_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench/out")
     if not json_dir.is_dir():
@@ -146,6 +232,7 @@ def main():
     known = {
         "bench_fig10_accuracy": check_fig10,
         "bench_fig9_scalability": check_build_speedup,
+        "bench_serve_throughput": check_serve,
         "bench_table_datasets": check_build_speedup,
     }
     seen = 0

@@ -3,20 +3,43 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace squid {
 
 namespace {
 
-/// Discovers the context (if any) of a basic (no-hop) descriptor.
-Status AddBasicContext(const AbductionReadyDb& adb,
-                              const PropertyDescriptor& desc,
-                              const std::vector<size_t>& rows, size_t support,
+/// Approximate heap bytes behind one Value (string payload only; numeric
+/// and null variants live inline).
+size_t ValueBytes(const Value& v) {
+  return v.type() == ValueType::kString ? v.AsString().size() : 0;
+}
+
+/// Point-queries the αDB for what `key` (at `row`) exhibits under `desc`.
+Status ObserveDescriptor(const AbductionReadyDb& adb,
+                         const PropertyDescriptor& desc, size_t row,
+                         const Value& key, DescriptorObservation* out) {
+  if (desc.hops.empty()) {
+    SQUID_ASSIGN_OR_RETURN(out->basic_value, adb.BasicValue(desc, row));
+    return Status::OK();
+  }
+  SQUID_ASSIGN_OR_RETURN(out->values, adb.DerivedValues(desc, key));
+  out->total = adb.EntityTotal(desc, key);
+  return Status::OK();
+}
+
+/// Merges the basic observations of one descriptor: numeric kinds yield the
+/// tightest [lo, hi] range over the examples, categorical kinds a context
+/// only when every example shares the value.
+Status MergeBasicObservations(const PropertyDescriptor& desc,
+                              const std::vector<const EntityContextProfile*>& profiles,
+                              size_t desc_index, size_t support,
                               std::vector<SemanticContext>* out) {
   if (desc.kind == PropertyKind::kInlineNumeric) {
     double lo = 0, hi = 0;
     bool first = true;
-    for (size_t row : rows) {
-      SQUID_ASSIGN_OR_RETURN(Value v, adb.BasicValue(desc, row));
+    for (const EntityContextProfile* profile : profiles) {
+      const Value& v = profile->observations[desc_index].basic_value;
       if (v.is_null()) return Status::OK();  // not shared by all
       SQUID_ASSIGN_OR_RETURN(double num, v.ToNumeric());
       if (first) {
@@ -39,8 +62,8 @@ Status AddBasicContext(const AbductionReadyDb& adb,
   // Categorical: all examples must share the same value.
   Value shared;
   bool first = true;
-  for (size_t row : rows) {
-    SQUID_ASSIGN_OR_RETURN(Value v, adb.BasicValue(desc, row));
+  for (const EntityContextProfile* profile : profiles) {
+    const Value& v = profile->observations[desc_index].basic_value;
     if (v.is_null()) return Status::OK();
     if (first) {
       shared = v;
@@ -60,46 +83,93 @@ Status AddBasicContext(const AbductionReadyDb& adb,
 
 }  // namespace
 
-Result<std::vector<SemanticContext>> DiscoverContexts(
+size_t EntityContextProfile::ApproxBytes() const {
+  size_t bytes = sizeof(EntityContextProfile) +
+                 observations.capacity() * sizeof(DescriptorObservation);
+  for (const DescriptorObservation& obs : observations) {
+    bytes += ValueBytes(obs.basic_value);
+    bytes += obs.values.capacity() * sizeof(std::pair<Value, double>);
+    for (const auto& [v, count] : obs.values) {
+      (void)count;
+      bytes += ValueBytes(v);
+    }
+  }
+  return bytes;
+}
+
+Result<EntityContextProfile> BuildEntityContextProfile(
     const AbductionReadyDb& adb, const std::string& entity_relation,
-    const std::vector<Value>& entity_keys, const SquidConfig& config) {
+    const Value& entity_key, const size_t* known_row, ThreadPool* pool) {
+  EntityContextProfile profile;
+  if (known_row != nullptr) {
+    profile.row = *known_row;
+  } else {
+    SQUID_ASSIGN_OR_RETURN(profile.row,
+                           adb.EntityRowByKey(entity_relation, entity_key));
+  }
+  const std::vector<const PropertyDescriptor*> descs =
+      adb.schema_graph().DescriptorsFor(entity_relation);
+  profile.observations.resize(descs.size());
+  if (pool != nullptr && pool->num_threads() > 1 && descs.size() > 1) {
+    // Per-descriptor point queries are independent; fan them out into
+    // canonical slots (bit-identical to the serial loop below).
+    std::vector<Status> statuses(descs.size());
+    pool->ParallelForShared(descs.size(), [&](size_t d) {
+      statuses[d] = ObserveDescriptor(adb, *descs[d], profile.row, entity_key,
+                                      &profile.observations[d]);
+    });
+    for (const Status& st : statuses) SQUID_RETURN_NOT_OK(st);
+    return profile;
+  }
+  for (size_t d = 0; d < descs.size(); ++d) {
+    SQUID_RETURN_NOT_OK(ObserveDescriptor(adb, *descs[d], profile.row, entity_key,
+                                          &profile.observations[d]));
+  }
+  return profile;
+}
+
+Result<std::vector<SemanticContext>> MergeContextProfiles(
+    const AbductionReadyDb& adb, const std::string& entity_relation,
+    const std::vector<const EntityContextProfile*>& profiles,
+    const SquidConfig& config) {
   std::vector<SemanticContext> contexts;
-  if (entity_keys.empty()) {
-    return Status::InvalidArgument("no entity keys for context discovery");
+  if (profiles.empty()) {
+    return Status::InvalidArgument("no entity profiles for context discovery");
   }
-  const size_t support = entity_keys.size();
-
-  // Resolve rows once.
-  std::vector<size_t> rows;
-  rows.reserve(entity_keys.size());
-  for (const Value& key : entity_keys) {
-    SQUID_ASSIGN_OR_RETURN(size_t row, adb.EntityRowByKey(entity_relation, key));
-    rows.push_back(row);
+  const size_t support = profiles.size();
+  const std::vector<const PropertyDescriptor*> descs =
+      adb.schema_graph().DescriptorsFor(entity_relation);
+  for (const EntityContextProfile* profile : profiles) {
+    if (profile == nullptr || profile->observations.size() != descs.size()) {
+      return Status::Internal("entity profile does not match descriptor set of '" +
+                              entity_relation + "'");
+    }
   }
 
-  for (const PropertyDescriptor* desc :
-       adb.schema_graph().DescriptorsFor(entity_relation)) {
+  for (size_t d = 0; d < descs.size(); ++d) {
+    const PropertyDescriptor* desc = descs[d];
     if (desc->hops.empty()) {
-      SQUID_RETURN_NOT_OK(AddBasicContext(adb, *desc, rows, support, &contexts));
+      SQUID_RETURN_NOT_OK(
+          MergeBasicObservations(*desc, profiles, d, support, &contexts));
       continue;
     }
     // Multi-valued / derived: intersect per-example association sets.
     // Start with the first example's (value -> θ) map, then narrow.
-    SQUID_ASSIGN_OR_RETURN(auto first_values, adb.DerivedValues(*desc, entity_keys[0]));
-    if (first_values.empty()) continue;
+    const DescriptorObservation& first_obs = profiles[0]->observations[d];
+    if (first_obs.values.empty()) continue;
     std::unordered_map<Value, std::pair<double, double>, ValueHash> shared;
-    shared.reserve(first_values.size());
-    double total0 = adb.EntityTotal(*desc, entity_keys[0]);
-    for (const auto& [v, count] : first_values) {
+    shared.reserve(first_obs.values.size());
+    double total0 = first_obs.total;
+    for (const auto& [v, count] : first_obs.values) {
       double norm = total0 > 0 ? count / total0 : 0.0;
       shared.emplace(v, std::make_pair(count, norm));
     }
-    for (size_t i = 1; i < entity_keys.size() && !shared.empty(); ++i) {
-      SQUID_ASSIGN_OR_RETURN(auto values, adb.DerivedValues(*desc, entity_keys[i]));
-      double total = adb.EntityTotal(*desc, entity_keys[i]);
+    for (size_t i = 1; i < profiles.size() && !shared.empty(); ++i) {
+      const DescriptorObservation& obs = profiles[i]->observations[d];
+      double total = obs.total;
       std::unordered_map<Value, std::pair<double, double>, ValueHash> narrowed;
       narrowed.reserve(shared.size());
-      for (const auto& [v, count] : values) {
+      for (const auto& [v, count] : obs.values) {
         auto it = shared.find(v);
         if (it == shared.end()) continue;
         double norm = total > 0 ? count / total : 0.0;
@@ -126,6 +196,31 @@ Result<std::vector<SemanticContext>> DiscoverContexts(
     }
   }
   return contexts;
+}
+
+Result<std::vector<SemanticContext>> DiscoverContexts(
+    const AbductionReadyDb& adb, const std::string& entity_relation,
+    const std::vector<Value>& entity_keys, const SquidConfig& config,
+    const std::vector<size_t>* entity_rows) {
+  if (entity_keys.empty()) {
+    return Status::InvalidArgument("no entity keys for context discovery");
+  }
+  if (entity_rows != nullptr && entity_rows->size() != entity_keys.size()) {
+    return Status::InvalidArgument("entity_rows does not parallel entity_keys");
+  }
+  std::vector<EntityContextProfile> profiles;
+  profiles.reserve(entity_keys.size());
+  for (size_t i = 0; i < entity_keys.size(); ++i) {
+    const size_t* row = entity_rows != nullptr ? &(*entity_rows)[i] : nullptr;
+    SQUID_ASSIGN_OR_RETURN(
+        EntityContextProfile profile,
+        BuildEntityContextProfile(adb, entity_relation, entity_keys[i], row));
+    profiles.push_back(std::move(profile));
+  }
+  std::vector<const EntityContextProfile*> views;
+  views.reserve(profiles.size());
+  for (const EntityContextProfile& p : profiles) views.push_back(&p);
+  return MergeContextProfiles(adb, entity_relation, views, config);
 }
 
 }  // namespace squid

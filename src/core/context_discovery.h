@@ -5,7 +5,21 @@
 /// \brief Semantic context discovery (§6.1.2): derives the set X of semantic
 /// contexts — one per minimal valid filter — exhibited by the example
 /// entities, by point-querying the αDB per descriptor.
+///
+/// Discovery is split into two stages so serve mode can memoize the
+/// per-entity half (see serve/context_cache.h):
+///  1. BuildEntityContextProfile: everything the αDB knows about ONE entity,
+///     one observation per descriptor. Depends only on (relation, key) —
+///     never on the other examples or on SquidConfig — so a profile is a
+///     cacheable, immutable unit.
+///  2. MergeContextProfiles: folds the profiles of the whole example set
+///     into shared contexts (value agreement, numeric ranges, association
+///     intersections). Cheap, pure, and deterministic given the profiles.
+/// DiscoverContexts composes the two; any split evaluation (cached or
+/// parallel profile builds) is bit-identical to the one-shot call because
+/// observations are merged in canonical descriptor/entity order.
 
+#include <utility>
 #include <vector>
 
 #include "adb/abduction_ready_db.h"
@@ -14,6 +28,49 @@
 #include "core/semantic_property.h"
 
 namespace squid {
+
+class ThreadPool;
+
+/// \brief What one entity exhibits under one property descriptor.
+struct DescriptorObservation {
+  /// Basic (no-hop) kinds: the entity's value (null when absent).
+  Value basic_value;
+  /// Derived / multi-valued kinds: the entity's (value, count) associations
+  /// in αDB point-query order, plus its association-portfolio total.
+  std::vector<std::pair<Value, double>> values;
+  double total = 0;
+};
+
+/// \brief The cacheable per-entity unit of context discovery: one
+/// observation per descriptor of the entity's relation, in
+/// SchemaGraph::DescriptorsFor order.
+struct EntityContextProfile {
+  /// Resolved row of the entity in its relation.
+  size_t row = 0;
+  std::vector<DescriptorObservation> observations;
+
+  /// Approximate heap footprint (for the serve-mode cache byte budget).
+  size_t ApproxBytes() const;
+};
+
+/// \brief Builds the profile of the entity with key `entity_key` in
+/// `entity_relation`. When `known_row` is non-null it is trusted as the
+/// entity's row (hoisted from entity lookup postings), skipping the
+/// EntityRowByKey resolution. With a `pool`, the per-descriptor point
+/// queries fan out on it (observations land in canonical slots, so the
+/// result is identical at any thread count).
+Result<EntityContextProfile> BuildEntityContextProfile(
+    const AbductionReadyDb& adb, const std::string& entity_relation,
+    const Value& entity_key, const size_t* known_row = nullptr,
+    ThreadPool* pool = nullptr);
+
+/// \brief Merges per-entity profiles (one per example, in example order)
+/// into the shared semantic contexts. `profiles[i]` must be the profile of
+/// `entity_relation`'s example i as built by BuildEntityContextProfile.
+Result<std::vector<SemanticContext>> MergeContextProfiles(
+    const AbductionReadyDb& adb, const std::string& entity_relation,
+    const std::vector<const EntityContextProfile*>& profiles,
+    const SquidConfig& config);
 
 /// \brief Discovers all semantic contexts shared by the entities with keys
 /// `entity_keys` in `entity_relation`.
@@ -25,9 +82,14 @@ namespace squid {
 ///  - multi-valued / derived: one context per value present in EVERY
 ///    example's association set, with θ = the minimum association strength
 ///    (derived kinds only).
+///
+/// `entity_rows`, when non-null, must parallel `entity_keys` with each
+/// entity's already-resolved row (hoisted from entity-lookup postings);
+/// profile builds then skip the per-key PK-index resolution.
 Result<std::vector<SemanticContext>> DiscoverContexts(
     const AbductionReadyDb& adb, const std::string& entity_relation,
-    const std::vector<Value>& entity_keys, const SquidConfig& config);
+    const std::vector<Value>& entity_keys, const SquidConfig& config,
+    const std::vector<size_t>* entity_rows = nullptr);
 
 }  // namespace squid
 

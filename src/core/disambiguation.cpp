@@ -88,8 +88,18 @@ std::vector<std::string> EntityProfile(const AbductionReadyDb& adb,
 Result<std::vector<Value>> DisambiguateEntities(const AbductionReadyDb& adb,
                                                 const EntityMatch& match,
                                                 const SquidConfig& config) {
+  SQUID_ASSIGN_OR_RETURN(ResolvedEntities resolved,
+                         ResolveEntities(adb, match, config));
+  return std::move(resolved.keys);
+}
+
+Result<ResolvedEntities> ResolveEntities(const AbductionReadyDb& adb,
+                                         const EntityMatch& match,
+                                         const SquidConfig& config) {
   const size_t n = match.candidate_rows.size();
-  std::vector<Value> keys(n);
+  ResolvedEntities resolved;
+  resolved.keys.resize(n);
+  resolved.rows.resize(n);
 
   bool ambiguous = false;
   for (const auto& rows : match.candidate_rows) {
@@ -100,9 +110,10 @@ Result<std::vector<Value>> DisambiguateEntities(const AbductionReadyDb& adb,
     for (size_t i = 0; i < n; ++i) {
       SQUID_ASSIGN_OR_RETURN(Value key,
                              KeyAt(adb, match.relation, match.candidate_rows[i][0]));
-      keys[i] = key;
+      resolved.keys[i] = key;
+      resolved.rows[i] = match.candidate_rows[i][0];
     }
-    return keys;
+    return resolved;
   }
 
   // Build profiles for every candidate row.
@@ -179,9 +190,10 @@ Result<std::vector<Value>> DisambiguateEntities(const AbductionReadyDb& adb,
   for (size_t i = 0; i < n; ++i) {
     SQUID_ASSIGN_OR_RETURN(
         Value key, KeyAt(adb, match.relation, match.candidate_rows[i][best[i]]));
-    keys[i] = key;
+    resolved.keys[i] = key;
+    resolved.rows[i] = match.candidate_rows[i][best[i]];
   }
-  return keys;
+  return resolved;
 }
 
 }  // namespace squid

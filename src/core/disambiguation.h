@@ -29,6 +29,21 @@ Result<std::vector<Value>> DisambiguateEntities(const AbductionReadyDb& adb,
                                                 const EntityMatch& match,
                                                 const SquidConfig& config);
 
+/// \brief A disambiguated example set with its row resolution kept: keys[i]
+/// is the chosen entity key of example i and rows[i] its row in the matched
+/// relation (straight from the candidate postings). Keeping the rows lets
+/// the candidate loop in Squid::Discover hand them to context discovery
+/// instead of re-resolving every key through the PK index per candidate.
+struct ResolvedEntities {
+  std::vector<Value> keys;
+  std::vector<size_t> rows;
+};
+
+/// DisambiguateEntities variant that also returns the chosen rows.
+Result<ResolvedEntities> ResolveEntities(const AbductionReadyDb& adb,
+                                         const EntityMatch& match,
+                                         const SquidConfig& config);
+
 /// Exposed for tests: the per-entity profile used by the similarity score —
 /// encoded (descriptor, value) items of the entity's basic and associated
 /// properties.

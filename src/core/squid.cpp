@@ -14,17 +14,34 @@ size_t AbducedQuery::NumIncludedFilters() const {
   return n;
 }
 
-Result<AbducedQuery> Squid::DiscoverForEntities(
+Result<AbducedQuery> Squid::DiscoverForResolvedEntities(
     const std::string& entity_relation, const std::string& projection_attr,
-    const std::vector<Value>& entity_keys) const {
+    const std::vector<Value>& entity_keys,
+    const std::vector<size_t>& entity_rows) const {
   AbducedQuery out;
   out.entity_relation = entity_relation;
   out.projection_attr = projection_attr;
   out.entity_keys = entity_keys;
 
-  SQUID_ASSIGN_OR_RETURN(
-      std::vector<SemanticContext> contexts,
-      DiscoverContexts(*adb_, entity_relation, entity_keys, config_));
+  std::vector<SemanticContext> contexts;
+  if (context_provider_ != nullptr) {
+    SQUID_ASSIGN_OR_RETURN(
+        contexts, context_provider_->Contexts(entity_relation, entity_keys,
+                                              entity_rows, config_, &out.stats));
+  } else {
+    // Rows hoisted from the candidate's postings spare the per-key PK-index
+    // resolution inside the profile builds.
+    const bool have_rows = entity_rows.size() == entity_keys.size();
+    if (have_rows) {
+      out.stats.entity_row_lookups_saved += entity_keys.size();
+    } else {
+      out.stats.entity_row_lookups += entity_keys.size();
+    }
+    SQUID_ASSIGN_OR_RETURN(
+        contexts, DiscoverContexts(*adb_, entity_relation, entity_keys, config_,
+                                   have_rows ? &entity_rows : nullptr));
+  }
+
   AbductionModel model(adb_, config_);
   SQUID_ASSIGN_OR_RETURN(out.filters,
                          model.AbduceFilters(contexts, entity_keys.size()));
@@ -40,28 +57,43 @@ Result<AbducedQuery> Squid::DiscoverForEntities(
   return out;
 }
 
-Result<AbducedQuery> Squid::Discover(const std::vector<std::string>& examples) const {
-  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
-                         LookupExamples(*adb_, examples));
+Result<AbducedQuery> Squid::DiscoverForEntities(
+    const std::string& entity_relation, const std::string& projection_attr,
+    const std::vector<Value>& entity_keys) const {
+  return DiscoverForResolvedEntities(entity_relation, projection_attr,
+                                     entity_keys, {});
+}
+
+Result<AbducedQuery> Squid::AbduceCandidate(const EntityMatch& match) const {
+  // The row resolution is shared work: the postings already name each
+  // chosen entity's row, so context discovery never re-probes the PK index
+  // for this candidate.
+  SQUID_ASSIGN_OR_RETURN(ResolvedEntities resolved,
+                         ResolveEntities(*adb_, match, config_));
+  return DiscoverForResolvedEntities(match.relation, match.attribute,
+                                     resolved.keys, resolved.rows);
+}
+
+Result<AbducedQuery> Squid::ReduceCandidates(
+    std::vector<Result<AbducedQuery>> candidates) {
   bool have_best = false;
   AbducedQuery best;
+  DiscoverStats totals;
+  totals.candidate_base_queries = candidates.size();
   Status last_error = Status::OK();
-  for (const EntityMatch& match : matches) {
-    auto keys = DisambiguateEntities(*adb_, match, config_);
-    if (!keys.ok()) {
-      last_error = keys.status();
+  for (Result<AbducedQuery>& candidate : candidates) {
+    if (!candidate.ok()) {
+      last_error = candidate.status();
       continue;
     }
-    auto abduced =
-        DiscoverForEntities(match.relation, match.attribute, keys.value());
-    if (!abduced.ok()) {
-      last_error = abduced.status();
-      continue;
-    }
+    ++totals.candidates_abduced;
+    totals.entity_row_lookups += candidate.value().stats.entity_row_lookups;
+    totals.entity_row_lookups_saved +=
+        candidate.value().stats.entity_row_lookups_saved;
     // Rank candidate base queries by posterior; ties favor the earlier match
     // (entity relations first, then least ambiguity — see LookupExamples).
-    if (!have_best || abduced.value().log_posterior > best.log_posterior) {
-      best = std::move(abduced).value();
+    if (!have_best || candidate.value().log_posterior > best.log_posterior) {
+      best = std::move(candidate).value();
       have_best = true;
     }
   }
@@ -69,7 +101,19 @@ Result<AbducedQuery> Squid::Discover(const std::vector<std::string>& examples) c
     if (!last_error.ok()) return last_error;
     return Status::NotFound("no candidate base query could be abduced");
   }
+  best.stats = totals;
   return best;
+}
+
+Result<AbducedQuery> Squid::Discover(const std::vector<std::string>& examples) const {
+  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
+                         LookupExamples(*adb_, examples));
+  std::vector<Result<AbducedQuery>> candidates;
+  candidates.reserve(matches.size());
+  for (const EntityMatch& match : matches) {
+    candidates.push_back(AbduceCandidate(match));
+  }
+  return ReduceCandidates(std::move(candidates));
 }
 
 }  // namespace squid

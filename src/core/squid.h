@@ -23,9 +23,26 @@
 #include "core/config.h"
 #include "core/filter.h"
 #include "core/query_builder.h"
+#include "core/semantic_property.h"
 #include "sql/ast.h"
 
 namespace squid {
+
+struct EntityMatch;
+
+/// \brief Work counters for one Discover call (candidate fan-out width and
+/// the entity-row point queries the hoisted lookup resolution saved).
+struct DiscoverStats {
+  /// (relation, attribute) base queries that covered every example.
+  size_t candidate_base_queries = 0;
+  /// Candidates that produced an abduction (the best one wins).
+  size_t candidates_abduced = 0;
+  /// EntityRowByKey resolutions performed during context discovery.
+  size_t entity_row_lookups = 0;
+  /// Resolutions skipped because the rows were hoisted from the candidate's
+  /// entity-lookup postings (shared across the candidate loop).
+  size_t entity_row_lookups_saved = 0;
+};
 
 /// \brief Result of query intent discovery.
 struct AbducedQuery {
@@ -50,8 +67,29 @@ struct AbducedQuery {
   /// Log posterior score of the decided filter set (per fixed base query).
   double log_posterior = 0;
 
+  /// Work counters for the call that produced this query.
+  DiscoverStats stats;
+
   /// Number of included filters.
   size_t NumIncludedFilters() const;
+};
+
+/// \brief Seam between abduction and semantic-context discovery: Squid asks
+/// a provider for the example set's contexts, so serve mode can interpose a
+/// per-entity cache (serve/context_cache.h) without the core knowing about
+/// caching. `entity_rows` carries rows hoisted from entity-lookup postings
+/// (one per key, or empty when unresolved); implementations may use them to
+/// skip EntityRowByKey and must report lookup work in `stats` (optional,
+/// may be null). The contract for every implementation: answers are
+/// bit-identical to DiscoverContexts on the same example set.
+class ContextProvider {
+ public:
+  virtual ~ContextProvider() = default;
+
+  virtual Result<std::vector<SemanticContext>> Contexts(
+      const std::string& entity_relation, const std::vector<Value>& entity_keys,
+      const std::vector<size_t>& entity_rows, const SquidConfig& config,
+      DiscoverStats* stats) const = 0;
 };
 
 /// \brief SQuID's online module.
@@ -62,6 +100,14 @@ class Squid {
 
   const SquidConfig& config() const { return config_; }
   void set_config(SquidConfig config) { config_ = std::move(config); }
+
+  /// Interposes `provider` on semantic-context discovery (not owned; must
+  /// outlive this Squid). nullptr restores the default uncached
+  /// DiscoverContexts path.
+  void set_context_provider(const ContextProvider* provider) {
+    context_provider_ = provider;
+  }
+  const ContextProvider* context_provider() const { return context_provider_; }
 
   /// Full pipeline from raw example strings: looks the examples up in the
   /// inverted index, disambiguates, and abduces the most probable query.
@@ -75,9 +121,31 @@ class Squid {
                                            const std::string& projection_attr,
                                            const std::vector<Value>& entity_keys) const;
 
+  /// DiscoverForEntities with entity rows already resolved (hoisted from the
+  /// candidate's postings); `entity_rows` must parallel `entity_keys` or be
+  /// empty. Serve mode calls this directly from its candidate fan-out.
+  Result<AbducedQuery> DiscoverForResolvedEntities(
+      const std::string& entity_relation, const std::string& projection_attr,
+      const std::vector<Value>& entity_keys,
+      const std::vector<size_t>& entity_rows) const;
+
+  /// One candidate base query end to end: disambiguates `match` (keeping
+  /// the postings-resolved rows) and abduces. Discover runs this per match
+  /// serially; serve mode fans it out and reduces with ReduceCandidates.
+  Result<AbducedQuery> AbduceCandidate(const EntityMatch& match) const;
+
+  /// Picks the winner among per-candidate results, in slot order — the one
+  /// canonical ranking (highest log posterior; ties favor the earlier
+  /// match) shared by the serial loop and serve mode's parallel fan-out,
+  /// so both produce bit-identical answers. Totals the per-candidate stats
+  /// into the winner's.
+  static Result<AbducedQuery> ReduceCandidates(
+      std::vector<Result<AbducedQuery>> candidates);
+
  private:
   const AbductionReadyDb* adb_;
   SquidConfig config_;
+  const ContextProvider* context_provider_ = nullptr;
 };
 
 }  // namespace squid

@@ -1,0 +1,232 @@
+#include "serve/context_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace squid {
+
+namespace {
+
+/// Map-node + list-node + shared_ptr control-block overhead charged per
+/// entry on top of the profile's own footprint.
+constexpr size_t kEntryOverheadBytes = 128;
+
+/// Rounds up to a power of two (>= 1).
+size_t PowerOfTwoAtLeast(size_t n) {
+  size_t p = 1;
+  while (p < n && p < (size_t{1} << 16)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ContextCache::ContextCache(const AbductionReadyDb* adb)
+    : ContextCache(adb, Options{}) {}
+
+ContextCache::ContextCache(const AbductionReadyDb* adb, Options options)
+    : adb_(adb),
+      pool_(adb->inverted_index().pool_shared()),
+      workers_(options.pool),
+      max_bytes_(options.max_bytes),
+      shard_mask_(PowerOfTwoAtLeast(options.shards == 0 ? 1 : options.shards) - 1),
+      shards_(shard_mask_ + 1) {
+  shard_budget_ = max_bytes_ / (shard_mask_ + 1);
+}
+
+ContextCache::~ContextCache() = default;
+
+bool ContextCache::MakeKey(const std::string& entity_relation,
+                           const Value& entity_key, CacheKey* out) const {
+  Symbol relation = pool_->Find(entity_relation);
+  if (relation == kNoSymbol) return false;
+  out->relation = relation;
+  switch (entity_key.type()) {
+    case ValueType::kNull:
+      out->tag = 0;
+      out->packed = 0;
+      return true;
+    case ValueType::kInt64:
+      out->tag = 1;
+      out->packed = static_cast<uint64_t>(entity_key.AsInt64());
+      return true;
+    case ValueType::kDouble:
+      out->tag = 2;
+      out->packed = PackedDoubleBits(entity_key.AsDouble());
+      return true;
+    case ValueType::kString: {
+      // Entity keys come out of dictionary-encoded columns, so the exact
+      // string is interned; a miss here means the key is foreign to this
+      // αDB and not worth caching.
+      Symbol sym = pool_->Find(entity_key.AsString());
+      if (sym == kNoSymbol) return false;
+      out->tag = 3;
+      out->packed = sym;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::shared_ptr<const EntityContextProfile>> ContextCache::ProfileFor(
+    const std::string& entity_relation, const Value& entity_key,
+    const size_t* known_row, bool* from_cache) const {
+  if (from_cache != nullptr) *from_cache = false;
+  CacheKey key;
+  const bool cacheable =
+      max_bytes_ > 0 && MakeKey(entity_relation, entity_key, &key);
+  if (cacheable) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (from_cache != nullptr) *from_cache = true;
+      return it->second->profile;
+    }
+    ++shard.misses;
+  } else {
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Build outside any lock (point queries against the immutable αDB).
+  SQUID_ASSIGN_OR_RETURN(EntityContextProfile built,
+                         BuildEntityContextProfile(*adb_, entity_relation,
+                                                   entity_key, known_row,
+                                                   workers_));
+  auto profile = std::make_shared<const EntityContextProfile>(std::move(built));
+  if (!cacheable) return profile;
+
+  Entry entry;
+  entry.key = key;
+  entry.profile = profile;
+  entry.bytes = profile->ApproxBytes() + kEntryOverheadBytes;
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // A concurrent builder won the race; its profile is bit-identical
+    // (profiles are a pure function of the αDB), so reuse it.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->profile;
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += shard.lru.front().bytes;
+  ++shard.inserts;
+  // Evict least-recently-used entries down to the shard budget, always
+  // keeping the entry just inserted (a single oversized profile would
+  // otherwise thrash on every touch).
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return profile;
+}
+
+Result<std::vector<SemanticContext>> ContextCache::Contexts(
+    const std::string& entity_relation, const std::vector<Value>& entity_keys,
+    const std::vector<size_t>& entity_rows, const SquidConfig& config,
+    DiscoverStats* stats) const {
+  if (entity_keys.empty()) {
+    return Status::InvalidArgument("no entity keys for context discovery");
+  }
+  const bool have_rows = entity_rows.size() == entity_keys.size();
+
+  std::vector<Result<std::shared_ptr<const EntityContextProfile>>> slots(
+      entity_keys.size(),
+      Result<std::shared_ptr<const EntityContextProfile>>(
+          Status::Internal("profile slot not filled")));
+  std::atomic<size_t> cache_hits{0};
+  auto fetch = [&](size_t i) {
+    const size_t* row = have_rows ? &entity_rows[i] : nullptr;
+    bool hit = false;
+    slots[i] = ProfileFor(entity_relation, entity_keys[i], row, &hit);
+    if (hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (workers_ != nullptr && entity_keys.size() > 1) {
+    // Fan profile fetches out across entities; results land in per-entity
+    // slots, so the merge below is identical at any thread count.
+    workers_->ParallelForShared(entity_keys.size(), fetch);
+  } else {
+    for (size_t i = 0; i < entity_keys.size(); ++i) fetch(i);
+  }
+
+  std::vector<const EntityContextProfile*> profiles(entity_keys.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].ok()) return slots[i].status();
+    profiles[i] = slots[i].value().get();
+  }
+  if (stats != nullptr) {
+    // A hit spares the PK-index resolution entirely; hoisted rows spare it
+    // for misses too.
+    const size_t hits = cache_hits.load(std::memory_order_relaxed);
+    if (have_rows) {
+      stats->entity_row_lookups_saved += entity_keys.size();
+    } else {
+      stats->entity_row_lookups_saved += hits;
+      stats->entity_row_lookups += entity_keys.size() - hits;
+    }
+  }
+  return MergeContextProfiles(*adb_, entity_relation, profiles, config);
+}
+
+bool ContextCache::Contains(const std::string& entity_relation,
+                            const Value& entity_key) const {
+  CacheKey key;
+  if (max_bytes_ == 0 || !MakeKey(entity_relation, entity_key, &key)) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(key) != shard.map.end();
+}
+
+void ContextCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+ServeStats ContextCache::stats() const {
+  ServeStats out;
+  out.capacity_bytes = max_bytes_;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.inserts += shard.inserts;
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  out.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t ContextCache::ApproxBytes() const {
+  size_t bytes = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.bytes;
+  }
+  return bytes;
+}
+
+size_t ContextCache::num_entries() const {
+  size_t n = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+}  // namespace squid

@@ -1,0 +1,162 @@
+#ifndef SQUID_SERVE_CONTEXT_CACHE_H_
+#define SQUID_SERVE_CONTEXT_CACHE_H_
+
+/// \file context_cache.h
+/// \brief Sharded, symbol-keyed LRU cache of per-entity context profiles.
+///
+/// Context discovery splits into a per-entity half (BuildEntityContextProfile
+/// — αDB point queries, the expensive part) and a cheap per-example-set
+/// merge. The per-entity half depends only on (relation, entity key), both of
+/// which resolve to interned StringPool symbols, so the cache keys on
+/// integers and never hashes strings on the hit path.
+///
+/// Concurrency follows the sharded-interner shape of storage/string_pool.h:
+/// entries are spread over N shards by key hash, each shard owns a mutex, an
+/// open hash map, and an intrusive LRU list with a per-shard byte budget
+/// (total budget / shards). Profiles are immutable and handed out as
+/// shared_ptr, so a reader keeps its profile alive across a concurrent
+/// eviction. Profile builds run OUTSIDE the shard lock; when two threads
+/// race on the same missing key both build (deterministically identical)
+/// profiles and the insert dedupes.
+///
+/// Identity contract: profiles are a pure function of the immutable αDB, so
+/// serving from the cache — before or after any evictions, at any thread
+/// count — yields answers bit-identical to the uncached DiscoverContexts
+/// path. serve_test asserts this down to posteriors.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "core/context_discovery.h"
+#include "core/squid.h"
+#include "serve/serve_stats.h"
+#include "storage/string_pool.h"
+
+namespace squid {
+
+class ThreadPool;
+
+/// \brief Memoizes per-entity context profiles; plugs into Squid as its
+/// ContextProvider. All member functions are safe for concurrent use.
+class ContextCache : public ContextProvider {
+ public:
+  struct Options {
+    /// Total byte budget across shards (approximate; per-shard LRU evicts
+    /// down to budget / shards). 0 keeps nothing (every probe misses).
+    size_t max_bytes = 8u << 20;
+    /// Shard count (rounded up to a power of two, at least 1).
+    size_t shards = 8;
+    /// Optional worker pool: profile builds for a multi-entity request fan
+    /// out across entities (and, for single-entity requests, across
+    /// descriptors). May be null for serial builds.
+    ThreadPool* pool = nullptr;
+  };
+
+  explicit ContextCache(const AbductionReadyDb* adb);
+  ContextCache(const AbductionReadyDb* adb, Options options);
+  ~ContextCache() override;
+
+  ContextCache(const ContextCache&) = delete;
+  ContextCache& operator=(const ContextCache&) = delete;
+
+  /// ContextProvider seam: profiles each entity (cached) and merges. Rows
+  /// in `entity_rows` (when provided, hoisted from candidate postings) spare
+  /// cache misses their PK-index resolution.
+  Result<std::vector<SemanticContext>> Contexts(
+      const std::string& entity_relation, const std::vector<Value>& entity_keys,
+      const std::vector<size_t>& entity_rows, const SquidConfig& config,
+      DiscoverStats* stats) const override;
+
+  /// The cached profile of one entity (built and inserted on miss).
+  /// `known_row`, when non-null, is trusted as the entity's row;
+  /// `from_cache`, when non-null, reports whether the profile was a hit.
+  Result<std::shared_ptr<const EntityContextProfile>> ProfileFor(
+      const std::string& entity_relation, const Value& entity_key,
+      const size_t* known_row = nullptr, bool* from_cache = nullptr) const;
+
+  /// True when the entity's profile is currently cached. Does not touch LRU
+  /// order or counters (test/inspection hook).
+  bool Contains(const std::string& entity_relation, const Value& entity_key) const;
+
+  /// Drops every entry (counters are retained).
+  void Clear();
+
+  /// Counter snapshot (cache fields only; the service overlays its own).
+  ServeStats stats() const;
+
+  size_t ApproxBytes() const;
+  size_t num_entries() const;
+  size_t num_shards() const { return shard_mask_ + 1; }
+  size_t shard_budget_bytes() const { return shard_budget_; }
+
+ private:
+  /// (relation symbol, value tag, packed value) — see MakeKey.
+  struct CacheKey {
+    Symbol relation = kNoSymbol;
+    uint8_t tag = 0;
+    uint64_t packed = 0;
+
+    bool operator==(const CacheKey& o) const {
+      return relation == o.relation && tag == o.tag && packed == o.packed;
+    }
+  };
+
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      // splitmix64 over the packed fields.
+      uint64_t x = k.packed ^ (uint64_t{k.relation} << 8) ^ k.tag;
+      x += 0x9E3779B97F4A7C15ULL;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const EntityContextProfile> profile;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+  };
+
+  /// Resolves (relation, key) to a symbol key; false when either string is
+  /// outside the pool (then the caller builds uncached).
+  bool MakeKey(const std::string& entity_relation, const Value& entity_key,
+               CacheKey* out) const;
+
+  Shard& ShardFor(const CacheKey& key) const {
+    return shards_[CacheKeyHash{}(key) & shard_mask_];
+  }
+
+  const AbductionReadyDb* adb_;
+  std::shared_ptr<const StringPool> pool_;  // symbol space of the keys
+  ThreadPool* workers_;
+  size_t max_bytes_;
+  size_t shard_budget_;
+  size_t shard_mask_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> uncacheable_{0};
+};
+
+}  // namespace squid
+
+#endif  // SQUID_SERVE_CONTEXT_CACHE_H_

@@ -1,0 +1,110 @@
+#include "serve/repl.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/strings.h"
+#include "sql/printer.h"
+
+namespace squid {
+
+std::vector<std::string> Repl::ParseExamples(const std::string& line) {
+  std::vector<std::string> examples;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t semi = line.find(';', start);
+    if (semi == std::string::npos) semi = line.size();
+    std::string example = Trim(line.substr(start, semi - start));
+    if (!example.empty()) examples.push_back(std::move(example));
+    start = semi + 1;
+  }
+  return examples;
+}
+
+std::vector<std::string> Repl::SplitBatch(const std::string& line) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t bar = line.find('|', start);
+    if (bar == std::string::npos) bar = line.size();
+    std::string segment = Trim(line.substr(start, bar - start));
+    if (!segment.empty()) segments.push_back(std::move(segment));
+    start = bar + 1;
+  }
+  return segments;
+}
+
+void Repl::HandleCommand(const std::string& command) {
+  if (command == ".quit" || command == ".exit") {
+    done_ = true;
+    return;
+  }
+  if (command == ".stats") {
+    ServeStats s = service_->stats();
+    *out_ << "stats threads=" << s.threads << " requests=" << s.requests
+          << " completed=" << s.completed << " failed=" << s.failed
+          << " batches=" << s.batches << " queue_depth=" << s.queue_depth
+          << "\n";
+    *out_ << "cache hits=" << s.hits << " misses=" << s.misses
+          << " evictions=" << s.evictions << " entries=" << s.entries
+          << " bytes=" << s.bytes << "/" << s.capacity_bytes << " hit_rate=";
+    out_->precision(3);
+    *out_ << s.HitRate() << "\n";
+    return;
+  }
+  if (command == ".help") {
+    *out_ << "# one request per line: examples separated by ';'\n"
+          << "#   Tom Hanks; Meg Ryan\n"
+          << "# '|' separates requests dispatched as one concurrent batch\n"
+          << "# commands: .stats .help .quit\n";
+    return;
+  }
+  *out_ << "err unknown command '" << command << "' (try .help)\n";
+}
+
+void Repl::HandleRequests(const std::string& line, RunStats* stats) {
+  std::vector<std::string> segments = SplitBatch(line);
+  std::vector<std::vector<std::string>> batch;
+  batch.reserve(segments.size());
+  for (const std::string& segment : segments) {
+    batch.push_back(ParseExamples(segment));
+  }
+  auto futures = service_->DiscoverBatch(std::move(batch));
+  stats->requests += futures.size();
+  for (auto& future : futures) {
+    Result<AbducedQuery> result = future.get();
+    if (!result.ok()) {
+      ++stats->errors;
+      *out_ << "err " << result.status().ToString() << "\n";
+      continue;
+    }
+    ++stats->ok;
+    const AbducedQuery& q = result.value();
+    out_->precision(6);
+    *out_ << "ok base=" << q.entity_relation << "." << q.projection_attr
+          << " posterior=" << std::fixed << q.log_posterior
+          << " filters=" << q.NumIncludedFilters() << "/" << q.filters.size()
+          << "\n";
+    out_->unsetf(std::ios_base::fixed);
+    *out_ << "sql " << ToSql(q.original_query) << "\n";
+  }
+  out_->flush();
+}
+
+Repl::RunStats Repl::Run() {
+  RunStats stats;
+  std::string line;
+  while (!done_ && std::getline(*in_, line)) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed[0] == '.') {
+      HandleCommand(trimmed);
+      continue;
+    }
+    HandleRequests(trimmed, &stats);
+  }
+  out_->flush();
+  return stats;
+}
+
+}  // namespace squid

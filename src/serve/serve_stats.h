@@ -1,0 +1,45 @@
+#ifndef SQUID_SERVE_SERVE_STATS_H_
+#define SQUID_SERVE_SERVE_STATS_H_
+
+/// \file serve_stats.h
+/// \brief Observable counters of the serve subsystem: context-cache
+/// hit/miss/evict traffic and request-level service counters. A ServeStats
+/// is a consistent-enough snapshot (counters are read per shard under its
+/// mutex, service counters from atomics); it is plain data, safe to copy
+/// out of the service and print from any thread.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace squid {
+
+/// \brief Snapshot of serve-mode counters (see ContextCache::stats and
+/// SquidService::stats).
+struct ServeStats {
+  // --- context cache ---
+  uint64_t hits = 0;         ///< profile found in the cache
+  uint64_t misses = 0;       ///< profile built (then inserted)
+  uint64_t evictions = 0;    ///< LRU entries dropped to meet the byte budget
+  uint64_t inserts = 0;      ///< entries added (<= misses: races dedupe)
+  uint64_t uncacheable = 0;  ///< keys outside the pool's symbol space
+  size_t entries = 0;        ///< live cached profiles
+  size_t bytes = 0;          ///< approximate bytes held by live entries
+  size_t capacity_bytes = 0; ///< configured budget (0 = cache disabled)
+
+  // --- service ---
+  uint64_t requests = 0;   ///< Discover calls accepted
+  uint64_t completed = 0;  ///< requests answered (ok or error)
+  uint64_t failed = 0;     ///< requests answered with a non-OK status
+  uint64_t batches = 0;    ///< DiscoverBatch calls
+  size_t queue_depth = 0;  ///< requests currently waiting in the queue
+  size_t threads = 0;      ///< worker threads serving requests
+
+  double HitRate() const {
+    uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
+  }
+};
+
+}  // namespace squid
+
+#endif  // SQUID_SERVE_SERVE_STATS_H_

@@ -1,0 +1,104 @@
+#include "serve/squid_service.h"
+
+#include "core/entity_lookup.h"
+
+namespace squid {
+
+SquidService::SquidService(const AbductionReadyDb* adb, ServeOptions options)
+    : adb_(adb),
+      options_(options),
+      squid_(adb, options.config),
+      queue_(options.queue_capacity),
+      serving_threads_(ThreadPool::ResolveThreads(options.threads)),
+      // Post/Submit tasks run only on pool *workers* (ThreadPool(n) spawns
+      // n - 1 of them: ParallelFor callers participate, but Discover clients
+      // block on futures instead). Size the pool so `serving_threads_`
+      // workers actually process requests; 1 keeps exact inline-serial
+      // semantics.
+      pool_(serving_threads_ == 1 ? 1 : serving_threads_ + 1) {
+  if (options_.cache_bytes > 0) {
+    ContextCache::Options cache_options;
+    cache_options.max_bytes = options_.cache_bytes;
+    cache_options.shards = options_.cache_shards;
+    cache_options.pool = &pool_;
+    cache_ = std::make_unique<ContextCache>(adb_, cache_options);
+    squid_.set_context_provider(cache_.get());
+  }
+}
+
+SquidService::~SquidService() {
+  // Refuse new requests; queued ones are answered by their paired drain
+  // tasks, which the pool destructor runs to completion.
+  queue_.Close();
+}
+
+std::future<Result<AbducedQuery>> SquidService::Discover(
+    std::vector<std::string> examples) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto request = std::make_shared<Request>();
+  request->examples = std::move(examples);
+  std::future<Result<AbducedQuery>> future = request->promise.get_future();
+  if (!queue_.Push(request)) {  // service shutting down
+    request->promise.set_value(
+        Status::NotSupported("SquidService is shutting down"));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  // One drain task per accepted request; workers pop in queue order, so the
+  // queue is the single dispatch point for client and batch traffic alike.
+  pool_.Post([this] { DrainOne(); });
+  return future;
+}
+
+Result<AbducedQuery> SquidService::DiscoverSync(std::vector<std::string> examples) {
+  return Discover(std::move(examples)).get();
+}
+
+std::vector<std::future<Result<AbducedQuery>>> SquidService::DiscoverBatch(
+    std::vector<std::vector<std::string>> batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::future<Result<AbducedQuery>>> futures;
+  futures.reserve(batch.size());
+  for (auto& examples : batch) futures.push_back(Discover(std::move(examples)));
+  return futures;
+}
+
+void SquidService::DrainOne() {
+  std::optional<std::shared_ptr<Request>> request = queue_.TryPop();
+  if (!request.has_value()) return;  // another worker drained faster
+  Result<AbducedQuery> result = Process((*request)->examples);
+  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  (*request)->promise.set_value(std::move(result));
+}
+
+Result<AbducedQuery> SquidService::Process(
+    const std::vector<std::string>& examples) {
+  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
+                         LookupExamples(*adb_, examples));
+
+  // Candidate base queries fan out in parallel; each result lands in its
+  // match-index slot, so ReduceCandidates — the same ranking Discover's
+  // serial loop uses — sees them in canonical order.
+  std::vector<Result<AbducedQuery>> slots(
+      matches.size(), Result<AbducedQuery>(Status::Internal("candidate not run")));
+  pool_.ParallelForShared(matches.size(), [&](size_t i) {
+    slots[i] = squid_.AbduceCandidate(matches[i]);
+  });
+  return Squid::ReduceCandidates(std::move(slots));
+}
+
+ServeStats SquidService::stats() const {
+  ServeStats out;
+  if (cache_ != nullptr) out = cache_->stats();
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_.size();
+  out.threads = serving_threads_;
+  return out;
+}
+
+}  // namespace squid

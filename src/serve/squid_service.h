@@ -1,0 +1,124 @@
+#ifndef SQUID_SERVE_SQUID_SERVICE_H_
+#define SQUID_SERVE_SQUID_SERVICE_H_
+
+/// \file squid_service.h
+/// \brief Serve mode: a long-lived SquidService owning one immutable αDB and
+/// answering many concurrent Discover requests.
+///
+/// Request path (queue -> fan-out -> cache):
+///
+///   clients --Discover()--> [bounded MPMC queue] --> ThreadPool workers
+///       one task per request: LookupExamples, then the candidate base
+///       queries fan out in parallel (ParallelForShared), each candidate's
+///       per-entity context work resolving through the shared ContextCache;
+///       the winning abduction is delivered through the request's future.
+///
+/// The queue bounds in-flight work (Push blocks when full — backpressure),
+/// the pool bounds concurrency, and the cache turns repeat entities across
+/// sessions into pure merges. Identity contract: for any thread count and
+/// any cache budget (including forced evictions), answers are bit-identical
+/// to a cold serial Squid::Discover — candidate results land in per-match
+/// slots reduced in the same canonical order with the same tie-breaking,
+/// and cached profiles are pure functions of the αDB.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/squid.h"
+#include "serve/bounded_queue.h"
+#include "serve/context_cache.h"
+#include "serve/serve_stats.h"
+
+namespace squid {
+
+/// Tuning knobs for a SquidService.
+struct ServeOptions {
+  SquidConfig config;
+  /// Worker threads (0 = hardware concurrency, 1 = fully synchronous —
+  /// requests run inline on the submitting thread, which is the serial
+  /// reference the parity tests compare against).
+  size_t threads = 0;
+  /// Bounded request-queue capacity; Push blocks when full.
+  size_t queue_capacity = 64;
+  /// Context-cache byte budget (0 disables caching).
+  size_t cache_bytes = 8u << 20;
+  /// Context-cache shard count.
+  size_t cache_shards = 8;
+};
+
+/// \brief Long-lived serving front end over one immutable αDB. All public
+/// member functions are safe for concurrent use from any number of client
+/// threads.
+class SquidService {
+ public:
+  explicit SquidService(const AbductionReadyDb* adb, ServeOptions options = {});
+  ~SquidService();
+
+  SquidService(const SquidService&) = delete;
+  SquidService& operator=(const SquidService&) = delete;
+
+  /// Enqueues one Discover request; the future resolves when a worker has
+  /// abduced (or failed) it. Blocks only when the request queue is full.
+  std::future<Result<AbducedQuery>> Discover(std::vector<std::string> examples);
+
+  /// Discover + wait, for callers without their own pipeline.
+  Result<AbducedQuery> DiscoverSync(std::vector<std::string> examples);
+
+  /// Enqueues a batch; futures resolve independently, in any order. The
+  /// batch shares the queue, so a batch larger than the queue capacity
+  /// trickles in under backpressure.
+  std::vector<std::future<Result<AbducedQuery>>> DiscoverBatch(
+      std::vector<std::vector<std::string>> batch);
+
+  /// Cache + service counter snapshot.
+  ServeStats stats() const;
+
+  /// The shared per-entity context cache (null when cache_bytes == 0).
+  const ContextCache* cache() const { return cache_.get(); }
+
+  /// Worker threads that process requests (the resolved ServeOptions::threads).
+  size_t threads() const { return serving_threads_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::vector<std::string> examples;
+    std::promise<Result<AbducedQuery>> promise;
+  };
+
+  /// Pops and answers one queued request (runs on a pool worker).
+  void DrainOne();
+
+  /// The Discover pipeline with the candidate loop fanned out; bit-identical
+  /// reduction order to Squid::Discover.
+  Result<AbducedQuery> Process(const std::vector<std::string>& examples);
+
+  const AbductionReadyDb* adb_;
+  ServeOptions options_;
+  std::unique_ptr<ContextCache> cache_;
+  Squid squid_;
+  BoundedQueue<std::shared_ptr<Request>> queue_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> batches_{0};
+  /// Resolved request-processing parallelism. The pool is sized one larger
+  /// (unless 1 = inline-serial): Post/Submit tasks run only on pool
+  /// workers, of which ThreadPool(n) spawns n - 1.
+  size_t serving_threads_ = 1;
+  /// Declared last: its destructor runs still-queued drain tasks inline,
+  /// which touch the queue, cache, and squid above — so the pool must be
+  /// destroyed before any of them.
+  ThreadPool pool_;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_SERVE_SQUID_SERVICE_H_

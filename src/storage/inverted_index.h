@@ -81,6 +81,13 @@ class InvertedColumnIndex {
   /// The pool posting symbols index into (valid after a successful Build).
   const StringPool& pool() const { return *pool_; }
 
+  /// Shared handle to the same pool, for long-lived sessions (serve mode's
+  /// context cache keys on these symbols and must keep the pool alive even
+  /// if the owning database is torn down first). Read-only: the pool is
+  /// internally thread-safe, so any number of serving threads may resolve
+  /// symbols through one shared instance.
+  const std::shared_ptr<const StringPool>& pool_shared() const { return pool_; }
+
   size_t NumKeys() const { return num_keys_; }
   size_t NumPostings() const { return postings_.size(); }
 

@@ -1,0 +1,460 @@
+// Serve-mode tests: the identity contract (SquidService answers — cached,
+// batched, parallel, before and after evictions — are bit-identical to cold
+// serial Squid::Discover), LRU cache mechanics, and concurrent-session
+// stress. The suite carries the ctest label `serve` and runs under the
+// -DSQUID_TSAN=ON CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+#include "bench/bench_util.h"
+#include "core/squid.h"
+#include "eval/experiment.h"
+#include "eval/sampler.h"
+#include "serve/bounded_queue.h"
+#include "serve/context_cache.h"
+#include "serve/repl.h"
+#include "serve/squid_service.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+namespace squid {
+namespace {
+
+using bench::BuildImdbBench;
+using bench::ImdbBench;
+
+/// One shared small-scale IMDb + αDB for the whole suite (expensive).
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench_ = new ImdbBench(BuildImdbBench(0.2));
+    workload_ = new std::vector<std::vector<std::string>>(BuildWorkload());
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  /// Example sets drawn from several intents' ground truths (distinct seeds
+  /// give distinct sets) plus the manifest costar pair.
+  static std::vector<std::vector<std::string>> BuildWorkload() {
+    std::vector<std::vector<std::string>> sets;
+    const ImdbManifest& m = bench_->data.manifest;
+    sets.push_back({m.costar_a, m.costar_b});
+    for (const char* id : {"IQ1", "IQ6", "IQ13", "IQ15"}) {
+      auto query = FindQuery(bench_->queries, id);
+      if (!query.ok()) continue;
+      auto truth = GroundTruth(*bench_->data.db, *query.value());
+      if (!truth.ok()) continue;
+      for (uint64_t seed : {7u, 19u, 33u}) {
+        Rng rng(seed);
+        auto examples = SampleExamples(truth.value(), 5, &rng);
+        if (examples.size() >= 2) sets.push_back(std::move(examples));
+      }
+    }
+    return sets;
+  }
+
+  /// Key for comparing two AbducedQuery results bit for bit.
+  static std::string Fingerprint(const Result<AbducedQuery>& r) {
+    if (!r.ok()) return "err:" + r.status().ToString();
+    const AbducedQuery& q = r.value();
+    std::string fp = "ok:" + q.entity_relation + "." + q.projection_attr;
+    fp += "|" + ToSql(q.adb_query) + "|" + ToSql(q.original_query);
+    char posterior[64];
+    std::snprintf(posterior, sizeof(posterior), "|%.17g", q.log_posterior);
+    fp += posterior;
+    fp += "|filters=" + std::to_string(q.NumIncludedFilters()) + "/" +
+          std::to_string(q.filters.size());
+    for (const Value& k : q.entity_keys) fp += "|" + k.ToString();
+    return fp;
+  }
+
+  /// Cold serial reference answers, one per workload set.
+  static std::vector<std::string> SerialFingerprints() {
+    Squid squid(bench_->adb.get());
+    std::vector<std::string> out;
+    out.reserve(workload_->size());
+    for (const auto& examples : *workload_) {
+      out.push_back(Fingerprint(squid.Discover(examples)));
+    }
+    return out;
+  }
+
+  /// Entity keys of the first `n` person rows (for direct cache tests).
+  static std::vector<Value> PersonKeys(size_t n) {
+    auto table = bench_->data.db->GetTable("person");
+    EXPECT_TRUE(table.ok());
+    auto col = table.value()->ColumnByName("id");
+    EXPECT_TRUE(col.ok());
+    std::vector<Value> keys;
+    for (size_t r = 0; r < n && r < table.value()->num_rows(); ++r) {
+      keys.push_back(col.value()->ValueAt(r));
+    }
+    return keys;
+  }
+
+  static ImdbBench* bench_;
+  static std::vector<std::vector<std::string>>* workload_;
+};
+ImdbBench* ServeFixture::bench_ = nullptr;
+std::vector<std::vector<std::string>>* ServeFixture::workload_ = nullptr;
+
+// ---------- identity contract ----------
+
+TEST_F(ServeFixture, ServiceMatchesSerialAcrossThreadsAndCacheSizes) {
+  const std::vector<std::string> expected = SerialFingerprints();
+  struct Config {
+    size_t threads;
+    size_t cache_bytes;
+  };
+  // Thread counts and budgets chosen to cover: synchronous serial, parallel
+  // uncached, parallel with a roomy cache, and parallel with a budget so
+  // tight every shard keeps ~1 profile (constant evictions).
+  const Config configs[] = {
+      {1, 0}, {1, 8u << 20}, {4, 0}, {4, 8u << 20}, {8, 8u << 20}, {8, 4096},
+  };
+  for (const Config& config : configs) {
+    ServeOptions options;
+    options.threads = config.threads;
+    options.cache_bytes = config.cache_bytes;
+    options.cache_shards = 4;
+    SquidService service(bench_->adb.get(), options);
+    // Two passes: cold then warm (repeat answers must not drift after the
+    // cache fills or evicts).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < workload_->size(); ++i) {
+        auto result = service.DiscoverSync((*workload_)[i]);
+        EXPECT_EQ(Fingerprint(result), expected[i])
+            << "threads=" << config.threads << " cache=" << config.cache_bytes
+            << " pass=" << pass << " set=" << i;
+      }
+    }
+    if (config.cache_bytes == 4096) {
+      EXPECT_GT(service.stats().evictions, 0u)
+          << "tight budget was expected to force evictions";
+    }
+  }
+}
+
+TEST_F(ServeFixture, PostEvictionAnswersStayIdentical) {
+  const std::vector<std::string> expected = SerialFingerprints();
+  ServeOptions options;
+  options.threads = 2;
+  options.cache_bytes = 16384;  // tight: the workload cycles profiles out
+  options.cache_shards = 1;     // single shard makes eviction pressure certain
+  SquidService service(bench_->adb.get(), options);
+  // Warm set 0, cycle through everything else (forcing set 0's entities
+  // out), then re-ask set 0.
+  EXPECT_EQ(Fingerprint(service.DiscoverSync((*workload_)[0])), expected[0]);
+  for (size_t round = 0; round < 2; ++round) {
+    for (size_t i = 1; i < workload_->size(); ++i) {
+      EXPECT_EQ(Fingerprint(service.DiscoverSync((*workload_)[i])), expected[i]);
+    }
+  }
+  ASSERT_GT(service.stats().evictions, 0u);
+  EXPECT_EQ(Fingerprint(service.DiscoverSync((*workload_)[0])), expected[0]);
+}
+
+TEST_F(ServeFixture, ProviderSeamMatchesPlainSquid) {
+  // A Squid with the cache interposed answers exactly like one without.
+  ContextCache::Options cache_options;
+  cache_options.max_bytes = 4u << 20;
+  ContextCache cache(bench_->adb.get(), cache_options);
+  Squid plain(bench_->adb.get());
+  Squid cached(bench_->adb.get());
+  cached.set_context_provider(&cache);
+  for (const auto& examples : *workload_) {
+    EXPECT_EQ(Fingerprint(cached.Discover(examples)),
+              Fingerprint(plain.Discover(examples)));
+  }
+  EXPECT_GT(cache.stats().misses, 0u);
+}
+
+// ---------- discover stats (hoisted lookup satellite) ----------
+
+TEST_F(ServeFixture, DiscoverReportsHoistedLookups) {
+  Squid squid(bench_->adb.get());
+  auto result = squid.Discover((*workload_)[0]);
+  ASSERT_TRUE(result.ok());
+  const DiscoverStats& stats = result.value().stats;
+  EXPECT_GT(stats.candidate_base_queries, 0u);
+  EXPECT_GT(stats.candidates_abduced, 0u);
+  EXPECT_LE(stats.candidates_abduced, stats.candidate_base_queries);
+  // The candidate loop hands postings-resolved rows to context discovery,
+  // so no candidate re-probes the PK index.
+  EXPECT_GT(stats.entity_row_lookups_saved, 0u);
+  EXPECT_EQ(stats.entity_row_lookups, 0u);
+
+  // The key-only entry point has no rows to hoist.
+  auto by_keys = squid.DiscoverForEntities(result.value().entity_relation,
+                                           result.value().projection_attr,
+                                           result.value().entity_keys);
+  ASSERT_TRUE(by_keys.ok());
+  EXPECT_GT(by_keys.value().stats.entity_row_lookups, 0u);
+  EXPECT_EQ(ToSql(by_keys.value().adb_query), ToSql(result.value().adb_query));
+}
+
+// ---------- cache mechanics ----------
+
+TEST_F(ServeFixture, CacheHitsAndCountersTrackProbes) {
+  ContextCache::Options options;
+  options.max_bytes = 4u << 20;
+  options.shards = 2;
+  ContextCache cache(bench_->adb.get(), options);
+  std::vector<Value> keys = PersonKeys(3);
+  ASSERT_EQ(keys.size(), 3u);
+
+  for (const Value& key : keys) {
+    bool hit = true;
+    auto profile = cache.ProfileFor("person", key, nullptr, &hit);
+    ASSERT_TRUE(profile.ok());
+    EXPECT_FALSE(hit);
+  }
+  ServeStats cold = cache.stats();
+  EXPECT_EQ(cold.misses, 3u);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.entries, 3u);
+  EXPECT_GT(cold.bytes, 0u);
+
+  for (const Value& key : keys) {
+    bool hit = false;
+    auto profile = cache.ProfileFor("person", key, nullptr, &hit);
+    ASSERT_TRUE(profile.ok());
+    EXPECT_TRUE(hit);
+  }
+  ServeStats warm = cache.stats();
+  EXPECT_EQ(warm.hits, 3u);
+  EXPECT_EQ(warm.misses, 3u);
+  EXPECT_DOUBLE_EQ(warm.HitRate(), 0.5);
+
+  cache.Clear();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.stats().hits, 3u);  // counters survive Clear
+}
+
+TEST_F(ServeFixture, CachedProfileMatchesDirectBuild) {
+  ContextCache cache(bench_->adb.get());
+  std::vector<Value> keys = PersonKeys(2);
+  ASSERT_GE(keys.size(), 1u);
+  auto direct = BuildEntityContextProfile(*bench_->adb, "person", keys[0]);
+  ASSERT_TRUE(direct.ok());
+  auto cached = cache.ProfileFor("person", keys[0]);
+  ASSERT_TRUE(cached.ok());
+  const EntityContextProfile& a = direct.value();
+  const EntityContextProfile& b = *cached.value();
+  ASSERT_EQ(a.observations.size(), b.observations.size());
+  EXPECT_EQ(a.row, b.row);
+  for (size_t d = 0; d < a.observations.size(); ++d) {
+    EXPECT_EQ(a.observations[d].basic_value, b.observations[d].basic_value);
+    EXPECT_EQ(a.observations[d].total, b.observations[d].total);
+    ASSERT_EQ(a.observations[d].values.size(), b.observations[d].values.size());
+    for (size_t v = 0; v < a.observations[d].values.size(); ++v) {
+      EXPECT_EQ(a.observations[d].values[v].first, b.observations[d].values[v].first);
+      EXPECT_EQ(a.observations[d].values[v].second, b.observations[d].values[v].second);
+    }
+  }
+}
+
+TEST_F(ServeFixture, LruEvictsLeastRecentlyUsedFirst) {
+  std::vector<Value> keys = PersonKeys(3);
+  ASSERT_EQ(keys.size(), 3u);
+
+  // Measure each profile's charged bytes with an unbounded single-shard
+  // cache, so the bounded cache below can hold exactly two of the three.
+  size_t bytes[3];
+  {
+    ContextCache::Options options;
+    options.shards = 1;
+    options.max_bytes = 64u << 20;
+    ContextCache probe(bench_->adb.get(), options);
+    size_t previous = 0;
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(probe.ProfileFor("person", keys[i]).ok());
+      size_t now = probe.ApproxBytes();
+      bytes[i] = now - previous;
+      previous = now;
+      ASSERT_GT(bytes[i], 0u);
+    }
+  }
+
+  ContextCache::Options options;
+  options.shards = 1;
+  options.max_bytes = bytes[0] + bytes[1] + bytes[2] - 1;  // any two fit
+  ContextCache cache(bench_->adb.get(), options);
+  ASSERT_TRUE(cache.ProfileFor("person", keys[0]).ok());  // LRU: [0]
+  ASSERT_TRUE(cache.ProfileFor("person", keys[1]).ok());  // LRU: [1, 0]
+  bool hit = false;
+  ASSERT_TRUE(cache.ProfileFor("person", keys[0], nullptr, &hit).ok());
+  EXPECT_TRUE(hit);                                       // LRU: [0, 1]
+  ASSERT_TRUE(cache.ProfileFor("person", keys[2]).ok());  // evicts 1
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Contains("person", keys[0]));
+  EXPECT_FALSE(cache.Contains("person", keys[1]));
+  EXPECT_TRUE(cache.Contains("person", keys[2]));
+
+  // The evicted entity rebuilds on demand — as a miss — and re-enters,
+  // evicting the now-least-recent key 0.
+  hit = true;
+  ASSERT_TRUE(cache.ProfileFor("person", keys[1], nullptr, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_FALSE(cache.Contains("person", keys[0]));
+  EXPECT_TRUE(cache.Contains("person", keys[2]));
+  EXPECT_TRUE(cache.Contains("person", keys[1]));
+}
+
+TEST_F(ServeFixture, ForeignKeysAreUncacheableButServed) {
+  ContextCache cache(bench_->adb.get());
+  // A key string that was never interned cannot be symbol-keyed; the lookup
+  // itself must still work (uncached) or fail cleanly.
+  auto missing = cache.ProfileFor("person", Value("no-such-entity-xyzzy"));
+  EXPECT_FALSE(missing.ok());  // no such person row
+  EXPECT_GE(cache.stats().uncacheable, 1u);
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+// ---------- concurrent sessions ----------
+
+TEST_F(ServeFixture, EightThreadConcurrentSessionsStayIdentical) {
+  const std::vector<std::string> expected = SerialFingerprints();
+  ServeOptions options;
+  options.threads = 8;
+  options.queue_capacity = 4;  // small queue: exercises Push backpressure
+  options.cache_bytes = 1u << 20;
+  options.cache_shards = 8;
+  SquidService service(bench_->adb.get(), options);
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kRequestsPerClient = 12;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client walks the workload from its own offset: repeats across
+      // clients hit the cache while the walk keeps unique sets flowing.
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        size_t i = (c * 3 + r) % workload_->size();
+        auto result = service.DiscoverSync((*workload_)[i]);
+        if (Fingerprint(result) != expected[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.completed, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.hits, 0u);  // repeats across clients must share profiles
+}
+
+TEST_F(ServeFixture, BatchFuturesResolveInAnyOrder) {
+  ServeOptions options;
+  options.threads = 4;
+  SquidService service(bench_->adb.get(), options);
+  std::vector<std::vector<std::string>> batch;
+  for (size_t i = 0; i < 6; ++i) batch.push_back((*workload_)[i % workload_->size()]);
+  auto futures = service.DiscoverBatch(batch);
+  ASSERT_EQ(futures.size(), 6u);
+  const std::vector<std::string> expected = SerialFingerprints();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(Fingerprint(futures[i].get()), expected[i % workload_->size()]);
+  }
+  EXPECT_EQ(service.stats().batches, 1u);
+}
+
+TEST_F(ServeFixture, UnknownExamplesFailCleanly) {
+  SquidService service(bench_->adb.get(), {});
+  auto result = service.DiscoverSync({"entirely-unknown-string-xyzzy"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+// ---------- repl ----------
+
+TEST_F(ServeFixture, ReplAnswersScriptedRequests) {
+  ServeOptions options;
+  options.threads = 2;
+  SquidService service(bench_->adb.get(), options);
+  const ImdbManifest& m = bench_->data.manifest;
+  std::istringstream in("# comment\n" + m.costar_a + "; " + m.costar_b +
+                        "\n" + m.costar_a + "; " + m.costar_b + " | " +
+                        m.costar_b + "; " + m.costar_a +
+                        "\nno-such-example-xyzzy\n.stats\n.quit\n");
+  std::ostringstream out;
+  Repl repl(&service, &in, &out);
+  Repl::RunStats stats = repl.Run();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.ok, 3u);
+  EXPECT_EQ(stats.errors, 1u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ok base=person.name"), std::string::npos);
+  EXPECT_NE(text.find("sql SELECT"), std::string::npos);
+  EXPECT_NE(text.find("err "), std::string::npos);
+  EXPECT_NE(text.find("cache hits="), std::string::npos);
+}
+
+TEST_F(ServeFixture, ReplParsingSplitsExamplesAndBatches) {
+  EXPECT_EQ(Repl::ParseExamples(" a ; b;; c "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Repl::SplitBatch("a; b | c"),
+            (std::vector<std::string>{"a; b", "c"}));
+  EXPECT_EQ(Repl::SplitBatch("solo"), (std::vector<std::string>{"solo"}));
+}
+
+// ---------- bounded queue ----------
+
+TEST(BoundedQueueTest, FifoOrderAndTryPush) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));
+    pushed.store(true);
+  });
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseReleasesProducersAndDrainsConsumers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(7));
+  std::thread producer([&] { EXPECT_FALSE(queue.Push(8)); });  // blocked -> false
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(queue.Push(9));
+  EXPECT_EQ(queue.Pop().value(), 7);  // queued items drain after Close
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+}  // namespace
+}  // namespace squid
