@@ -2,6 +2,12 @@
 // (ground-truth) benchmark query. Expected shape: comparable runtimes, with
 // abduced queries often faster because they run against precomputed derived
 // relations in the αDB.
+//
+// With --json=<path> (passed by scripts/run_benches.sh) every per-query row
+// — both runtimes, both result cardinalities, and the vectorized executor's
+// probe-batch / tuples-materialized counters for the abduced run — lands in
+// the bench JSON, where scripts/check_bench_trends.py asserts the
+// abduced-vs-actual runtime ratio stays sane (see docs/EXPERIMENTS.md).
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
@@ -16,8 +22,8 @@ namespace {
 void RunDataset(const char* label, const Database& db, const AbductionReadyDb& adb,
                 const std::vector<BenchmarkQuery>& queries) {
   std::printf("\n-- %s --\n", label);
-  TablePrinter table(
-      {"query", "actual (ms)", "abduced (ms)", "actual rows", "abduced rows"});
+  TablePrinter table({"query", "actual (ms)", "abduced (ms)", "actual rows",
+                      "abduced rows", "probe batches", "tuples"});
   SquidConfig config;
   for (const auto& query : queries) {
     auto truth_rs = GroundTruth(db, query);
@@ -33,15 +39,18 @@ void RunDataset(const char* label, const Database& db, const AbductionReadyDb& a
     Squid squid(&adb, config);
     auto abduced = squid.Discover(examples);
     if (!abduced.ok()) continue;
+    Executor abduced_exec(&adb.database());
     Stopwatch abduced_timer;
-    auto abduced_rs = ExecuteQuery(adb.database(), abduced.value().adb_query);
+    auto abduced_rs = abduced_exec.Execute(abduced.value().adb_query);
     double abduced_ms = abduced_timer.ElapsedMillis();
     if (!abduced_rs.ok()) continue;
 
     table.AddRow({query.id, TablePrinter::Num(actual_ms, 2),
                   TablePrinter::Num(abduced_ms, 2),
                   TablePrinter::Int(actual.value().num_rows()),
-                  TablePrinter::Int(abduced_rs.value().num_rows())});
+                  TablePrinter::Int(abduced_rs.value().num_rows()),
+                  TablePrinter::Int(abduced_exec.stats().probe_batches),
+                  TablePrinter::Int(abduced_exec.stats().tuples_materialized)});
   }
   table.Print();
 }

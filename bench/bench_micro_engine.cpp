@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <numeric>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "adb/abduction_ready_db.h"
@@ -14,6 +16,8 @@
 #include "core/squid.h"
 #include "datagen/imdb_generator.h"
 #include "exec/executor.h"
+#include "exec/join_hash.h"
+#include "exec/tuple_buffer.h"
 #include "sql/parser.h"
 #include "storage/column_index.h"
 
@@ -121,6 +125,119 @@ void BM_StringPoolFindFolded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StringPoolFindFolded);
+
+/// The repeat-join probe workload: castinfo.person_id is the FK column the
+/// IMDb benchmark queries hash-join over and over. BM_JoinProbe is the
+/// vectorized pipeline (FlatJoinHash + batched packed keys); the
+/// *PerTupleBaseline twin is the chaining-unordered_map per-tuple probe the
+/// executor used before the TupleBuffer rewrite.
+void BM_JoinProbe(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const Table* castinfo = f.data.db->GetTable("castinfo").value();
+  const Column& col = *castinfo->ColumnByName("person_id").value();
+  std::vector<uint32_t> rows(castinfo->num_rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  const FlatJoinHash hash = FlatJoinHash::Build(col, rows);
+
+  const Table* person = f.data.db->GetTable("person").value();
+  constexpr size_t kChunk = 1024;
+  constexpr size_t kStream = 256 * kChunk;  // rotate so probes stay cold
+  std::vector<uint64_t> keys(kStream);
+  std::vector<uint8_t> valid(kStream, 1);
+  // Scattered probes over the full person-id range, like a real FK join.
+  for (size_t i = 0; i < kStream; ++i) {
+    keys[i] = (i * 2654435761u) % person->num_rows() + 1;
+  }
+  std::vector<FlatJoinHash::RowSpan> spans(kChunk);
+  size_t matches = 0;
+  size_t base = 0;
+  for (auto _ : state) {
+    hash.ProbeBatch(keys.data() + base, valid.data() + base, kChunk,
+                    spans.data());
+    for (const auto& span : spans) matches += span.size;
+    benchmark::DoNotOptimize(matches);
+    base = (base + kChunk) % kStream;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kChunk));
+}
+BENCHMARK(BM_JoinProbe);
+
+void BM_JoinProbePerTupleBaseline(benchmark::State& state) {
+  auto& f = MicroFixture::Get();
+  const Table* castinfo = f.data.db->GetTable("castinfo").value();
+  const Column& col = *castinfo->ColumnByName("person_id").value();
+  std::unordered_map<uint64_t, std::vector<uint32_t>> hash;
+  hash.reserve(castinfo->num_rows());
+  uint64_t key = 0;
+  for (uint32_t r = 0; r < castinfo->num_rows(); ++r) {
+    if (PackCellKey(col, r, &key)) hash[key].push_back(r);
+  }
+
+  const Table* person = f.data.db->GetTable("person").value();
+  constexpr size_t kChunk = 1024;
+  constexpr size_t kStream = 256 * kChunk;
+  std::vector<uint64_t> keys(kStream);
+  for (size_t i = 0; i < kStream; ++i) {
+    keys[i] = (i * 2654435761u) % person->num_rows() + 1;
+  }
+  size_t matches = 0;
+  size_t base = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kChunk; ++i) {
+      auto it = hash.find(keys[base + i]);
+      if (it != hash.end()) matches += it->second.size();
+    }
+    benchmark::DoNotOptimize(matches);
+    base = (base + kChunk) % kStream;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kChunk));
+}
+BENCHMARK(BM_JoinProbePerTupleBaseline);
+
+/// Tuple expansion: widening 4096 three-wide tuples by one join match each.
+/// Columnar = TupleBuffer::AppendExpanded (flat gathers); the baseline
+/// copies one heap vector per tuple, as the old executor did.
+void BM_TupleExpand(benchmark::State& state) {
+  constexpr size_t kTuples = 4096;
+  std::vector<uint32_t> ids(kTuples);
+  std::iota(ids.begin(), ids.end(), 0u);
+  TupleBuffer src;
+  src.InitSingle(ids);
+  std::vector<uint32_t> sel(kTuples);
+  std::iota(sel.begin(), sel.end(), 0u);
+  for (int widen = 0; widen < 2; ++widen) {  // three columns total
+    TupleBuffer next;
+    next.InitEmpty(src.width() + 1, kTuples);
+    next.AppendExpanded(src, sel.data(), ids.data(), kTuples);
+    src = std::move(next);
+  }
+  for (auto _ : state) {
+    TupleBuffer out;
+    out.InitEmpty(src.width() + 1, kTuples);
+    out.AppendExpanded(src, sel.data(), ids.data(), kTuples);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kTuples));
+}
+BENCHMARK(BM_TupleExpand);
+
+void BM_TupleExpandPerTupleBaseline(benchmark::State& state) {
+  constexpr size_t kTuples = 4096;
+  std::vector<std::vector<uint32_t>> src(kTuples,
+                                         std::vector<uint32_t>{1, 2, 3});
+  for (auto _ : state) {
+    std::vector<std::vector<uint32_t>> out;
+    out.reserve(kTuples);
+    for (const auto& t : src) {
+      auto nt = t;
+      nt.push_back(7);
+      out.push_back(std::move(nt));
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kTuples));
+}
+BENCHMARK(BM_TupleExpandPerTupleBaseline);
 
 void BM_ExecutorSPJ(benchmark::State& state) {
   auto& f = MicroFixture::Get();

@@ -21,6 +21,11 @@ CI) and fails when a shape regresses:
     than the cold pass beyond tolerance, warm repeat-heavy traffic must
     actually hit the cache, and multi-thread serve must not be slower than
     single-thread serve beyond tolerance (same 1-core-CI caveat).
+  * Fig. 11 (bench_fig11_query_runtime.json): abduced queries execute with
+    runtimes comparable to the ground-truth queries — per query, the abduced
+    runtime must stay within a sane ratio of the actual runtime (plus a
+    milliseconds slack that soaks timer noise at CI scales), and the
+    per-dataset total must too.
 
 Usage: scripts/check_bench_trends.py [json-dir]   (default: bench/out)
 Exits non-zero on the first failed assertion; missing benches are skipped
@@ -223,6 +228,63 @@ def check_serve(path):
                 ok(f"{section} {label}: warm {multi_s:.4f}s (1-thread {single_s:.4f}s)")
 
 
+# Abduced-vs-actual runtime tolerance (Fig. 11): the paper's claim is
+# "comparable", and abduced queries are often *faster* (they hit precomputed
+# αDB relations). The ratio is deliberately loose — it exists to catch an
+# executor regression that makes abduced queries an order of magnitude
+# slower, not to benchmark precisely — and the absolute slack soaks sub-ms
+# timer noise at tiny CI scales (some actual runtimes round to 0.00 ms).
+FIG11_RATIO = 25.0
+FIG11_SLACK_MS = 50.0
+
+
+def check_fig11(path):
+    global checks_run
+    doc = load(path)
+    required = ["query", "actual (ms)", "abduced (ms)"]
+    tables = tables_with_headers(doc, required)
+    if not tables:
+        fail(f"{path.name}: no runtime table with {required}")
+        return
+    for table in tables:
+        section = table.get("section", "?")
+        queries = column(table, "query")
+        actual = [float(v) for v in column(table, "actual (ms)")]
+        abduced = [float(v) for v in column(table, "abduced (ms)")]
+        if not queries:
+            fail(f"{path.name} [{section}]: runtime table is empty")
+            continue
+        for q, a_ms, b_ms in zip(queries, actual, abduced):
+            checks_run += 1
+            bound = a_ms * FIG11_RATIO + FIG11_SLACK_MS
+            if b_ms > bound:
+                fail(
+                    f"{path.name} [{section}] {q}: abduced {b_ms:.2f}ms vs "
+                    f"actual {a_ms:.2f}ms exceeds ratio {FIG11_RATIO:g}"
+                )
+            else:
+                ok(f"{section} {q}: actual {a_ms:.2f}ms, abduced {b_ms:.2f}ms")
+        total_actual = sum(actual)
+        total_abduced = sum(abduced)
+        checks_run += 1
+        # Scale the slack with the query count: each per-query check grants
+        # FIG11_SLACK_MS, so the total bound must grant the sum of those
+        # allowances or it would be stricter than the checks it accompanies
+        # (rounding-to-0.00ms actuals would then fail the total on
+        # accumulated noise alone).
+        bound = total_actual * FIG11_RATIO + len(queries) * FIG11_SLACK_MS
+        if total_abduced > bound:
+            fail(
+                f"{path.name} [{section}]: total abduced {total_abduced:.2f}ms "
+                f"vs total actual {total_actual:.2f}ms exceeds ratio"
+            )
+        else:
+            ok(
+                f"{section}: totals actual {total_actual:.2f}ms, "
+                f"abduced {total_abduced:.2f}ms"
+            )
+
+
 def main():
     json_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench/out")
     if not json_dir.is_dir():
@@ -231,6 +293,7 @@ def main():
 
     known = {
         "bench_fig10_accuracy": check_fig10,
+        "bench_fig11_query_runtime": check_fig11,
         "bench_fig9_scalability": check_build_speedup,
         "bench_serve_throughput": check_serve,
         "bench_table_datasets": check_build_speedup,

@@ -1,125 +1,36 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
-#include <unordered_map>
 
 #include "exec/expression.h"
+#include "exec/join_hash.h"
+#include "exec/tuple_buffer.h"
 
 namespace squid {
 
 namespace {
 
+/// Tuples probed per batch: keys for a whole chunk are packed into one
+/// contiguous array, probed together, and the surviving (tuple, match) pairs
+/// are emitted through selection vectors.
+constexpr size_t kProbeChunk = 1024;
+
+/// Selection vectors (and group-by first-tuple ids) index tuples with
+/// uint32, so an intermediate buffer must stay below 2^32 tuples; growing
+/// past that fails loudly instead of silently wrapping the indexes.
+constexpr size_t kMaxTupleIndex = 0xFFFFFFFFull;
+
 /// Working state for one select block: per-alias table pointers, surviving
-/// row-id tuples (one row id per bound alias).
+/// row ids per alias, and the columnar tuple buffer (one flat row-id column
+/// per bound alias; column i belongs to alias bound_order[i]).
 struct JoinState {
-  std::vector<const Table*> tables;        // parallel to query.from
-  std::vector<std::vector<size_t>> rows;   // candidate row ids per alias
-  // Tuples of row ids; tuple[i] indexes into tables[bound_order[i]].
-  std::vector<std::vector<size_t>> tuples;
-  std::vector<size_t> bound_order;         // alias indexes in bind order
+  std::vector<const Table*> tables;         // parallel to query.from
+  std::vector<std::vector<uint32_t>> rows;  // candidate row ids per alias
+  TupleBuffer tuples;
+  std::vector<size_t> bound_order;          // alias indexes in bind order
   std::vector<bool> bound;
-};
-
-/// Packs the cell into the 64-bit join-key space of its own column:
-/// dictionary symbol for strings, bit pattern for numerics. Returns false
-/// for nulls (which never join).
-bool BuildKey(const Column& col, size_t row, uint64_t* key) {
-  if (col.IsNull(row)) return false;
-  switch (col.type()) {
-    case ValueType::kString:
-      *key = col.SymbolAt(row);
-      return true;
-    case ValueType::kInt64:
-      *key = static_cast<uint64_t>(col.Int64At(row));
-      return true;
-    case ValueType::kDouble:
-      *key = PackedDoubleBits(col.DoubleAt(row));
-      return true;
-    case ValueType::kNull:
-      return false;
-  }
-  return false;
-}
-
-/// Packs a probe cell into the *build* column's key space, preserving
-/// Value equality semantics (1 == 1.0 across numeric types; strings match
-/// exactly). Returns false when the cell is null or cannot equal any build
-/// key (type mismatch, string absent from the build dictionary).
-bool ProbeKey(const Column& build, const Column& probe, size_t row, uint64_t* key) {
-  if (probe.IsNull(row)) return false;
-  switch (build.type()) {
-    case ValueType::kString: {
-      if (probe.type() != ValueType::kString) return false;
-      if (probe.pool() == build.pool()) {
-        *key = probe.SymbolAt(row);
-        return true;
-      }
-      Symbol s = build.pool()->Find(probe.StringAt(row));
-      if (s == kNoSymbol) return false;
-      *key = s;
-      return true;
-    }
-    case ValueType::kInt64: {
-      if (probe.type() == ValueType::kInt64) {
-        *key = static_cast<uint64_t>(probe.Int64At(row));
-        return true;
-      }
-      if (probe.type() == ValueType::kDouble) {
-        double d = probe.DoubleAt(row);
-        if (d < -9.2e18 || d > 9.2e18) return false;  // cast would overflow
-        int64_t i = static_cast<int64_t>(d);
-        if (static_cast<double>(i) != d) return false;  // 2.5 matches nothing
-        *key = static_cast<uint64_t>(i);
-        return true;
-      }
-      return false;
-    }
-    case ValueType::kDouble: {
-      if (probe.type() == ValueType::kDouble) {
-        *key = PackedDoubleBits(probe.DoubleAt(row));
-        return true;
-      }
-      if (probe.type() == ValueType::kInt64) {
-        *key = PackedDoubleBits(static_cast<double>(probe.Int64At(row)));
-        return true;
-      }
-      return false;
-    }
-    case ValueType::kNull:
-      return false;
-  }
-  return false;
-}
-
-/// Cell equality without materializing Values; nulls equal nothing.
-bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
-  if (a.IsNull(ra) || b.IsNull(rb)) return false;
-  const bool a_str = a.type() == ValueType::kString;
-  const bool b_str = b.type() == ValueType::kString;
-  if (a_str != b_str) return false;
-  if (a_str) {
-    if (a.pool() == b.pool()) return a.SymbolAt(ra) == b.SymbolAt(rb);
-    return a.StringAt(ra) == b.StringAt(rb);
-  }
-  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
-    return a.Int64At(ra) == b.Int64At(rb);
-  }
-  return a.NumericAt(ra) == b.NumericAt(rb);
-}
-
-/// Hash for the packed group-by key (FNV-1a over the parts).
-struct GroupKeyHash {
-  size_t operator()(const std::vector<uint64_t>& parts) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (uint64_t p : parts) {
-      for (int shift = 0; shift < 64; shift += 8) {
-        h ^= (p >> shift) & 0xFF;
-        h *= 1099511628211ULL;
-      }
-    }
-    return static_cast<size_t>(h);
-  }
 };
 
 }  // namespace
@@ -174,8 +85,7 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
       SQUID_ASSIGN_OR_RETURN(BoundPredicate bound, BindPredicate(*table, p));
       preds.push_back(std::move(bound));
     }
-    state.rows[i] = FilterRows(*table, preds);
-    stats_.rows_scanned += table->num_rows();
+    state.rows[i] = FilterRows(*table, preds, &stats_.rows_scanned);
   }
   // Validate predicate aliases (catch typos referencing unknown aliases).
   for (const auto& p : query.where) {
@@ -190,16 +100,39 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
     }
   }
 
-  // Start from the smallest filtered relation that appears in a join (or the
-  // first alias when there are no joins).
-  size_t start = 0;
-  for (size_t i = 1; i < num_aliases; ++i) {
-    if (state.rows[i].size() < state.rows[start].size()) start = i;
+  // Start from the smallest filtered relation that appears in a join.
+  // Join-disconnected aliases are excluded whenever any join-connected one
+  // exists: starting from a small disconnected FROM entry would force an
+  // immediate cartesian expansion before any hash join gets to prune.
+  // Without joins (or with only disconnected aliases) fall back to the
+  // globally smallest.
+  std::vector<bool> in_join(num_aliases, false);
+  for (const auto& j : query.join_predicates) {
+    size_t li = *query.FindAlias(j.left.table_alias);
+    size_t ri = *query.FindAlias(j.right.table_alias);
+    if (li == ri) continue;  // self-edge: a filter, not a connection
+    in_join[li] = true;
+    in_join[ri] = true;
+  }
+  size_t start = num_aliases;
+  for (size_t i = 0; i < num_aliases; ++i) {
+    if (!in_join[i]) continue;
+    if (start == num_aliases ||
+        state.rows[i].size() < state.rows[start].size()) {
+      start = i;
+    }
+  }
+  if (start == num_aliases) {
+    start = 0;
+    for (size_t i = 1; i < num_aliases; ++i) {
+      if (state.rows[i].size() < state.rows[start].size()) start = i;
+    }
   }
   state.bound[start] = true;
   state.bound_order.push_back(start);
-  state.tuples.reserve(state.rows[start].size());
-  for (size_t r : state.rows[start]) state.tuples.push_back({r});
+  // rows[start] is dead after this (start is bound, so it is never a build
+  // or expansion side again) — move it into the buffer.
+  state.tuples.InitSingle(std::move(state.rows[start]));
 
   // Iteratively bind the remaining aliases through join predicates.
   size_t bound_count = 1;
@@ -233,16 +166,29 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
           break;
         }
       }
-      std::vector<std::vector<size_t>> expanded;
-      expanded.reserve(state.tuples.size() * state.rows[next_alias].size());
-      for (const auto& t : state.tuples) {
-        for (size_t r : state.rows[next_alias]) {
-          auto nt = t;
-          nt.push_back(r);
-          expanded.push_back(std::move(nt));
+      const std::vector<uint32_t>& new_rows = state.rows[next_alias];
+      TupleBuffer expanded;
+      expanded.InitEmpty(state.tuples.width() + 1,
+                         state.tuples.size() * new_rows.size());
+      std::array<uint32_t, kProbeChunk> sel;
+      std::array<uint32_t, kProbeChunk> out_rows;
+      size_t fill = 0;
+      for (size_t t = 0; t < state.tuples.size(); ++t) {
+        for (uint32_t r : new_rows) {
+          sel[fill] = static_cast<uint32_t>(t);
+          out_rows[fill] = r;
+          if (++fill == kProbeChunk) {
+            expanded.AppendExpanded(state.tuples, sel.data(), out_rows.data(), fill);
+            fill = 0;
+          }
         }
       }
+      expanded.AppendExpanded(state.tuples, sel.data(), out_rows.data(), fill);
+      stats_.tuples_materialized += expanded.size();
       state.tuples = std::move(expanded);
+      if (state.tuples.size() > kMaxTupleIndex) {
+        return Status::OutOfRange("intermediate result exceeds 2^32 tuples");
+      }
       state.bound[next_alias] = true;
       state.bound_order.push_back(next_alias);
       ++bound_count;
@@ -254,7 +200,7 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
     const ColumnRef& new_col = pick_left_bound ? j.right : j.left;
     size_t bound_alias = *query.FindAlias(bound_col.table_alias);
 
-    // Build (or reuse) a hash table over the new table's filtered rows,
+    // Build (or reuse) a FlatJoinHash over the new table's filtered rows,
     // keyed by packed cell keys (symbols for strings). Unfiltered build
     // sides are cached on the Executor and shared across INTERSECT
     // branches, which repeat the same FK joins per branch.
@@ -262,7 +208,7 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
                            state.tables[next_alias]->ColumnByName(new_col.attribute));
     const bool unfiltered =
         state.rows[next_alias].size() == state.tables[next_alias]->num_rows();
-    std::shared_ptr<const JoinHash> hash;
+    std::shared_ptr<const FlatJoinHash> hash;
     if (unfiltered) {
       auto cached = join_hash_cache_.find(new_column);
       if (cached != join_hash_cache_.end()) {
@@ -271,13 +217,8 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
       }
     }
     if (!hash) {
-      auto built = std::make_shared<JoinHash>();
-      built->reserve(state.rows[next_alias].size());
-      uint64_t build_key;
-      for (size_t r : state.rows[next_alias]) {
-        if (BuildKey(*new_column, r, &build_key)) (*built)[build_key].push_back(r);
-      }
-      hash = std::move(built);
+      hash = std::make_shared<const FlatJoinHash>(
+          FlatJoinHash::Build(*new_column, state.rows[next_alias]));
       ++stats_.join_hashes_built;
       if (unfiltered) join_hash_cache_.emplace(new_column, hash);
     }
@@ -332,29 +273,54 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
       extras.push_back(ExtraEdge{bpos, bcol, ncol});
     }
 
-    std::vector<std::vector<size_t>> joined;
-    uint64_t probe_key;
-    for (const auto& t : state.tuples) {
-      size_t probe_row = t[bound_pos];
-      if (!ProbeKey(*new_column, *bound_column, probe_row, &probe_key)) continue;
-      auto it = hash->find(probe_key);
-      if (it == hash->end()) continue;
-      for (size_t nr : it->second) {
-        bool ok = true;
-        for (const auto& ex : extras) {
-          if (!CellsEqual(*ex.bound_column, t[ex.tuple_pos], *ex.new_column, nr)) {
-            ok = false;
-            break;
-          }
-        }
-        if (!ok) continue;
-        auto nt = t;
-        nt.push_back(nr);
-        joined.push_back(std::move(nt));
+    // Vectorized probe: per chunk, pack the probe keys of kProbeChunk
+    // tuples into one contiguous array, batch-probe the FlatJoinHash, then
+    // expand matches through selection vectors. Match order per tuple is
+    // build order, as with the per-tuple loop this replaces.
+    TupleBuffer joined;
+    joined.InitEmpty(state.tuples.width() + 1, state.tuples.size());
+    const std::vector<uint32_t>& probe_col = state.tuples.column(bound_pos);
+    std::array<uint64_t, kProbeChunk> keys;
+    std::array<uint8_t, kProbeChunk> valid;
+    std::array<FlatJoinHash::RowSpan, kProbeChunk> spans;
+    std::vector<uint32_t> sel;
+    std::vector<uint32_t> out_rows;
+    for (size_t base = 0; base < state.tuples.size(); base += kProbeChunk) {
+      const size_t n = std::min(kProbeChunk, state.tuples.size() - base);
+      for (size_t i = 0; i < n; ++i) {
+        valid[i] = PackProbeKey(*new_column, *bound_column, probe_col[base + i],
+                                &keys[i])
+                       ? 1
+                       : 0;
       }
+      hash->ProbeBatch(keys.data(), valid.data(), n, spans.data());
+      ++stats_.probe_batches;
+      sel.clear();
+      out_rows.clear();
+      for (size_t i = 0; i < n; ++i) {
+        for (uint32_t nr : spans[i]) {
+          bool ok = true;
+          for (const auto& ex : extras) {
+            if (!JoinCellsEqual(*ex.bound_column,
+                                state.tuples.column(ex.tuple_pos)[base + i],
+                                *ex.new_column, nr)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          sel.push_back(static_cast<uint32_t>(base + i));
+          out_rows.push_back(nr);
+        }
+      }
+      joined.AppendExpanded(state.tuples, sel.data(), out_rows.data(), sel.size());
     }
     stats_.rows_joined += joined.size();
+    stats_.tuples_materialized += joined.size();
     state.tuples = std::move(joined);
+    if (state.tuples.size() > kMaxTupleIndex) {
+      return Status::OutOfRange("intermediate result exceeds 2^32 tuples");
+    }
     state.bound[next_alias] = true;
     state.bound_order.push_back(next_alias);
     ++bound_count;
@@ -366,7 +332,30 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
     alias_pos[state.bound_order[i]] = i;
   }
 
-  // Column-pair inequalities (anti-join predicates), applied post-join.
+  // Same-alias equality edges (t.x = t.y) never have exactly one side
+  // bound, so the bind loop above cannot pick them; apply them as post-join
+  // filters over the flat buffer (nulls equal nothing, as in every join).
+  for (const auto& j : query.join_predicates) {
+    size_t li = *query.FindAlias(j.left.table_alias);
+    size_t ri = *query.FindAlias(j.right.table_alias);
+    if (li != ri) continue;
+    SQUID_ASSIGN_OR_RETURN(const Column* lcol,
+                           state.tables[li]->ColumnByName(j.left.attribute));
+    SQUID_ASSIGN_OR_RETURN(const Column* rcol,
+                           state.tables[ri]->ColumnByName(j.right.attribute));
+    const std::vector<uint32_t>& trows = state.tuples.column(alias_pos[li]);
+    std::vector<uint32_t> sel;
+    sel.reserve(state.tuples.size());
+    for (size_t t = 0; t < state.tuples.size(); ++t) {
+      if (JoinCellsEqual(*lcol, trows[t], *rcol, trows[t])) {
+        sel.push_back(static_cast<uint32_t>(t));
+      }
+    }
+    state.tuples.Keep(sel.data(), sel.size());
+  }
+
+  // Column-pair inequalities (anti-join predicates), applied post-join via
+  // a selection vector over the flat buffer.
   for (const auto& aj : query.anti_join_predicates) {
     auto li = query.FindAlias(aj.left.table_alias);
     auto ri = query.FindAlias(aj.right.table_alias);
@@ -377,16 +366,17 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
                            state.tables[*li]->ColumnByName(aj.left.attribute));
     SQUID_ASSIGN_OR_RETURN(const Column* rcol,
                            state.tables[*ri]->ColumnByName(aj.right.attribute));
-    size_t lpos = alias_pos[*li], rpos = alias_pos[*ri];
-    std::vector<std::vector<size_t>> kept;
-    kept.reserve(state.tuples.size());
-    for (auto& t : state.tuples) {
-      if (!lcol->IsNull(t[lpos]) && !rcol->IsNull(t[rpos]) &&
-          !CellsEqual(*lcol, t[lpos], *rcol, t[rpos])) {
-        kept.push_back(std::move(t));
+    const std::vector<uint32_t>& lrows = state.tuples.column(alias_pos[*li]);
+    const std::vector<uint32_t>& rrows = state.tuples.column(alias_pos[*ri]);
+    std::vector<uint32_t> sel;
+    sel.reserve(state.tuples.size());
+    for (size_t t = 0; t < state.tuples.size(); ++t) {
+      if (!lcol->IsNull(lrows[t]) && !rcol->IsNull(rrows[t]) &&
+          !JoinCellsEqual(*lcol, lrows[t], *rcol, rrows[t])) {
+        sel.push_back(static_cast<uint32_t>(t));
       }
     }
-    state.tuples = std::move(kept);
+    state.tuples.Keep(sel.data(), sel.size());
   }
 
   auto column_of = [&](const ColumnRef& ref) -> Result<std::pair<const Column*, size_t>> {
@@ -414,10 +404,12 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
   }
 
   if (query.group_by.empty() && !query.having) {
-    for (const auto& t : state.tuples) {
+    for (size_t t = 0; t < state.tuples.size(); ++t) {
       std::vector<Value> row;
       row.reserve(projections.size());
-      for (const auto& [col, pos] : projections) row.push_back(col->ValueAt(t[pos]));
+      for (const auto& [col, pos] : projections) {
+        row.push_back(col->ValueAt(state.tuples.At(t, pos)));
+      }
       result.AddRow(std::move(row));
     }
   } else {
@@ -429,30 +421,61 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
       SQUID_ASSIGN_OR_RETURN(auto key, column_of(g));
       keys.push_back(key);
     }
-    struct Group {
-      size_t count = 0;
-      std::vector<size_t> first_tuple;
-    };
     // Grouping keys are packed per column — (validity, symbol-or-bits)
-    // pairs — instead of encoding Values into strings. Each part's column
-    // is fixed, so per-column packing preserves equality.
-    std::unordered_map<std::vector<uint64_t>, Group, GroupKeyHash> groups;
-    std::vector<uint64_t> key_parts;
-    for (const auto& t : state.tuples) {
-      key_parts.clear();
-      key_parts.reserve(keys.size() * 2);
-      for (const auto& [col, pos] : keys) {
+    // pairs — stored contiguously in one flat array; an open-addressing
+    // table over the part spans assigns dense group ids, and each group
+    // remembers only its first tuple's index into the buffer.
+    constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+    struct Group {
+      uint64_t hash;
+      uint32_t first_tuple;
+      uint32_t count;
+    };
+    const size_t parts = keys.size() * 2;
+    std::vector<uint64_t> key_storage;
+    std::vector<Group> group_list;
+    size_t cap = 16;
+    std::vector<uint32_t> slots(cap, kNoGroup);
+    std::vector<uint64_t> scratch(parts);
+    for (size_t t = 0; t < state.tuples.size(); ++t) {
+      for (size_t k = 0; k < keys.size(); ++k) {
         uint64_t packed = 0;
-        bool valid = BuildKey(*col, t[pos], &packed);
-        key_parts.push_back(valid ? 1 : 0);
-        key_parts.push_back(valid ? packed : 0);
+        bool valid =
+            PackCellKey(*keys[k].first, state.tuples.At(t, keys[k].second), &packed);
+        scratch[2 * k] = valid ? 1 : 0;
+        scratch[2 * k + 1] = valid ? packed : 0;
       }
-      auto [it, inserted] = groups.try_emplace(key_parts);
-      if (inserted) it->second.first_tuple = t;
-      ++it->second.count;
+      uint64_t h = 1469598103934665603ULL;
+      for (uint64_t p : scratch) h = (h ^ MixJoinKey(p)) * 1099511628211ULL;
+      uint64_t i = h & (cap - 1);
+      while (true) {
+        uint32_t g = slots[i];
+        if (g == kNoGroup) {
+          slots[i] = static_cast<uint32_t>(group_list.size());
+          group_list.push_back(Group{h, static_cast<uint32_t>(t), 1});
+          key_storage.insert(key_storage.end(), scratch.begin(), scratch.end());
+          if ((group_list.size() + 1) * 2 > cap) {
+            cap <<= 1;
+            slots.assign(cap, kNoGroup);
+            for (uint32_t gi = 0; gi < group_list.size(); ++gi) {
+              uint64_t ri = group_list[gi].hash & (cap - 1);
+              while (slots[ri] != kNoGroup) ri = (ri + 1) & (cap - 1);
+              slots[ri] = gi;
+            }
+          }
+          break;
+        }
+        if (group_list[g].hash == h &&
+            std::equal(scratch.begin(), scratch.end(),
+                       key_storage.begin() + static_cast<ptrdiff_t>(g * parts))) {
+          ++group_list[g].count;
+          break;
+        }
+        i = (i + 1) & (cap - 1);
+      }
     }
-    stats_.groups += groups.size();
-    for (const auto& [_, g] : groups) {
+    stats_.groups += group_list.size();
+    for (const Group& g : group_list) {
       if (query.having) {
         Value count_val(static_cast<int64_t>(g.count));
         Value target(query.having->value);
@@ -461,11 +484,11 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
       std::vector<Value> row;
       row.reserve(projections.size());
       for (const auto& [col, pos] : projections) {
-        row.push_back(col->ValueAt(g.first_tuple[pos]));
+        row.push_back(col->ValueAt(state.tuples.At(g.first_tuple, pos)));
       }
       result.AddRow(std::move(row));
     }
-    result.SortRows();  // hash iteration order is not deterministic
+    result.SortRows();  // group order must not leak into the output
   }
 
   if (query.distinct) result.Deduplicate();

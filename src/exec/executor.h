@@ -3,8 +3,18 @@
 
 /// \file executor.h
 /// \brief Query executor over the columnar storage: selection pushdown,
-/// hash equi-joins in connectivity order, group-by count aggregation with
-/// HAVING, DISTINCT projection, and INTERSECT of blocks.
+/// vectorized hash equi-joins in connectivity order, group-by count
+/// aggregation with HAVING, DISTINCT projection, and INTERSECT of blocks.
+///
+/// Intermediate tuples live in a columnar TupleBuffer (exec/tuple_buffer.h)
+/// and joins probe a flat open-addressing FlatJoinHash (exec/join_hash.h)
+/// in batches of packed keys — no per-tuple allocation anywhere on the
+/// pipeline. Invariant: vectorization never changes results — for any given
+/// plan, every query result is byte-identical to a per-tuple executor of
+/// that plan (the golden-parity suite in tests/exec_parity_test.cpp pins
+/// this). Plan *choices* may intentionally differ from older releases (the
+/// start-alias fix reorders output for queries with join-disconnected FROM
+/// entries).
 ///
 /// This is the substrate both for evaluating ground-truth benchmark queries
 /// and for running SQuID's abduced queries (Fig. 11 compares the two).
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/join_hash.h"
 #include "exec/result_set.h"
 #include "sql/ast.h"
 #include "storage/database.h"
@@ -23,11 +34,19 @@ namespace squid {
 
 /// Execution statistics (exposed for tests and micro-benchmarks).
 struct ExecStats {
+  /// Rows actually visited by predicate scans (aliases without predicates
+  /// prune the scan entirely and contribute 0).
   size_t rows_scanned = 0;
+  /// Matches emitted by hash-join expansion steps.
   size_t rows_joined = 0;
   size_t groups = 0;
   size_t join_hashes_built = 0;
   size_t join_hashes_reused = 0;
+  /// Probe-key chunks packed and probed through FlatJoinHash::ProbeBatch.
+  size_t probe_batches = 0;
+  /// Tuples appended to intermediate TupleBuffers by join and cartesian
+  /// expansion (the initial single-alias buffer is not an expansion).
+  size_t tuples_materialized = 0;
 };
 
 /// \brief Executes queries against a Database.
@@ -44,22 +63,19 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
 
  private:
-  /// Build-side hash table of one join: packed 64-bit cell key -> row ids.
-  /// String cells key by dictionary symbol, numerics by bit pattern.
-  using JoinHash = std::unordered_map<uint64_t, std::vector<size_t>>;
-
   /// ExecuteSelect body; assumes the join-hash cache is valid for the
   /// current top-level call (tables unchanged since it was cleared).
   Result<ResultSet> ExecuteSelectImpl(const SelectQuery& query);
 
   const Database* db_;
   ExecStats stats_;
-  // Hash tables over unfiltered build columns, reused across the INTERSECT
-  // branches of one query (abduced queries repeat the same FK joins in
-  // every branch). Keyed by column identity; cleared at every top-level
-  // Execute/ExecuteSelect so table mutations between calls cannot leave
-  // stale entries.
-  std::unordered_map<const Column*, std::shared_ptr<const JoinHash>> join_hash_cache_;
+  // Build-side FlatJoinHash tables over unfiltered columns, reused across
+  // the INTERSECT branches of one query (abduced queries repeat the same FK
+  // joins in every branch). Keyed by column identity; cleared at every
+  // top-level Execute/ExecuteSelect so table mutations between calls cannot
+  // leave stale entries.
+  std::unordered_map<const Column*, std::shared_ptr<const FlatJoinHash>>
+      join_hash_cache_;
 };
 
 /// Convenience wrapper: one-shot execution.

@@ -1,5 +1,7 @@
 #include "exec/expression.h"
 
+#include <numeric>
+
 namespace squid {
 
 Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred) {
@@ -10,10 +12,18 @@ Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred) 
   return bound;
 }
 
-std::vector<size_t> FilterRows(const Table& table,
-                               const std::vector<BoundPredicate>& preds) {
-  std::vector<size_t> out;
+std::vector<uint32_t> FilterRows(const Table& table,
+                                 const std::vector<BoundPredicate>& preds,
+                                 size_t* rows_visited) {
   const size_t n = table.num_rows();
+  std::vector<uint32_t> out;
+  if (preds.empty()) {
+    // No predicates: the scan is pruned entirely; nothing is "visited".
+    out.resize(n);
+    std::iota(out.begin(), out.end(), 0u);
+    return out;
+  }
+  if (rows_visited) *rows_visited += n;
   for (size_t r = 0; r < n; ++r) {
     bool ok = true;
     for (const auto& p : preds) {
@@ -22,7 +32,7 @@ std::vector<size_t> FilterRows(const Table& table,
         break;
       }
     }
-    if (ok) out.push_back(r);
+    if (ok) out.push_back(static_cast<uint32_t>(r));
   }
   return out;
 }

@@ -6,6 +6,7 @@
 /// actual tables and evaluates predicates over row ids without materializing
 /// values where possible.
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -28,9 +29,15 @@ struct BoundPredicate {
 /// Binds `pred` to `table` (alias must already be resolved).
 Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred);
 
-/// Returns row ids of `table` satisfying all of `preds` (full scan).
-std::vector<size_t> FilterRows(const Table& table,
-                               const std::vector<BoundPredicate>& preds);
+/// Returns row ids of `table` satisfying all of `preds`. With predicates
+/// this is a full scan; without any it returns the identity row list with
+/// no per-row work. `rows_visited`, when non-null, is incremented by the
+/// number of rows the predicate loop actually evaluated (0 on the
+/// no-predicate fast path) — this feeds ExecStats::rows_scanned, which
+/// counts work done, not table sizes.
+std::vector<uint32_t> FilterRows(const Table& table,
+                                 const std::vector<BoundPredicate>& preds,
+                                 size_t* rows_visited = nullptr);
 
 }  // namespace squid
 

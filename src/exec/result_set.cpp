@@ -1,17 +1,24 @@
 #include "exec/result_set.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace squid {
 
 std::string ResultSet::EncodeRow(const std::vector<Value>& row) {
   std::string key;
   for (const Value& v : row) {
-    // Type tag + rendered value + separator that cannot appear in renderings
-    // of numerics and is escaped implicitly by the tag for strings.
+    // Type tag + 32-bit length prefix + rendered value. The length prefix
+    // makes the encoding self-delimiting: string renderings can contain any
+    // byte (including former separator bytes like '\x1f'), so separator
+    // characters alone cannot make two distinct rows encode identically.
+    const std::string rendered = v.ToString();
     key += static_cast<char>('0' + static_cast<int>(v.type()));
-    key += v.ToString();
-    key += '\x1f';
+    uint32_t len = static_cast<uint32_t>(rendered.size());
+    for (int shift = 0; shift < 32; shift += 8) {
+      key += static_cast<char>((len >> shift) & 0xFF);
+    }
+    key += rendered;
   }
   return key;
 }

@@ -28,7 +28,10 @@ class ResultSet {
   const std::vector<Value>& row(size_t i) const { return rows_[i]; }
   const std::vector<std::vector<Value>>& rows() const { return rows_; }
 
-  /// Stable string encoding of a row (used for hashing / set semantics).
+  /// Stable, collision-free string encoding of a row (used for hashing /
+  /// set semantics): per value, a type tag, a 32-bit length prefix, and the
+  /// rendered value — self-delimiting, so adversarial strings containing
+  /// separator bytes cannot collide with a different multi-value row.
   static std::string EncodeRow(const std::vector<Value>& row);
 
   /// Set of encoded rows.

@@ -1,0 +1,43 @@
+#include "exec/tuple_buffer.h"
+
+namespace squid {
+
+void TupleBuffer::InitSingle(std::vector<uint32_t> rows) {
+  size_ = rows.size();
+  cols_.clear();
+  cols_.push_back(std::move(rows));
+}
+
+void TupleBuffer::InitEmpty(size_t width, size_t reserve) {
+  cols_.assign(width, {});
+  for (auto& col : cols_) col.reserve(reserve);
+  size_ = 0;
+}
+
+void TupleBuffer::AppendExpanded(const TupleBuffer& src, const uint32_t* sel,
+                                 const uint32_t* new_rows, size_t n) {
+  if (n == 0) return;
+  const size_t src_width = src.width();
+  for (size_t c = 0; c < src_width; ++c) {
+    const uint32_t* src_col = src.cols_[c].data();
+    std::vector<uint32_t>& dst = cols_[c];
+    const size_t base = dst.size();
+    dst.resize(base + n);
+    uint32_t* out = dst.data() + base;
+    for (size_t i = 0; i < n; ++i) out[i] = src_col[sel[i]];
+  }
+  std::vector<uint32_t>& last = cols_[src_width];
+  last.insert(last.end(), new_rows, new_rows + n);
+  size_ += n;
+}
+
+void TupleBuffer::Keep(const uint32_t* sel, size_t n) {
+  for (auto& col : cols_) {
+    uint32_t* data = col.data();
+    for (size_t i = 0; i < n; ++i) data[i] = data[sel[i]];
+    col.resize(n);
+  }
+  size_ = n;
+}
+
+}  // namespace squid

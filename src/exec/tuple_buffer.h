@@ -1,0 +1,63 @@
+#ifndef SQUID_EXEC_TUPLE_BUFFER_H_
+#define SQUID_EXEC_TUPLE_BUFFER_H_
+
+/// \file tuple_buffer.h
+/// \brief Columnar intermediate-tuple storage for the vectorized executor.
+///
+/// A tuple is one surviving join combination: one row id per bound alias.
+/// Instead of one heap-allocated `std::vector<size_t>` per tuple, the buffer
+/// is struct-of-arrays — one flat `std::vector<uint32_t>` row-id column per
+/// bound alias — so expansion, anti-join filtering, and projection iterate
+/// contiguous arrays. Growth happens in chunks through selection vectors
+/// (`AppendExpanded`) and compaction through `Keep`; neither allocates per
+/// tuple.
+///
+/// Row ids are uint32 engine-wide (same assumption as the inverted index's
+/// `Posting::row`).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace squid {
+
+/// \brief Flat struct-of-arrays buffer of row-id tuples.
+class TupleBuffer {
+ public:
+  TupleBuffer() = default;
+
+  size_t width() const { return cols_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Row id of tuple `tuple` at bound position `pos`.
+  uint32_t At(size_t tuple, size_t pos) const { return cols_[pos][tuple]; }
+
+  /// The flat row-id column of bound position `pos`.
+  const std::vector<uint32_t>& column(size_t pos) const { return cols_[pos]; }
+
+  /// Resets to a single-column buffer holding `rows` (taken by value so
+  /// callers that are done with the vector can move it in, copy-free).
+  void InitSingle(std::vector<uint32_t> rows);
+
+  /// Resets to an empty buffer of `width` columns, each reserving `reserve`.
+  void InitEmpty(size_t width, size_t reserve);
+
+  /// Appends `n` expanded tuples: tuple `sel[i]` of `src` widened by row
+  /// `new_rows[i]`. `this` must have width `src.width() + 1` and `src` must
+  /// not alias `this`.
+  void AppendExpanded(const TupleBuffer& src, const uint32_t* sel,
+                      const uint32_t* new_rows, size_t n);
+
+  /// Keeps only tuples `sel[0..n)` (ascending), compacting every column in
+  /// place.
+  void Keep(const uint32_t* sel, size_t n);
+
+ private:
+  std::vector<std::vector<uint32_t>> cols_;
+  size_t size_ = 0;
+};
+
+}  // namespace squid
+
+#endif  // SQUID_EXEC_TUPLE_BUFFER_H_

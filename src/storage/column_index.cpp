@@ -49,7 +49,7 @@ Result<HashColumnIndex> HashColumnIndex::Build(const Table& table,
   index.entries_.reserve(table.num_rows());
   for (size_t r = 0; r < col->size(); ++r) {
     if (col->IsNull(r)) continue;
-    uint64_t key;
+    uint64_t key = 0;
     switch (col->type()) {
       case ValueType::kString:
         key = col->SymbolAt(r);

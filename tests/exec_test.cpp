@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "exec/executor.h"
+#include "exec/join_hash.h"
+#include "exec/tuple_buffer.h"
 #include "sql/parser.h"
 #include "tests/test_util.h"
 
@@ -208,6 +210,278 @@ TEST(ExecutorTest, MultiEdgeJoinAppliesAllConditions) {
   EXPECT_EQ(rs.value().num_rows(), 1u);
 }
 
+TEST(ExecutorTest, CrossPoolStringProbeDictionaryMiss) {
+  // The probe table keeps its own StringPool (attached, not created through
+  // the Database), so probes must translate through the build dictionary;
+  // strings absent from it (the dictionary-miss path) match nothing.
+  Database db("d");
+  auto b = db.CreateTable(
+      Schema("b", {{"k", ValueType::kString}, {"v", ValueType::kInt64}}));
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b.value()->AppendRow({Value("x"), Value(static_cast<int64_t>(1))}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({Value("z"), Value(static_cast<int64_t>(2))}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({Value("w"), Value(static_cast<int64_t>(3))}).ok());
+
+  auto a = std::make_shared<Table>(Schema("a", {{"k", ValueType::kString}}));
+  ASSERT_TRUE(a->AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(a->AppendRow({Value("y")}).ok());  // not in db's dictionary
+  ASSERT_NE(a->pool(), db.pool());
+  ASSERT_TRUE(db.AttachTable(a).ok());
+
+  // a (2 rows) starts, so b is the build side and a's foreign pool probes it.
+  auto rs = RunSql(db, "SELECT a.k FROM a a, b b WHERE a.k = b.k");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NamesOf(rs.value()), (std::vector<std::string>{"x"}));
+}
+
+TEST(ExecutorTest, IntDoubleKeyUnification) {
+  // Double probes against an int build side unify on value (1 == 1.0);
+  // fractional doubles match nothing; doubles beyond ±9.2e18 hit the
+  // overflow guard instead of undefined casts.
+  Database db("d");
+  auto a = db.CreateTable(Schema("a", {{"k", ValueType::kInt64}}));
+  auto b = db.CreateTable(Schema("b", {{"k", ValueType::kDouble}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t v : {1, 3, 5, 7}) {
+    ASSERT_TRUE(a.value()->AppendRow({Value(v)}).ok());
+  }
+  for (double d : {1.0, 2.5, 9.3e18, -9.3e18}) {
+    ASSERT_TRUE(b.value()->AppendRow({Value(d)}).ok());
+  }
+  // b (4 rows) = probe side? No: a has 4 rows too, so the first
+  // join-connected alias wins ties — a starts, b builds. Probe ints against
+  // the double build dictionary unifies 1 with 1.0.
+  auto rs = RunSql(db, "SELECT a.k FROM a a, b b WHERE a.k = b.k");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_EQ(rs.value().row(0)[0].AsInt64(), 1);
+
+  // Now make b start (smaller), so doubles probe the int build side and the
+  // overflow guard + fractional rejection must fire.
+  auto c = db.CreateTable(Schema("c", {{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(c.ok());
+  for (int64_t v : {1, 3, 5, 7, 9}) {
+    ASSERT_TRUE(c.value()->AppendRow({Value(v)}).ok());
+  }
+  auto rs2 = RunSql(db, "SELECT b.k FROM b b, c c WHERE b.k = c.k");
+  ASSERT_TRUE(rs2.ok());
+  ASSERT_EQ(rs2.value().num_rows(), 1u);
+  EXPECT_EQ(rs2.value().row(0)[0].AsDouble(), 1.0);
+}
+
+TEST(ExecutorTest, MultiEdgeExtraJoinsAcrossTwoBoundAliases) {
+  // When the newly-bound alias joins two *different* already-bound aliases,
+  // the second edge rides along as an extra in-pass filter.
+  Database db("d");
+  auto a = db.CreateTable(
+      Schema("a", {{"x", ValueType::kInt64}, {"z", ValueType::kInt64}}));
+  auto b = db.CreateTable(
+      Schema("b", {{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+  auto c = db.CreateTable(
+      Schema("c", {{"y", ValueType::kInt64}, {"z", ValueType::kInt64}}));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  auto I = [](int64_t v) { return Value(v); };
+  ASSERT_TRUE(a.value()->AppendRow({I(1), I(10)}).ok());
+  ASSERT_TRUE(a.value()->AppendRow({I(2), I(20)}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({I(1), I(100)}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({I(2), I(200)}).ok());
+  ASSERT_TRUE(c.value()->AppendRow({I(100), I(10)}).ok());   // matches a=1 chain
+  ASSERT_TRUE(c.value()->AppendRow({I(200), I(999)}).ok());  // z mismatch: dropped
+  auto rs = RunSql(db,
+                   "SELECT a.x FROM a a, b b, c c WHERE a.x = b.x AND "
+                   "b.y = c.y AND a.z = c.z");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_EQ(rs.value().row(0)[0].AsInt64(), 1);
+}
+
+TEST(ExecutorTest, AntiJoinDropsNullsOnEitherSide) {
+  // Anti-join semantics: a tuple survives only when BOTH cells are non-null
+  // and unequal — a null on either side drops the tuple.
+  Database db("d");
+  auto a = db.CreateTable(
+      Schema("a", {{"j", ValueType::kInt64}, {"k", ValueType::kInt64}}));
+  auto b = db.CreateTable(
+      Schema("b", {{"j", ValueType::kInt64}, {"k", ValueType::kInt64}}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto I = [](int64_t v) { return Value(v); };
+  ASSERT_TRUE(a.value()->AppendRow({I(1), I(7)}).ok());
+  ASSERT_TRUE(a.value()->AppendRow({I(1), Value::Null()}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({I(1), I(8)}).ok());
+  ASSERT_TRUE(b.value()->AppendRow({I(1), Value::Null()}).ok());
+  // Join on j pairs everything; the anti-join keeps only (7, 8).
+  auto rs = RunSql(db, "SELECT a.k FROM a a, b b WHERE a.j = b.j AND a.k != b.k");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_EQ(rs.value().row(0)[0].AsInt64(), 7);
+}
+
+TEST(ExecutorTest, SameAliasEqualityPredicateFilters) {
+  // The parser routes any col = col comparison into join_predicates, but a
+  // same-alias edge (t.x = t.y) never has exactly one side bound, so the
+  // join bind loop can't pick it — it must be applied as a post-join
+  // filter. Regression: it used to be silently dropped.
+  Database db("d");
+  auto t = db.CreateTable(
+      Schema("t", {{"x", ValueType::kInt64}, {"y", ValueType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  auto I = [](int64_t v) { return Value(v); };
+  ASSERT_TRUE(t.value()->AppendRow({I(1), I(1)}).ok());
+  ASSERT_TRUE(t.value()->AppendRow({I(2), I(3)}).ok());
+  ASSERT_TRUE(t.value()->AppendRow({I(4), Value::Null()}).ok());  // null != 4
+  auto rs = RunSql(db, "SELECT t.x FROM t t WHERE t.x = t.y");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_EQ(rs.value().row(0)[0].AsInt64(), 1);
+
+  // Also applied when the alias participates in a real join.
+  auto u = db.CreateTable(Schema("u", {{"x", ValueType::kInt64}}));
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(u.value()->AppendRow({I(1)}).ok());
+  ASSERT_TRUE(u.value()->AppendRow({I(2)}).ok());
+  auto joined =
+      RunSql(db, "SELECT t.x FROM t t, u u WHERE t.x = u.x AND t.x = t.y");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined.value().num_rows(), 1u);
+  EXPECT_EQ(joined.value().row(0)[0].AsInt64(), 1);
+}
+
+TEST(ExecutorTest, IntersectHasSetSemantics) {
+  // INTERSECT output is a set even when both branches produce duplicates.
+  auto db = MakeMoviesDb();
+  auto rs = RunSql(*db,
+                   "SELECT p.name FROM person p, castinfo c "
+                   "WHERE c.person_id = p.id "
+                   "INTERSECT "
+                   "SELECT p.name FROM person p, castinfo c "
+                   "WHERE c.person_id = p.id");
+  ASSERT_TRUE(rs.ok());
+  auto no_distinct = RunSql(*db,
+                            "SELECT p.name FROM person p, castinfo c "
+                            "WHERE c.person_id = p.id");
+  ASSERT_TRUE(no_distinct.ok());
+  EXPECT_GT(no_distinct.value().num_rows(), rs.value().num_rows());
+  EXPECT_EQ(NameSet(rs.value()), NameSet(no_distinct.value()));
+  // And each surviving row appears exactly once.
+  ResultSet deduped = rs.value();
+  deduped.Deduplicate();
+  EXPECT_EQ(deduped.num_rows(), rs.value().num_rows());
+}
+
+// ---------- Plan statistics (pinning the executor's plan choices) ----------
+
+TEST(ExecStatsTest, StartAliasAvoidsDisconnectedCartesian) {
+  // c (1 row) is join-disconnected and globally smallest; the start pick
+  // must ignore it and begin at b (smallest join-connected), so the hash
+  // join prunes a to 5 tuples BEFORE the cartesian expansion with c.
+  Database db("d");
+  auto a = db.CreateTable(Schema("a", {{"k", ValueType::kInt64}}));
+  auto b = db.CreateTable(Schema("b", {{"k", ValueType::kInt64}}));
+  auto c = db.CreateTable(Schema("c", {{"v", ValueType::kInt64}}));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  for (int64_t v = 0; v < 50; ++v) {
+    ASSERT_TRUE(a.value()->AppendRow({Value(v)}).ok());
+  }
+  for (int64_t v = 0; v < 5; ++v) {
+    ASSERT_TRUE(b.value()->AppendRow({Value(v)}).ok());
+  }
+  ASSERT_TRUE(c.value()->AppendRow({Value(static_cast<int64_t>(0))}).ok());
+
+  auto q = ParseQuery("SELECT a.k FROM a a, b b, c c WHERE a.k = b.k");
+  ASSERT_TRUE(q.ok());
+  Executor exec(&db);
+  auto rs = exec.Execute(q.value());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().num_rows(), 5u);
+  // Plan pin: 5 join matches + 5 cartesian expansions — NOT the 50-tuple
+  // cartesian a pre-fix start at c would have materialized.
+  EXPECT_EQ(exec.stats().rows_joined, 5u);
+  EXPECT_EQ(exec.stats().tuples_materialized, 10u);
+  EXPECT_EQ(exec.stats().probe_batches, 1u);
+  EXPECT_EQ(exec.stats().join_hashes_built, 1u);
+}
+
+TEST(ExecStatsTest, RowsScannedCountsOnlyPredicateVisits) {
+  // Aliases without pushed-down predicates prune the scan entirely and
+  // contribute nothing to rows_scanned.
+  auto db = MakeMoviesDb();
+  auto q = ParseQuery(
+      "SELECT p.name FROM person p, castinfo c "
+      "WHERE c.person_id = p.id AND p.gender = 'Female'");
+  ASSERT_TRUE(q.ok());
+  Executor exec(db.get());
+  auto rs = exec.Execute(q.value());
+  ASSERT_TRUE(rs.ok());
+  const size_t person_rows = db->GetTable("person").value()->num_rows();
+  EXPECT_EQ(exec.stats().rows_scanned, person_rows);  // castinfo adds 0
+}
+
+// ---------- FlatJoinHash / TupleBuffer ----------
+
+TEST(FlatJoinHashTest, ProbeHitMissAndOrderPreservation) {
+  Database db("d");
+  auto t = db.CreateTable(Schema("t", {{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  for (int64_t v : {7, 3, 7, 9, 3, 7}) {
+    ASSERT_TRUE(t.value()->AppendRow({Value(v)}).ok());
+  }
+  std::vector<uint32_t> rows = {0, 1, 2, 3, 4, 5};
+  auto hash = FlatJoinHash::Build(t.value()->column(0), rows);
+  EXPECT_EQ(hash.num_keys(), 3u);
+  EXPECT_EQ(hash.num_rows(), 6u);
+  auto span7 = hash.Probe(static_cast<uint64_t>(7));
+  ASSERT_EQ(span7.size, 3u);
+  // Build order must be preserved within a key (output-order contract).
+  EXPECT_EQ(std::vector<uint32_t>(span7.begin(), span7.end()),
+            (std::vector<uint32_t>{0, 2, 5}));
+  EXPECT_TRUE(hash.Probe(static_cast<uint64_t>(8)).empty());
+
+  uint64_t keys[3] = {3, 8, 9};
+  uint8_t valid[3] = {1, 1, 0};
+  FlatJoinHash::RowSpan spans[3];
+  hash.ProbeBatch(keys, valid, 3, spans);
+  EXPECT_EQ(spans[0].size, 2u);
+  EXPECT_TRUE(spans[1].empty());
+  EXPECT_TRUE(spans[2].empty());  // invalid probes come back empty
+}
+
+TEST(FlatJoinHashTest, EmptyAndNullOnlyBuilds) {
+  Database db("d");
+  auto t = db.CreateTable(Schema("t", {{"k", ValueType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->AppendRow({Value::Null()}).ok());
+  auto empty = FlatJoinHash::Build(t.value()->column(0), {});
+  EXPECT_TRUE(empty.Probe(0).empty());
+  auto null_only = FlatJoinHash::Build(t.value()->column(0), {0});
+  EXPECT_EQ(null_only.num_rows(), 0u);  // nulls never join
+  EXPECT_TRUE(null_only.Probe(0).empty());
+}
+
+TEST(TupleBufferTest, ExpandAndKeep) {
+  TupleBuffer base;
+  base.InitSingle({10, 11, 12});
+  EXPECT_EQ(base.width(), 1u);
+  EXPECT_EQ(base.size(), 3u);
+
+  TupleBuffer wide;
+  wide.InitEmpty(2, 4);
+  uint32_t sel[] = {0, 0, 2};
+  uint32_t rows[] = {100, 101, 102};
+  wide.AppendExpanded(base, sel, rows, 3);
+  EXPECT_EQ(wide.width(), 2u);
+  EXPECT_EQ(wide.size(), 3u);
+  EXPECT_EQ(wide.At(1, 0), 10u);
+  EXPECT_EQ(wide.At(1, 1), 101u);
+  EXPECT_EQ(wide.At(2, 0), 12u);
+
+  uint32_t keep[] = {0, 2};
+  wide.Keep(keep, 2);
+  EXPECT_EQ(wide.size(), 2u);
+  EXPECT_EQ(wide.At(1, 0), 12u);
+  EXPECT_EQ(wide.At(1, 1), 102u);
+}
+
 // ---------- ResultSet ----------
 
 TEST(ResultSetTest, DeduplicateAndSort) {
@@ -238,6 +512,40 @@ TEST(ResultSetTest, EncodeRowDistinguishesTypes) {
   std::string int_row = ResultSet::EncodeRow({Value(static_cast<int64_t>(1))});
   std::string str_row = ResultSet::EncodeRow({Value("1")});
   EXPECT_NE(int_row, str_row);
+}
+
+TEST(ResultSetTest, EncodeRowIsSeparatorCollisionFree) {
+  // Under the old separator-based encoding, ("a\x1f" "3b", "c") and
+  // ("a", "b\x1f" "3c") concatenated to the same bytes: a '\x1f' inside a
+  // string plus the type tag '3' forged a value boundary. The
+  // length-prefixed encoding keeps them distinct.
+  const std::string tricky1 = std::string("a\x1f") + "3b";
+  const std::string tricky2 = std::string("b\x1f") + "3c";
+  std::vector<Value> row1 = {Value(tricky1), Value("c")};
+  std::vector<Value> row2 = {Value("a"), Value(tricky2)};
+  EXPECT_NE(ResultSet::EncodeRow(row1), ResultSet::EncodeRow(row2));
+  // Same trick across arities: one value embedding a forged boundary vs two.
+  std::vector<Value> one = {Value(std::string("a\x1f") + "3b")};
+  std::vector<Value> two = {Value("a"), Value("b")};
+  EXPECT_NE(ResultSet::EncodeRow(one), ResultSet::EncodeRow(two));
+  // Equal rows still encode identically.
+  EXPECT_EQ(ResultSet::EncodeRow(row1), ResultSet::EncodeRow(row1));
+}
+
+TEST(ResultSetTest, DeduplicateKeepsAdversarialRowsDistinct) {
+  // Regression: Deduplicate/IntersectWith silently merged the rows above.
+  ResultSet rs({"x", "y"});
+  rs.AddRow({Value(std::string("a\x1f") + "3b"), Value("c")});
+  rs.AddRow({Value("a"), Value(std::string("b\x1f") + "3c")});
+  rs.Deduplicate();
+  EXPECT_EQ(rs.num_rows(), 2u);
+
+  ResultSet keep({"x", "y"});
+  keep.AddRow({Value(std::string("a\x1f") + "3b"), Value("c")});
+  ResultSet probe({"x", "y"});
+  probe.AddRow({Value("a"), Value(std::string("b\x1f") + "3c")});
+  probe.IntersectWith(keep.ToSet());
+  EXPECT_EQ(probe.num_rows(), 0u);  // distinct rows must not intersect
 }
 
 TEST(ResultSetTest, ColumnValues) {
