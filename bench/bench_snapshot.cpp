@@ -1,0 +1,91 @@
+// Snapshot save/load vs full αDB rebuild, at the Fig. 9 build-scalability
+// scales (base scale x 1, 2, ... up to --maxsweep). The point of a snapshot
+// is to replace the offline rebuild on serve-host boot, so the headline
+// trend — asserted by scripts/check_bench_trends.py — is that loading the
+// largest benched snapshot is at least ~5x faster than rebuilding the αDB
+// from the base tables. Scratch snapshots go under ${TMPDIR:-/tmp} and are
+// removed afterwards.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "storage/snapshot.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+namespace {
+
+std::string ScratchPath() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  return dir + "/squid_bench_snapshot.sqsnap";
+}
+
+size_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<size_t>(in.tellg()) : 0;
+}
+
+/// One dataset x scale measurement: rebuild wall-clock vs save/load, plus a
+/// cheap structural spot check that the load actually materialized the αDB.
+void MeasureRow(TablePrinter* table, const char* dataset, double scale,
+                const Database& db) {
+  Stopwatch rebuild_watch;
+  auto adb = AbductionReadyDb::Build(db);
+  SQUID_CHECK(adb.ok()) << adb.status().ToString();
+  double rebuild_s = rebuild_watch.ElapsedSeconds();
+
+  const std::string path = ScratchPath();
+  Stopwatch save_watch;
+  Status save = adb.value()->SaveSnapshot(path);
+  SQUID_CHECK(save.ok()) << save.ToString();
+  double save_s = save_watch.ElapsedSeconds();
+
+  Stopwatch load_watch;
+  auto loaded = AbductionReadyDb::LoadSnapshot(path);
+  SQUID_CHECK(loaded.ok()) << loaded.status().ToString();
+  double load_s = load_watch.ElapsedSeconds();
+  SQUID_CHECK(loaded.value()->database().TableNames().size() ==
+              adb.value()->database().TableNames().size());
+
+  size_t bytes = FileBytes(path);
+  std::remove(path.c_str());
+  table->AddRow({dataset, TablePrinter::Num(scale, 2),
+                 TablePrinter::Int(db.TotalRows()),
+                 TablePrinter::Num(rebuild_s, 3), TablePrinter::Num(save_s, 3),
+                 TablePrinter::Num(load_s, 3),
+                 TablePrinter::Num(load_s > 0 ? rebuild_s / load_s : 0, 1),
+                 TablePrinter::Num(bytes / (1024.0 * 1024.0), 2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBenchIo(argc, argv, "bench_snapshot");
+  double imdb_scale = FlagOr(argc, argv, "scale", kImdbBenchScale * 0.5);
+  double dblp_scale = FlagOr(argc, argv, "dblpscale", kDblpBenchScale * 0.5);
+  size_t maxsweep = SizeFlagOr(argc, argv, "maxsweep", 2);
+
+  Banner("Snapshot boot", "save/load vs full aDB rebuild (scale sweep)");
+  TablePrinter table({"dataset", "scale", "rows", "rebuild (s)", "save (s)",
+                      "load (s)", "speedup", "file (MiB)"});
+  for (size_t factor = 1; factor <= maxsweep; factor *= 2) {
+    ImdbOptions options;
+    options.scale = imdb_scale * static_cast<double>(factor);
+    auto data = GenerateImdb(options);
+    SQUID_CHECK(data.ok()) << data.status().ToString();
+    MeasureRow(&table, "IMDb", options.scale, *data.value().db);
+  }
+  for (size_t factor = 1; factor <= maxsweep; factor *= 2) {
+    DblpOptions options;
+    options.scale = dblp_scale * static_cast<double>(factor);
+    auto data = GenerateDblp(options);
+    SQUID_CHECK(data.ok()) << data.status().ToString();
+    MeasureRow(&table, "DBLP", options.scale, *data.value().db);
+  }
+  table.Print();
+  return 0;
+}

@@ -21,6 +21,9 @@ CI) and fails when a shape regresses:
     than the cold pass beyond tolerance, warm repeat-heavy traffic must
     actually hit the cache, and multi-thread serve must not be slower than
     single-thread serve beyond tolerance (same 1-core-CI caveat).
+  * Snapshot boot (bench_snapshot.json): loading an αDB snapshot must be at
+    least ~5x faster than rebuilding the αDB from the base tables at the
+    largest benched scale, per dataset.
   * Fig. 11 (bench_fig11_query_runtime.json): abduced queries execute with
     runtimes comparable to the ground-truth queries — per query, the abduced
     runtime must stay within a sane ratio of the actual runtime (plus a
@@ -285,6 +288,53 @@ def check_fig11(path):
             )
 
 
+# A snapshot load must beat a full αDB rebuild by at least this factor at
+# the largest benched scale (the whole point of booting from a snapshot).
+# Smaller scales are reported but not gated: at tiny sizes both numbers are
+# mostly timer noise, which the absolute slack also soaks.
+SNAPSHOT_MIN_SPEEDUP = 5.0
+SNAPSHOT_SLACK_SECONDS = 0.05
+
+
+def check_snapshot(path):
+    global checks_run
+    doc = load(path)
+    required = ["dataset", "scale", "rebuild (s)", "load (s)"]
+    tables = tables_with_headers(doc, required)
+    if not tables:
+        fail(f"{path.name}: no snapshot table with {required}")
+        return
+    for table in tables:
+        section = table.get("section", "?")
+        rows = [
+            {h: v for h, v in zip(table["headers"], row)} for row in table["rows"]
+        ]
+        if not rows:
+            fail(f"{path.name} [{section}]: snapshot table is empty")
+            continue
+        by_dataset = {}
+        for row in rows:
+            by_dataset.setdefault(row["dataset"], []).append(row)
+        for dataset, dataset_rows in by_dataset.items():
+            largest = max(dataset_rows, key=lambda r: float(r["scale"]))
+            rebuild_s = float(largest["rebuild (s)"])
+            load_s = float(largest["load (s)"])
+            checks_run += 1
+            bound = rebuild_s / SNAPSHOT_MIN_SPEEDUP + SNAPSHOT_SLACK_SECONDS
+            label = f"{dataset} scale={float(largest['scale']):g}"
+            if load_s > bound:
+                fail(
+                    f"{path.name} [{section}] {label}: snapshot load "
+                    f"{load_s:.3f}s not ≥{SNAPSHOT_MIN_SPEEDUP:g}x faster than "
+                    f"rebuild {rebuild_s:.3f}s"
+                )
+            else:
+                ok(
+                    f"{section} {label}: rebuild {rebuild_s:.3f}s, "
+                    f"load {load_s:.3f}s"
+                )
+
+
 def main():
     json_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench/out")
     if not json_dir.is_dir():
@@ -296,6 +346,7 @@ def main():
         "bench_fig11_query_runtime": check_fig11,
         "bench_fig9_scalability": check_build_speedup,
         "bench_serve_throughput": check_serve,
+        "bench_snapshot": check_snapshot,
         "bench_table_datasets": check_build_speedup,
     }
     seen = 0

@@ -37,6 +37,13 @@ struct AdbOptions {
   size_t threads = 0;
 };
 
+/// Options for loading an αDB snapshot file.
+struct AdbSnapshotOptions {
+  /// Map the file read-only and parse in place where the platform supports
+  /// it; false streams the file through one heap buffer instead.
+  bool use_mmap = true;
+};
+
 /// Build-time and size report (feeds the dataset description tables).
 struct AdbReport {
   double build_seconds = 0;
@@ -60,6 +67,27 @@ class AbductionReadyDb {
   /// construction.
   static Result<std::unique_ptr<AbductionReadyDb>> Build(
       const Database& base, const AdbOptions& options = {});
+
+  /// Writes the complete αDB to a snapshot file (see storage/snapshot.h for
+  /// the container format). Snapshot bytes are deterministic: the same
+  /// logical αDB — regardless of build thread count — always serializes to
+  /// the same file, so bit-comparing snapshots compares αDBs. Requires all
+  /// tables to share one StringPool (true for every αDB built by Build()
+  /// from a single-catalog base database). Defined in adb/adb_snapshot.cpp.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Boots an αDB from a snapshot file without touching the original data:
+  /// tables, pool, inverted index, schema graph, and statistics are
+  /// restored from the extents; PK / derived-entity hash indexes, the
+  /// inverted index's probe table, and per-entity totals are rebuilt
+  /// in-memory (cheap and deterministic). Malformed input of any kind —
+  /// truncation, bit flips, hostile lengths — yields a Status error, never
+  /// UB. The volatile report fields are not part of a snapshot:
+  /// build_seconds / threads_used read 0 / 1 after a load, and base_bytes
+  /// (allocation-history dependent at build time) is recomputed from the
+  /// restored pool and base tables. Defined in adb/adb_snapshot.cpp.
+  static Result<std::unique_ptr<AbductionReadyDb>> LoadSnapshot(
+      const std::string& path, const AdbSnapshotOptions& options = {});
 
   /// Database containing base + derived relations (what abduced αDB-form
   /// queries execute against).

@@ -1,0 +1,49 @@
+#ifndef SQUID_ADB_ADB_SNAPSHOT_H_
+#define SQUID_ADB_ADB_SNAPSHOT_H_
+
+/// \file adb_snapshot.h
+/// \brief Lightweight αDB snapshot inspection. The save/load entry points
+/// live on AbductionReadyDb (SaveSnapshot / LoadSnapshot); this header adds
+/// a manifest peek used by the squid_snapshot CLI to describe a file
+/// without materializing the database.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/status.h"
+
+namespace squid {
+
+/// One table row of a snapshot manifest.
+struct AdbSnapshotTableInfo {
+  std::string name;
+  bool derived = false;  // false = base relation, true = materialized derived
+  uint64_t rows = 0;
+};
+
+/// Summary of a snapshot file (container header + manifest extent).
+struct AdbSnapshotInfo {
+  uint32_t format_version = 0;
+  uint64_t file_bytes = 0;
+  size_t num_extents = 0;
+  std::string database_name;
+  std::vector<AdbSnapshotTableInfo> tables;
+  uint64_t pool_entries = 0;
+  uint64_t pool_id_bound = 0;
+  /// Stable report fields as recorded at save time. The volatile fields
+  /// build_seconds / threads_used / base_bytes are not part of a snapshot
+  /// and read zero here (LoadSnapshot recomputes base_bytes; this cheap
+  /// header read does not).
+  AdbReport report;
+};
+
+/// Validates the snapshot container (all checksums) and parses only the
+/// manifest extent. Cheap relative to LoadSnapshot: no tables, pool, or
+/// statistics are materialized.
+Result<AdbSnapshotInfo> ReadAdbSnapshotInfo(const std::string& path);
+
+}  // namespace squid
+
+#endif  // SQUID_ADB_ADB_SNAPSHOT_H_

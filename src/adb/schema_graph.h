@@ -37,6 +37,9 @@
 
 namespace squid {
 
+class ExtentWriter;
+class ExtentReader;
+
 /// How a relation participates in the schema graph.
 enum class RelationKind {
   kEntity,
@@ -140,6 +143,14 @@ class SchemaGraph {
 
   /// Entity relations in deterministic order.
   const std::vector<std::string>& entity_relations() const { return entities_; }
+
+  /// Writes the analyzed graph (relation kinds, descriptors, entity list)
+  /// to a snapshot extent. Defined in adb/adb_snapshot.cpp.
+  void SnapshotSave(ExtentWriter* out) const;
+
+  /// Restores a graph from a snapshot extent, validating enum ranges
+  /// (untrusted input). Defined in adb/adb_snapshot.cpp.
+  static Result<SchemaGraph> SnapshotLoad(ExtentReader* in);
 
  private:
   std::vector<std::pair<std::string, RelationKind>> kinds_;

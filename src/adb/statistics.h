@@ -25,6 +25,9 @@
 
 namespace squid {
 
+class ExtentWriter;
+class ExtentReader;
+
 /// 64-bit map key for property values: string values intern to StringPool
 /// symbols, numerics normalize to their double image (matching Value's
 /// cross-type 1 == 1.0 equality). Replaces hashing whole Values on the
@@ -76,6 +79,17 @@ class PropertyStats {
 
   /// Number of entities that have any association for value v (θ >= 1).
   size_t EntitiesWithValue(const Value& v) const;
+
+  /// Writes this descriptor's statistics to a snapshot extent. The
+  /// unordered maps are emitted in sorted ValueKey order so snapshot bytes
+  /// are deterministic. Defined in adb/adb_snapshot.cpp.
+  void SnapshotSave(ExtentWriter* out) const;
+
+  /// Restores statistics from a snapshot extent, re-linking string keys to
+  /// the restored `pool`. Kinds, key tags, and string-key symbols are
+  /// validated (untrusted input). Defined in adb/adb_snapshot.cpp.
+  static Result<PropertyStats> SnapshotLoad(ExtentReader* in,
+                                            std::shared_ptr<const StringPool> pool);
 
  private:
   friend class StatisticsBuilder;

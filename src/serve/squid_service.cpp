@@ -1,5 +1,6 @@
 #include "serve/squid_service.h"
 
+#include "common/stopwatch.h"
 #include "core/entity_lookup.h"
 
 namespace squid {
@@ -99,6 +100,21 @@ ServeStats SquidService::stats() const {
   out.queue_depth = queue_.size();
   out.threads = serving_threads_;
   return out;
+}
+
+Result<std::unique_ptr<SnapshotBootedService>> BootServiceFromSnapshot(
+    const std::string& snapshot_path, ServeOptions options,
+    const AdbSnapshotOptions& snapshot_options) {
+  Stopwatch watch;
+  SQUID_ASSIGN_OR_RETURN(
+      std::unique_ptr<AbductionReadyDb> adb,
+      AbductionReadyDb::LoadSnapshot(snapshot_path, snapshot_options));
+  auto booted = std::make_unique<SnapshotBootedService>();
+  booted->load_seconds = watch.ElapsedSeconds();
+  booted->adb = std::move(adb);
+  booted->service =
+      std::make_unique<SquidService>(booted->adb.get(), std::move(options));
+  return booted;
 }
 
 }  // namespace squid

@@ -119,6 +119,25 @@ class SquidService {
   ThreadPool pool_;
 };
 
+/// A service booted from an αDB snapshot file, bundling the loaded αDB with
+/// the SquidService that serves it (the service holds a raw pointer into the
+/// αDB, so the two must share a lifetime; member order keeps the αDB alive
+/// until the service has drained).
+struct SnapshotBootedService {
+  std::unique_ptr<AbductionReadyDb> adb;  // declared before service: outlives it
+  std::unique_ptr<SquidService> service;
+  /// Wall-clock seconds spent in AbductionReadyDb::LoadSnapshot.
+  double load_seconds = 0;
+};
+
+/// Boots a ready-to-serve SquidService from a snapshot file instead of an
+/// offline Build() pass. Answers are bit-identical to a service over the
+/// freshly built αDB (the snapshot round-trip preserves the αDB down to
+/// symbol level). Malformed snapshots yield a Status error, never UB.
+Result<std::unique_ptr<SnapshotBootedService>> BootServiceFromSnapshot(
+    const std::string& snapshot_path, ServeOptions options = {},
+    const AdbSnapshotOptions& snapshot_options = {});
+
 }  // namespace squid
 
 #endif  // SQUID_SERVE_SQUID_SERVICE_H_

@@ -8,7 +8,7 @@ namespace squid {
 namespace {
 
 std::string EscapeField(const std::string& s) {
-  bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+  bool needs_quote = s.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return s;
   std::string out = "\"";
   for (char c : s) {
@@ -17,6 +17,36 @@ std::string EscapeField(const std::string& s) {
   }
   out += "\"";
   return out;
+}
+
+/// True when a quote-aware scan of `line` ends inside an open quoted field —
+/// i.e. the physical line is a prefix of a logical record whose quoted field
+/// embeds a newline. A doubled "" toggles twice, so it cancels out.
+bool EndsInsideQuotes(const std::string& line) {
+  bool in_quotes = false;
+  for (char c : line) {
+    if (c == '"') in_quotes = !in_quotes;
+  }
+  return in_quotes;
+}
+
+/// Reads one *logical* CSV record: strips one trailing '\r' from each
+/// physical line (CRLF files), and while the accumulated record still ends
+/// inside an open quoted field, joins the next physical line with '\n'
+/// (embedded CRLF therefore normalizes to LF). Returns false at EOF.
+bool ReadCsvRecord(std::istream& in, std::string* record) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  *record = std::move(line);
+  while (EndsInsideQuotes(*record) && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    *record += '\n';
+    *record += line;
+  }
+  // A still-open quote here means EOF inside a quoted field; leave it for
+  // ParseCsvLine, which reports "unterminated quoted field".
+  return true;
 }
 
 }  // namespace
@@ -81,14 +111,14 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::string line;
-  if (!std::getline(in, line)) return Status::Corruption("empty CSV: " + path);
+  if (!ReadCsvRecord(in, &line)) return Status::Corruption("empty CSV: " + path);
   SQUID_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
   if (header.size() != schema.num_attributes()) {
     return Status::Corruption("CSV header arity mismatch in " + path);
   }
   Table table(schema);
   size_t line_no = 1;
-  while (std::getline(in, line)) {
+  while (ReadCsvRecord(in, &line)) {
     ++line_no;
     if (line.empty()) continue;
     SQUID_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));

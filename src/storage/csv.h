@@ -17,7 +17,9 @@ namespace squid {
 Status WriteCsv(const Table& table, const std::string& path);
 
 /// Reads a CSV with a header row into a table following `schema` (column
-/// order must match). Empty fields load as NULL.
+/// order must match). Empty fields load as NULL. Accepts LF and CRLF line
+/// endings; quoted fields may embed separators, doubled quotes, and
+/// newlines (embedded CRLF normalizes to LF).
 Result<Table> ReadCsv(const Schema& schema, const std::string& path);
 
 /// Parses one CSV line honoring quoting; exposed for tests.

@@ -26,6 +26,12 @@ class Database {
   explicit Database(std::string name)
       : name_(std::move(name)), pool_(std::make_shared<StringPool>()) {}
 
+  /// Opens a catalog over an existing dictionary (snapshot load: tables are
+  /// reconstructed against the restored pool so symbols keep their ids).
+  Database(std::string name, std::shared_ptr<StringPool> pool)
+      : name_(std::move(name)),
+        pool_(pool ? std::move(pool) : std::make_shared<StringPool>()) {}
+
   // Movable, not copyable (tables can be large).
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;

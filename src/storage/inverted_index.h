@@ -24,6 +24,9 @@
 
 namespace squid {
 
+class ExtentWriter;
+class ExtentReader;
+
 /// One occurrence of a value in the database. Relation and attribute names
 /// are symbols in the index's pool (see InvertedColumnIndex::RelationName).
 struct Posting {
@@ -90,6 +93,21 @@ class InvertedColumnIndex {
 
   size_t NumKeys() const { return num_keys_; }
   size_t NumPostings() const { return postings_.size(); }
+
+  /// Writes the CSR arrays (slot keys in slot order, offsets, postings) to
+  /// a kInvertedIndex extent. The probe table is derived state and is not
+  /// serialized. Defined in storage/snapshot.cpp.
+  void SnapshotSave(ExtentWriter* out) const;
+
+  /// Rebuilds the index from a kInvertedIndex extent over the restored
+  /// `pool`, revalidating everything that crosses the trust boundary: slot
+  /// keys must be valid folded symbols, offsets monotone, and every posting
+  /// must name an existing (relation, attribute) pair of `db` with an
+  /// in-range row. The probe table is reconstructed from the slot keys.
+  /// Defined in storage/snapshot.cpp.
+  static Result<InvertedColumnIndex> SnapshotLoad(
+      ExtentReader* in, std::shared_ptr<const StringPool> pool,
+      const Database& db);
 
  private:
   static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;

@@ -104,6 +104,22 @@ class StringPool {
   /// pre-intern pass to avoid rehashing).
   void Reserve(size_t expected_strings);
 
+  /// Number of entries published in shard `shard` (< kNumShards). The
+  /// snapshot writer walks shards entry-by-entry, and the loader replays
+  /// them in the same order to reproduce identical symbols.
+  uint32_t ShardEntryCount(size_t shard) const {
+    return shards_[shard].count.load(std::memory_order_acquire);
+  }
+
+  /// True when `id` names a published entry of this pool. Symbols are not
+  /// dense, so a bound check against IdBound() is insufficient; this checks
+  /// the per-shard insertion index. Snapshot loaders use it to vet symbols
+  /// read from untrusted files before calling View()/FoldedOf().
+  bool IsValidSymbol(Symbol id) const {
+    const Shard& shard = shards_[id & (kNumShards - 1)];
+    return (id >> kShardBits) < shard.count.load(std::memory_order_acquire);
+  }
+
   /// Approximate heap footprint (arenas + entry tables + hash maps).
   size_t ApproxBytes() const;
 

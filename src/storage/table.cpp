@@ -106,6 +106,51 @@ void Column::Reserve(size_t n) {
   }
 }
 
+Status Column::SnapshotRestore(std::vector<uint8_t> valid,
+                               std::vector<int64_t> ints,
+                               std::vector<double> doubles,
+                               std::vector<Symbol> syms) {
+  if (!valid_.empty()) {
+    return Status::Internal("SnapshotRestore on a non-empty column");
+  }
+  auto shape_error = [](const char* what) {
+    return Status::Corruption(std::string("snapshot column: ") + what);
+  };
+  const size_t n = valid.size();
+  switch (type_) {
+    case ValueType::kInt64:
+      if (ints.size() != n || !doubles.empty() || !syms.empty()) {
+        return shape_error("int64 vector shape mismatch");
+      }
+      break;
+    case ValueType::kDouble:
+      if (doubles.size() != n || !ints.empty() || !syms.empty()) {
+        return shape_error("double vector shape mismatch");
+      }
+      break;
+    case ValueType::kString:
+      if (syms.size() != n || !ints.empty() || !doubles.empty()) {
+        return shape_error("string vector shape mismatch");
+      }
+      for (Symbol s : syms) {
+        if (!pool_->IsValidSymbol(s)) {
+          return shape_error("cell symbol outside the restored pool");
+        }
+      }
+      break;
+    case ValueType::kNull:
+      return shape_error("column with null type");
+  }
+  for (uint8_t v : valid) {
+    if (v > 1) return shape_error("validity byte not in {0, 1}");
+  }
+  valid_ = std::move(valid);
+  ints_ = std::move(ints);
+  doubles_ = std::move(doubles);
+  syms_ = std::move(syms);
+  return Status::OK();
+}
+
 Table::Table(Schema schema, std::shared_ptr<StringPool> pool)
     : schema_(std::move(schema)), pool_(std::move(pool)) {
   if (!pool_) pool_ = std::make_shared<StringPool>();
@@ -142,6 +187,22 @@ std::vector<Value> Table::RowValues(size_t row) const {
 
 void Table::Reserve(size_t n) {
   for (auto& col : columns_) col->Reserve(n);
+}
+
+Status Table::FinishSnapshotRestore(size_t num_rows) {
+  if (num_rows_ != 0) {
+    return Status::Internal("FinishSnapshotRestore on a non-empty table");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->size() != num_rows) {
+      return Status::Corruption(
+          "snapshot table '" + name() + "': column " + std::to_string(i) +
+          " holds " + std::to_string(columns_[i]->size()) + " cells, expected " +
+          std::to_string(num_rows));
+    }
+  }
+  num_rows_ = num_rows;
+  return Status::OK();
 }
 
 size_t Table::ApproxBytes() const {

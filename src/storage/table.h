@@ -68,6 +68,22 @@ class Column {
 
   void Reserve(size_t n);
 
+  // Raw vector views for the snapshot writer (storage/snapshot.cpp): the
+  // on-disk column payload is these vectors verbatim. Only the vector
+  // matching type() is populated; valid_raw() always has size() entries.
+  const std::vector<uint8_t>& valid_raw() const { return valid_; }
+  const std::vector<int64_t>& ints_raw() const { return ints_; }
+  const std::vector<double>& doubles_raw() const { return doubles_; }
+  const std::vector<Symbol>& syms_raw() const { return syms_; }
+
+  /// Replaces the column contents wholesale (snapshot load). Validates the
+  /// shape: the vector matching type() and `valid` must agree in length,
+  /// the other vectors must be empty, and — for string columns — every
+  /// symbol (null cells included; they hold the empty-string symbol) must
+  /// be valid in the column's pool. The column must be empty.
+  Status SnapshotRestore(std::vector<uint8_t> valid, std::vector<int64_t> ints,
+                         std::vector<double> doubles, std::vector<Symbol> syms);
+
  private:
   ValueType type_;
   StringPool* pool_;
@@ -113,6 +129,11 @@ class Table {
   /// Approximate heap footprint in bytes, excluding the (shared) string
   /// pool — Database::ApproxBytes adds the pool once.
   size_t ApproxBytes() const;
+
+  /// Seals a snapshot load: after every column was filled via
+  /// Column::SnapshotRestore, checks they all carry exactly `num_rows`
+  /// cells and publishes the row count. The table must have been empty.
+  Status FinishSnapshotRestore(size_t num_rows);
 
  private:
   Schema schema_;

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -180,6 +182,76 @@ TEST_F(ServeFixture, ProviderSeamMatchesPlainSquid) {
               Fingerprint(plain.Discover(examples)));
   }
   EXPECT_GT(cache.stats().misses, 0u);
+}
+
+// ---------- boot from snapshot ----------
+
+TEST_F(ServeFixture, SnapshotBootedServiceMatchesFreshlyBuilt) {
+  const std::vector<std::string> expected = SerialFingerprints();
+  const std::string path =
+      ::testing::TempDir() + "squid_serve_boot_test.sqsnap";
+  ASSERT_TRUE(bench_->adb->SaveSnapshot(path).ok());
+
+  struct Config {
+    size_t threads;
+    size_t cache_bytes;
+  };
+  // Synchronous uncached and parallel cached: the two serve shapes a boot
+  // must reproduce exactly.
+  const Config configs[] = {{1, 0}, {4, 8u << 20}};
+  for (const Config& config : configs) {
+    ServeOptions options;
+    options.threads = config.threads;
+    options.cache_bytes = config.cache_bytes;
+    options.cache_shards = 4;
+    auto booted = BootServiceFromSnapshot(path, options);
+    ASSERT_TRUE(booted.ok()) << booted.status().ToString();
+    EXPECT_GT(booted.value()->load_seconds, 0.0);
+    EXPECT_EQ(booted.value()->service->threads(),
+              SquidService(bench_->adb.get(), options).threads());
+    // Freshly built service over the ORIGINAL αDB, same options.
+    SquidService fresh(bench_->adb.get(), options);
+    // Two passes: the cold pass fills the booted service's cache from the
+    // restored αDB, the warm pass answers from it; both must match the
+    // fresh service and the cold serial reference.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < workload_->size(); ++i) {
+        auto from_snapshot =
+            booted.value()->service->DiscoverSync((*workload_)[i]);
+        EXPECT_EQ(Fingerprint(from_snapshot), expected[i])
+            << "threads=" << config.threads << " cache=" << config.cache_bytes
+            << " pass=" << pass << " set=" << i;
+        EXPECT_EQ(Fingerprint(from_snapshot),
+                  Fingerprint(fresh.DiscoverSync((*workload_)[i])));
+      }
+    }
+    if (config.cache_bytes > 0) {
+      EXPECT_GT(booted.value()->service->stats().hits, 0u)
+          << "warm pass should have hit the booted service's cache";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeFixture, BootFromCorruptSnapshotFailsCleanly) {
+  const std::string path =
+      ::testing::TempDir() + "squid_serve_boot_corrupt.sqsnap";
+  ASSERT_TRUE(bench_->adb->SaveSnapshot(path).ok());
+  // Flip one payload byte; the boot must refuse the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    char byte = 0;
+    f.seekg(100);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(100);
+    f.write(&byte, 1);
+  }
+  auto booted = BootServiceFromSnapshot(path);
+  ASSERT_FALSE(booted.ok());
+  EXPECT_EQ(booted.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
 }
 
 // ---------- discover stats (hoisted lookup satellite) ----------

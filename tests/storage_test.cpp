@@ -410,6 +410,86 @@ TEST(CsvTest, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, QuotedSeparatorsCrlfAndEmptyTrailingFields) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_edge.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    // CRLF line endings throughout; quoted separators and doubled quotes;
+    // an empty trailing field (NULL) on the last row.
+    fputs("name,note\r\n", f);
+    fputs("\"Doe, Jane\",\"said \"\"hi\"\"\"\r\n", f);
+    fputs("plain,\r\n", f);
+    fclose(f);
+  }
+  Schema s("t", {{"name", ValueType::kString}, {"note", ValueType::kString}});
+  auto loaded = ReadCsv(s, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_rows(), 2u);
+  EXPECT_EQ(loaded.value().ValueAt(0, 0).AsString(), "Doe, Jane");
+  EXPECT_EQ(loaded.value().ValueAt(0, 1).AsString(), "said \"hi\"");
+  EXPECT_EQ(loaded.value().ValueAt(1, 0).AsString(), "plain");
+  EXPECT_TRUE(loaded.value().ValueAt(1, 1).is_null());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedEmbeddedNewlinesSpanPhysicalLines) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_nl.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    // One logical record per quoted field spanning two physical lines; the
+    // second uses CRLF, whose embedded \r\n normalizes to \n on read.
+    fputs("id,text\n", f);
+    fputs("1,\"line one\nline two\"\n", f);
+    fputs("2,\"a\r\nb\"\r\n", f);
+    fclose(f);
+  }
+  Schema s("t", {{"id", ValueType::kInt64}, {"text", ValueType::kString}});
+  auto loaded = ReadCsv(s, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().num_rows(), 2u);
+  EXPECT_EQ(loaded.value().ValueAt(0, 1).AsString(), "line one\nline two");
+  EXPECT_EQ(loaded.value().ValueAt(1, 1).AsString(), "a\nb");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EmbeddedNewlineValuesRoundTripThroughWrite) {
+  Schema s("t", {{"s", ValueType::kString}});
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("two\nlines")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("cr\rhere")}).ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_nl_rt.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(s, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().num_rows(), 2u);
+  EXPECT_EQ(loaded.value().ValueAt(0, 0).AsString(), "two\nlines");
+  // A bare \r inside a quoted field only survives when it is not part of a
+  // \r\n pair; WriteCsv quotes it, ReadCsv keeps it.
+  EXPECT_EQ(loaded.value().ValueAt(1, 0).AsString(), "cr\rhere");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UnterminatedQuoteAtEofIsCorruption) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_eof.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("s\n\"never closed\n", f);
+    fclose(f);
+  }
+  Schema s("t", {{"s", ValueType::kString}});
+  auto loaded = ReadCsv(s, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, ReadRejectsBadNumbers) {
   std::string path =
       (std::filesystem::temp_directory_path() / "squid_csv_bad.csv").string();
