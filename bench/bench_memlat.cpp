@@ -1,0 +1,220 @@
+// Out-of-cache probe latency for the three memory-bound probe paths: the
+// join hash (FlatJoinHash::ProbeBatch), the inverted index's CSR lookup
+// (LookupFoldedBatch), and the group-by table (GroupKeyTable::AddBatch).
+// Working-set sizes sweep from cache-resident past the LLC, and each size
+// is measured under three MemConfig::prefetch_window settings: 1 (pipeline
+// disabled — every bucket read stalls), 8 (the old hardcoded lookahead),
+// and the default pipelined window. The reproduction target — asserted by
+// scripts/check_bench_trends.py — is that the pipelined probe is not slower
+// than the unprefetched one at the largest (out-of-LLC) scale; on real DRAM
+// it should be substantially faster (DRAMHiT-style latency hiding).
+//
+// Every pass also folds its results into a checksum and the bench aborts if
+// any window setting disagrees with window=1 — the pipeline must be a pure
+// latency optimization.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/mem_arena.h"
+#include "common/rng.h"
+#include "exec/group_table.h"
+#include "exec/join_hash.h"
+#include "storage/database.h"
+#include "storage/inverted_index.h"
+
+using namespace squid;
+using namespace squid::bench;
+
+namespace {
+
+constexpr size_t kChunk = 1024;  // executor's probe-chunk size
+
+/// Minimum wall-clock over `runs` invocations of `fn`, in nanoseconds per
+/// item over `items`.
+template <typename Fn>
+double BestNsPerItem(size_t runs, size_t items, Fn fn) {
+  double best_s = 0;
+  for (size_t r = 0; r < runs; ++r) {
+    Stopwatch watch;
+    fn();
+    double s = watch.ElapsedSeconds();
+    if (r == 0 || s < best_s) best_s = s;
+  }
+  return best_s * 1e9 / static_cast<double>(items);
+}
+
+struct Pass {
+  double ns = 0;
+  uint64_t checksum = 0;
+};
+
+/// Measures `fn` (which returns a checksum) under prefetch window `w`.
+template <typename Fn>
+Pass MeasureAtWindow(size_t w, size_t runs, size_t items, Fn fn) {
+  const size_t saved = GlobalMemConfig().prefetch_window;
+  GlobalMemConfig().prefetch_window = w;
+  Pass pass;
+  pass.ns = BestNsPerItem(runs, items, [&] { pass.checksum = fn(); });
+  GlobalMemConfig().prefetch_window = saved;
+  return pass;
+}
+
+void AddSweepRow(TablePrinter* table, const char* structure, size_t keys,
+                 size_t bytes, const Pass& w1, const Pass& w8,
+                 const Pass& wp) {
+  SQUID_CHECK(w8.checksum == w1.checksum && wp.checksum == w1.checksum)
+      << structure << " probe results diverge across prefetch windows";
+  table->AddRow({structure, TablePrinter::Int(keys),
+                 TablePrinter::Num(bytes / (1024.0 * 1024.0), 1),
+                 TablePrinter::Num(w1.ns, 2), TablePrinter::Num(w8.ns, 2),
+                 TablePrinter::Num(wp.ns, 2),
+                 TablePrinter::Num(wp.ns > 0 ? w1.ns / wp.ns : 0, 2)});
+}
+
+void BenchJoinProbe(TablePrinter* table, size_t n, size_t runs,
+                    size_t pipelined_w) {
+  Column col(ValueType::kInt64, nullptr);
+  std::vector<uint32_t> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    col.AppendInt64(static_cast<int64_t>(i));
+    rows[i] = static_cast<uint32_t>(i);
+  }
+  FlatJoinHash hash = FlatJoinHash::Build(col, rows);
+
+  // Probe every key once, in random order: at out-of-LLC table sizes each
+  // bucket read is a fresh DRAM line.
+  Rng rng(0x5eed);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = i;
+  rng.Shuffle(&keys);
+  std::vector<uint8_t> valid(n, 1);
+  std::vector<FlatJoinHash::RowSpan> out(kChunk);
+
+  auto probe_all = [&]() -> uint64_t {
+    uint64_t sum = 0;
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t m = std::min(kChunk, n - base);
+      hash.ProbeBatch(keys.data() + base, valid.data() + base, m, out.data());
+      for (size_t i = 0; i < m; ++i) sum += out[i].size + *out[i].data;
+    }
+    return sum;
+  };
+  Pass w1 = MeasureAtWindow(1, runs, n, probe_all);
+  Pass w8 = MeasureAtWindow(8, runs, n, probe_all);
+  Pass wp = MeasureAtWindow(pipelined_w, runs, n, probe_all);
+  AddSweepRow(table, "join-probe", n, hash.ApproxBytes(), w1, w8, wp);
+}
+
+void BenchCsrLookup(TablePrinter* table, size_t n, size_t runs,
+                    size_t pipelined_w) {
+  // A synthetic entity table with n distinct indexed strings; the CSR
+  // arrays plus the symbol->slot table are the probe working set.
+  Database db;
+  Schema schema("vals", {{"name", ValueType::kString}});
+  schema.set_entity(true);
+  schema.AddTextSearchAttribute("name");
+  auto created = db.CreateTable(std::move(schema));
+  SQUID_CHECK(created.ok()) << created.status().ToString();
+  Table* t = created.value();
+  t->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Status s = t->AppendRow({Value("v" + std::to_string(i))});
+    SQUID_CHECK(s.ok()) << s.ToString();
+  }
+  auto built = InvertedColumnIndex::Build(db);
+  SQUID_CHECK(built.ok()) << built.status().ToString();
+  const InvertedColumnIndex& index = built.value();
+
+  Rng rng(0xcafe);
+  std::vector<Symbol> probes(n);
+  const StringPool& pool = index.pool();
+  const Column& col = t->column(0);
+  for (size_t i = 0; i < n; ++i) probes[i] = pool.FoldedOf(col.SymbolAt(i));
+  rng.Shuffle(&probes);
+  std::vector<InvertedColumnIndex::PostingSpan> out(kChunk);
+
+  auto lookup_all = [&]() -> uint64_t {
+    uint64_t sum = 0;
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t m = std::min(kChunk, n - base);
+      index.LookupFoldedBatch(probes.data() + base, m, out.data());
+      for (size_t i = 0; i < m; ++i) sum += out[i].size() + out[i][0].row;
+    }
+    return sum;
+  };
+  Pass w1 = MeasureAtWindow(1, runs, n, lookup_all);
+  Pass w8 = MeasureAtWindow(8, runs, n, lookup_all);
+  Pass wp = MeasureAtWindow(pipelined_w, runs, n, lookup_all);
+  AddSweepRow(table, "csr-lookup", n, index.ApproxBytes(), w1, w8, wp);
+}
+
+void BenchGroupBy(TablePrinter* table, size_t n, size_t runs,
+                  size_t pipelined_w) {
+  // n tuples over n/2 distinct 1-column keys in random order: half the adds
+  // insert, half hit an existing (randomly placed) group.
+  constexpr size_t kParts = 2;
+  Rng rng(0x6007);
+  std::vector<uint64_t> key_of(n);
+  for (size_t i = 0; i < n; ++i) key_of[i] = i / 2;
+  rng.Shuffle(&key_of);
+  std::vector<uint64_t> packed(n * kParts);
+  for (size_t i = 0; i < n; ++i) {
+    packed[i * kParts] = 1;
+    packed[i * kParts + 1] = key_of[i];
+  }
+
+  size_t bytes = 0;
+  auto group_all = [&]() -> uint64_t {
+    GroupKeyTable groups(kParts);
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t m = std::min(kChunk, n - base);
+      groups.AddBatch(packed.data() + base * kParts, m,
+                      static_cast<uint32_t>(base));
+    }
+    bytes = groups.ApproxBytes();
+    uint64_t sum = groups.num_groups();
+    for (size_t g = 0; g < groups.num_groups(); ++g) {
+      sum += groups.groups()[g].count + groups.groups()[g].first_tuple;
+    }
+    return sum;
+  };
+  Pass w1 = MeasureAtWindow(1, runs, n, group_all);
+  Pass w8 = MeasureAtWindow(8, runs, n, group_all);
+  Pass wp = MeasureAtWindow(pipelined_w, runs, n, group_all);
+  AddSweepRow(table, "group-by", n, bytes, w1, w8, wp);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBenchIo(argc, argv, "bench_memlat");
+  // --scale multiplies the key-count sweep (the shared CI flag shrinks it);
+  // the largest default size (2M keys -> a 64 MiB join table) sits past any
+  // current LLC.
+  const double scale = FlagOr(argc, argv, "scale", 1.0);
+  const size_t runs = std::max<size_t>(1, SizeFlagOr(argc, argv, "runs", 3));
+  const size_t pipelined_w = GlobalMemConfig().prefetch_window;
+
+  Banner("Memory latency",
+         "out-of-cache probe ns/op vs prefetch window (DRAMHiT-style sweep)");
+  std::printf("hugepages=%d pipelined window=%zu (SQUID_HUGEPAGES / "
+              "SQUID_PREFETCH_WINDOW to override)\n",
+              static_cast<int>(GlobalMemConfig().hugepages), pipelined_w);
+  TablePrinter table({"structure", "keys", "MiB", "no-prefetch (ns)",
+                      "window8 (ns)", "pipelined (ns)", "speedup"});
+  std::vector<size_t> sweep;
+  for (size_t base : {size_t{1} << 15, size_t{1} << 17, size_t{1} << 19,
+                      size_t{1} << 21}) {
+    size_t n = static_cast<size_t>(static_cast<double>(base) * scale);
+    sweep.push_back(std::max<size_t>(n, 4096));
+  }
+  for (size_t n : sweep) BenchJoinProbe(&table, n, runs, pipelined_w);
+  for (size_t n : sweep) BenchCsrLookup(&table, n, runs, pipelined_w);
+  for (size_t n : sweep) BenchGroupBy(&table, n, runs, pipelined_w);
+  table.Print();
+  return 0;
+}

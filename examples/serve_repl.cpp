@@ -69,11 +69,18 @@ int main(int argc, char** argv) {
   serve.cache_bytes =
       static_cast<size_t>(FlagOr(argc, argv, "cache-mb", 8) * (1 << 20));
   SquidService service(adb.value().get(), serve);
+  const AdbReport& report = adb.value()->report();
   std::fprintf(stderr,
                "serve_repl: aDB ready (%zu descriptors), %zu worker thread(s), "
                "cache %zu MiB. Type .help for the protocol.\n",
-               adb.value()->report().num_descriptors, service.threads(),
+               report.num_descriptors, service.threads(),
                serve.cache_bytes >> 20);
+  std::fprintf(stderr,
+               "serve_repl: resident %.1f MiB base + %.1f MiB derived + "
+               "%.1f MiB inverted index (exact arena accounting)\n",
+               report.base_bytes / (1024.0 * 1024.0),
+               report.derived_bytes / (1024.0 * 1024.0),
+               report.index_bytes / (1024.0 * 1024.0));
 
   if (smoke) {
     // Five requests through the real REPL path: a cold pair, the same pair

@@ -153,11 +153,18 @@ int RunVerify(int argc, char** argv) {
   }
 
   const squid::Database& db = adb.value()->database();
+  const squid::AdbReport& report = adb.value()->report();
   std::printf(
       "verify OK: %s loads in %.2fs and round-trips bit-identically "
       "(%zu tables, %zu bytes)\n",
       file.c_str(), load_seconds, db.TableNames().size(),
       original.value().size());
+  std::printf(
+      "  resident: %.1f MiB base + %.1f MiB derived + %.1f MiB inverted "
+      "index (arena accounting)\n",
+      report.base_bytes / (1024.0 * 1024.0),
+      report.derived_bytes / (1024.0 * 1024.0),
+      report.index_bytes / (1024.0 * 1024.0));
   return 0;
 }
 

@@ -156,6 +156,7 @@ Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::Build(
   // Inverted column index over the base database.
   SQUID_ASSIGN_OR_RETURN(InvertedColumnIndex inv, InvertedColumnIndex::Build(base));
   adb->inverted_index_ = std::move(inv);
+  adb->report_.index_bytes = adb->inverted_index_.ApproxBytes();
 
   adb->report_.build_seconds = timer.ElapsedSeconds();
   return adb;

@@ -57,6 +57,10 @@ struct AdbReport {
   size_t base_rows = 0;
   size_t derived_bytes = 0;
   size_t base_bytes = 0;
+  /// Resident bytes of the inverted index (CSR arrays + probe table, exact
+  /// arena accounting). Volatile like base_bytes: recomputed on snapshot
+  /// load, never serialized.
+  size_t index_bytes = 0;
 };
 
 /// \brief The αDB. Owns derived tables; aliases the base tables.

@@ -483,6 +483,7 @@ Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::LoadSnapshot(
     SQUID_ASSIGN_OR_RETURN(const Table* table, adb->db_.GetTable(meta.name));
     adb->report_.base_bytes += table->ApproxBytes();
   }
+  adb->report_.index_bytes = adb->inverted_index_.ApproxBytes();
 
   // Rebuilt (not serialized) derived state, mirroring Build() exactly:
   // PK hash indexes over every keyed base relation...

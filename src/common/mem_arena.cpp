@@ -1,0 +1,162 @@
+#include "common/mem_arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <string>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define SQUID_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define SQUID_HAVE_MMAP 0
+#endif
+
+#include "common/logging.h"
+
+namespace squid {
+
+namespace {
+
+HugepageMode ParseHugepageMode(const char* v, HugepageMode fallback) {
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  for (char& c : s) c = (c >= 'A' && c <= 'Z') ? static_cast<char>(c | 0x20) : c;
+  if (s == "0" || s == "off" || s == "false" || s == "none") return HugepageMode::kOff;
+  if (s == "2" || s == "explicit" || s == "hugetlb") return HugepageMode::kExplicit;
+  if (s == "1" || s == "on" || s == "thp" || s == "transparent" || s == "true") {
+    return HugepageMode::kTransparent;
+  }
+  return fallback;
+}
+
+size_t ParseSize(const char* v, size_t fallback) {
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+void SeedFromEnv(MemConfig* config) {
+  config->hugepages =
+      ParseHugepageMode(std::getenv("SQUID_HUGEPAGES"), config->hugepages);
+  config->prefetch_distance =
+      ParseSize(std::getenv("SQUID_PREFETCH_DISTANCE"), config->prefetch_distance);
+  config->prefetch_window =
+      ParseSize(std::getenv("SQUID_PREFETCH_WINDOW"), config->prefetch_window);
+}
+
+MemConfig* TheConfig() {
+  static MemConfig* config = [] {
+    auto* c = new MemConfig();
+    SeedFromEnv(c);
+    return c;
+  }();
+  return config;
+}
+
+size_t RoundUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+MemConfig& GlobalMemConfig() { return *TheConfig(); }
+
+void ReloadMemConfigFromEnv() {
+  *TheConfig() = MemConfig();
+  SeedFromEnv(TheConfig());
+}
+
+MemArena::MemArena(size_t block_bytes)
+    : MemArena(block_bytes, GlobalMemConfig().hugepages) {}
+
+MemArena::MemArena(size_t block_bytes, HugepageMode mode)
+    : block_bytes_(block_bytes < 4096 ? 4096 : block_bytes), mode_(mode) {}
+
+MemArena::~MemArena() {
+  for (Block& b : blocks_) {
+#if SQUID_HAVE_MMAP
+    if (b.mapped) {
+      ::munmap(b.ptr, b.size);
+      continue;
+    }
+#endif
+    ::operator delete(b.ptr, std::align_val_t{alignof(std::max_align_t)});
+  }
+}
+
+MemArena::Block MemArena::MapBlock(size_t bytes) {
+  Block block;
+  block.size = bytes;
+#if SQUID_HAVE_MMAP
+  const int prot = PROT_READ | PROT_WRITE;
+#if defined(MAP_HUGETLB)
+  if (mode_ == HugepageMode::kExplicit) {
+    // Explicit 2 MiB pages need a hugepage-aligned length and a configured
+    // hugetlb pool; either missing makes mmap fail, and we fall through.
+    const size_t huge = size_t{2} << 20;
+    void* p = ::mmap(nullptr, RoundUp(bytes, huge), prot,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      block.ptr = p;
+      block.size = RoundUp(bytes, huge);
+      block.mapped = true;
+      block.hugetlb = true;
+      stats_.hugetlb_bytes += block.size;
+      return block;
+    }
+  }
+#endif
+  void* p = ::mmap(nullptr, bytes, prot, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p != MAP_FAILED) {
+    block.ptr = p;
+    block.mapped = true;
+#if defined(MADV_HUGEPAGE)
+    if (mode_ != HugepageMode::kOff && bytes >= (size_t{2} << 20)) {
+      // Advisory: the kernel backs with THP when it can; failure is fine.
+      if (::madvise(p, bytes, MADV_HUGEPAGE) == 0) stats_.thp_bytes += bytes;
+    }
+#endif
+    return block;
+  }
+#endif  // SQUID_HAVE_MMAP
+  block.ptr = ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)});
+  block.mapped = false;
+  return block;
+}
+
+void* MemArena::Allocate(size_t bytes, size_t align) {
+  SQUID_CHECK(align != 0 && (align & (align - 1)) == 0)
+      << "arena alignment must be a power of two";
+  if (bytes == 0) bytes = 1;  // keep returned pointers distinct
+
+  // Oversize: dedicated block (page-aligned by construction, which
+  // satisfies any sane `align`).
+  if (bytes + align > block_bytes_) {
+    Block block = MapBlock(RoundUp(bytes, 4096));
+    blocks_.push_back(block);
+    stats_.reserved_bytes += block.size;
+    ++stats_.block_count;
+    stats_.used_bytes += bytes;
+    return block.ptr;
+  }
+
+  char* aligned = reinterpret_cast<char*>(
+      RoundUp(reinterpret_cast<uintptr_t>(bump_), align));
+  if (aligned + bytes > end_) {
+    Block block = MapBlock(block_bytes_);
+    blocks_.push_back(block);
+    stats_.reserved_bytes += block.size;
+    ++stats_.block_count;
+    bump_ = static_cast<char*>(block.ptr);
+    end_ = bump_ + block.size;
+    aligned = bump_;  // block starts page-aligned
+  }
+  stats_.used_bytes += static_cast<size_t>(aligned - bump_) + bytes;
+  bump_ = aligned + bytes;
+  return aligned;
+}
+
+}  // namespace squid

@@ -1,0 +1,60 @@
+#ifndef SQUID_COMMON_PROBE_PIPELINE_H_
+#define SQUID_COMMON_PROBE_PIPELINE_H_
+
+/// \file probe_pipeline.h
+/// \brief The software-prefetch probe pipeline shared by the batched hash
+/// probes (FlatJoinHash), the CSR inverted-index batch lookup, and the
+/// executor's group-by table.
+///
+/// A batched probe loop is memory-bound: each probe's first useful
+/// instruction waits on a DRAM load of its bucket. Instead of prefetching a
+/// fixed 8 ahead and recomputing everything at resolve time, the pipeline
+/// runs two stages over a fixed in-flight window W (MemConfig::
+/// prefetch_window): stage 1 hashes probe i+W, issues its prefetch, and
+/// parks the computed bucket index in a ring; stage 2 resolves probe i from
+/// the ring — by which time the bucket's cache line has (ideally) arrived.
+/// W bounds the memory-level parallelism in flight, matching the LFB/MSHR
+/// budget of the core rather than the loop's trip count.
+///
+/// The helper is deliberately dumb: Compute must be pure per-index work
+/// (hash + prefetch + return the carried state), Resolve consumes it in
+/// order. Resolve MAY mutate the probed structure (group-by inserts,
+/// rehashes): carried state and prefetch hints are only a head start, and
+/// resolvers must stay correct when they are stale.
+
+#include <cstddef>
+
+#include "common/mem_arena.h"
+
+namespace squid {
+
+/// Hard cap on the in-flight window (ring storage lives on the stack).
+inline constexpr size_t kMaxProbeWindow = 64;
+
+/// Runs `resolve(i, carried)` for i in [0, n) where `carried` is
+/// `compute(i)` issued `window` iterations earlier (compute typically
+/// prefetches and returns the bucket index). window <= 1 degrades to the
+/// plain fused loop.
+template <typename Carried, typename Compute, typename Resolve>
+inline void PipelinedProbe(size_t n, size_t window, Compute compute,
+                           Resolve resolve) {
+  size_t w = window;
+  if (w > kMaxProbeWindow) w = kMaxProbeWindow;
+  if (w <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) resolve(i, compute(i));
+    return;
+  }
+  Carried ring[kMaxProbeWindow];
+  const size_t lead = n < w ? n : w;
+  for (size_t j = 0; j < lead; ++j) ring[j % w] = compute(j);
+  for (size_t i = 0; i < n; ++i) {
+    Carried carried = ring[i % w];
+    const size_t j = i + w;
+    if (j < n) ring[j % w] = compute(j);  // reuses slot i % w
+    resolve(i, carried);
+  }
+}
+
+}  // namespace squid
+
+#endif  // SQUID_COMMON_PROBE_PIPELINE_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "exec/expression.h"
+#include "exec/group_table.h"
 #include "exec/join_hash.h"
 #include "exec/tuple_buffer.h"
 
@@ -422,60 +423,30 @@ Result<ResultSet> Executor::ExecuteSelectImpl(const SelectQuery& query) {
       keys.push_back(key);
     }
     // Grouping keys are packed per column — (validity, symbol-or-bits)
-    // pairs — stored contiguously in one flat array; an open-addressing
-    // table over the part spans assigns dense group ids, and each group
-    // remembers only its first tuple's index into the buffer.
-    constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
-    struct Group {
-      uint64_t hash;
-      uint32_t first_tuple;
-      uint32_t count;
-    };
+    // pairs — a chunk at a time into one flat scratch block, then folded
+    // into the arena-backed GroupKeyTable, whose pipelined AddBatch
+    // prefetches slot reads a window ahead (see exec/group_table.h).
     const size_t parts = keys.size() * 2;
-    std::vector<uint64_t> key_storage;
-    std::vector<Group> group_list;
-    size_t cap = 16;
-    std::vector<uint32_t> slots(cap, kNoGroup);
-    std::vector<uint64_t> scratch(parts);
-    for (size_t t = 0; t < state.tuples.size(); ++t) {
-      for (size_t k = 0; k < keys.size(); ++k) {
-        uint64_t packed = 0;
-        bool valid =
-            PackCellKey(*keys[k].first, state.tuples.At(t, keys[k].second), &packed);
-        scratch[2 * k] = valid ? 1 : 0;
-        scratch[2 * k + 1] = valid ? packed : 0;
-      }
-      uint64_t h = 1469598103934665603ULL;
-      for (uint64_t p : scratch) h = (h ^ MixJoinKey(p)) * 1099511628211ULL;
-      uint64_t i = h & (cap - 1);
-      while (true) {
-        uint32_t g = slots[i];
-        if (g == kNoGroup) {
-          slots[i] = static_cast<uint32_t>(group_list.size());
-          group_list.push_back(Group{h, static_cast<uint32_t>(t), 1});
-          key_storage.insert(key_storage.end(), scratch.begin(), scratch.end());
-          if ((group_list.size() + 1) * 2 > cap) {
-            cap <<= 1;
-            slots.assign(cap, kNoGroup);
-            for (uint32_t gi = 0; gi < group_list.size(); ++gi) {
-              uint64_t ri = group_list[gi].hash & (cap - 1);
-              while (slots[ri] != kNoGroup) ri = (ri + 1) & (cap - 1);
-              slots[ri] = gi;
-            }
-          }
-          break;
+    GroupKeyTable table(parts);
+    std::vector<uint64_t> scratch(kProbeChunk * parts);
+    for (size_t base = 0; base < state.tuples.size(); base += kProbeChunk) {
+      const size_t n = std::min(kProbeChunk, state.tuples.size() - base);
+      for (size_t j = 0; j < n; ++j) {
+        const size_t t = base + j;
+        for (size_t k = 0; k < keys.size(); ++k) {
+          uint64_t packed = 0;
+          bool valid = PackCellKey(*keys[k].first,
+                                   state.tuples.At(t, keys[k].second), &packed);
+          scratch[j * parts + 2 * k] = valid ? 1 : 0;
+          scratch[j * parts + 2 * k + 1] = valid ? packed : 0;
         }
-        if (group_list[g].hash == h &&
-            std::equal(scratch.begin(), scratch.end(),
-                       key_storage.begin() + static_cast<ptrdiff_t>(g * parts))) {
-          ++group_list[g].count;
-          break;
-        }
-        i = (i + 1) & (cap - 1);
       }
+      table.AddBatch(scratch.data(), n, static_cast<uint32_t>(base));
     }
-    stats_.groups += group_list.size();
-    for (const Group& g : group_list) {
+    stats_.groups += table.num_groups();
+    const GroupKeyTable::Group* group_list = table.groups();
+    for (size_t gi = 0; gi < table.num_groups(); ++gi) {
+      const GroupKeyTable::Group& g = group_list[gi];
       if (query.having) {
         Value count_val(static_cast<int64_t>(g.count));
         Value target(query.having->value);

@@ -1,0 +1,81 @@
+#include "exec/group_table.h"
+
+#include "common/probe_pipeline.h"
+#include "exec/join_hash.h"
+
+namespace squid {
+
+GroupKeyTable::GroupKeyTable(size_t parts)
+    : parts_(parts),
+      arena_(std::make_shared<MemArena>()),
+      slots_(ArenaAllocator<uint32_t>(arena_)),
+      groups_(ArenaAllocator<Group>(arena_)),
+      key_storage_(ArenaAllocator<uint64_t>(arena_)),
+      cap_(16) {
+  slots_.assign(cap_, kNoGroup);
+}
+
+uint64_t GroupKeyTable::HashKey(const uint64_t* key) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t p = 0; p < parts_; ++p) {
+    h = (h ^ MixJoinKey(key[p])) * 1099511628211ULL;
+  }
+  return h;
+}
+
+void GroupKeyTable::Rehash() {
+  cap_ <<= 1;
+  slots_.assign(cap_, kNoGroup);
+  for (uint32_t gi = 0; gi < groups_.size(); ++gi) {
+    uint64_t ri = groups_[gi].hash & (cap_ - 1);
+    while (slots_[ri] != kNoGroup) ri = (ri + 1) & (cap_ - 1);
+    slots_[ri] = gi;
+  }
+}
+
+void GroupKeyTable::AddBatch(const uint64_t* packed, size_t n,
+                             uint32_t tuple_base) {
+  // The compute stage carries the key hash forward and prefetches the
+  // home slot; the resolve stage re-masks the carried hash against the
+  // *current* capacity, so an insert-triggered rehash between the two
+  // stages only invalidates prefetch hints, never correctness.
+  PipelinedProbe<uint64_t>(
+      n, GlobalMemConfig().prefetch_window,
+      [&](size_t j) -> uint64_t {
+        const uint64_t h = HashKey(packed + j * parts_);
+        PrefetchRead(slots_.data() + (h & (cap_ - 1)));
+        return h;
+      },
+      [&](size_t i, uint64_t h) {
+        const uint64_t* key = packed + i * parts_;
+        uint64_t b = h & (cap_ - 1);
+        while (true) {
+          const uint32_t g = slots_[b];
+          if (g == kNoGroup) {
+            slots_[b] = static_cast<uint32_t>(groups_.size());
+            groups_.push_back(
+                Group{h, tuple_base + static_cast<uint32_t>(i), 1});
+            key_storage_.insert(key_storage_.end(), key, key + parts_);
+            if ((groups_.size() + 1) * 2 > cap_) Rehash();
+            return;
+          }
+          const uint64_t* stored = key_storage_.data() + g * parts_;
+          if (groups_[g].hash == h) {
+            bool equal = true;
+            for (size_t p = 0; p < parts_; ++p) {
+              if (stored[p] != key[p]) {
+                equal = false;
+                break;
+              }
+            }
+            if (equal) {
+              ++groups_[g].count;
+              return;
+            }
+          }
+          b = (b + 1) & (cap_ - 1);
+        }
+      });
+}
+
+}  // namespace squid

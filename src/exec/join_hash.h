@@ -15,8 +15,10 @@
 /// of probe keys at once.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/mem_arena.h"
 #include "storage/table.h"
 #include "storage/value.h"
 
@@ -65,7 +67,10 @@ class FlatJoinHash {
     bool empty() const { return size == 0; }
   };
 
-  FlatJoinHash() = default;
+  FlatJoinHash()
+      : arena_(std::make_shared<MemArena>()),
+        table_(ArenaAllocator<Entry>(arena_)),
+        rows_(ArenaAllocator<uint32_t>(arena_)) {}
 
   /// Builds over `rows` of `column`; null cells are skipped. Within each
   /// key, row ids keep their order in `rows` (the executor's output order
@@ -78,27 +83,43 @@ class FlatJoinHash {
 
   /// Batched probe over a packed key chunk: out[i] = Probe(keys[i]) where
   /// valid[i] is non-zero, else the empty span.
+  ///
+  /// Runs the shared software-prefetch pipeline (common/probe_pipeline.h):
+  /// buckets are hashed and prefetched MemConfig::prefetch_window probes
+  /// ahead of the resolve stage, and a confirmed hit prefetches its row-id
+  /// span too, so the caller's match expansion doesn't stall on it. A
+  /// window <= 1 degrades to plain per-item probes (same results).
   void ProbeBatch(const uint64_t* keys, const uint8_t* valid, size_t n,
                   RowSpan* out) const;
 
   size_t num_keys() const { return num_keys_; }
   size_t num_rows() const { return rows_.size(); }
 
+  /// Exact footprint of the bucket table + row array (arena stats).
+  size_t ApproxBytes() const { return arena_->stats().used_bytes; }
+
  private:
-  /// One bucket of the flat probe table (16 bytes). The key's CSR span is
-  /// embedded directly — `rows_[begin, begin + count)` — so a hit costs one
-  /// bucket read plus the span itself, with no offset-array indirection.
-  /// `count == 0` marks an empty bucket (present keys always have >= 1
-  /// row), so key 0 needs no reserved value.
-  struct Entry {
+  /// One bucket of the flat probe table (16 bytes, 16-aligned: a bucket
+  /// never straddles a cache line, so one probe touches exactly one line).
+  /// The key's CSR span is embedded directly — `rows_[begin, begin +
+  /// count)` — so a hit costs one bucket read plus the span itself, with no
+  /// offset-array indirection. `count == 0` marks an empty bucket (present
+  /// keys always have >= 1 row), so key 0 needs no reserved value.
+  struct alignas(16) Entry {
     uint64_t key = 0;
     uint32_t begin = 0;
     uint32_t count = 0;
   };
+  static_assert(sizeof(Entry) == 16, "bucket layout audited at 16 bytes");
 
-  std::vector<Entry> table_;  // power-of-two, <= 50% load
+  /// One bucket probe touches one 16-byte entry — at most two cache lines,
+  /// one after the alignment below — and a hit's row span is one contiguous
+  /// read. Both arrays live in `arena_` (hugepage-backed per MemConfig),
+  /// adjacent instead of scattered across the heap.
+  std::shared_ptr<MemArena> arena_;
+  ArenaVector<Entry> table_;  // power-of-two, <= 50% load
   uint64_t mask_ = 0;
-  std::vector<uint32_t> rows_;
+  ArenaVector<uint32_t> rows_;
   size_t num_keys_ = 0;
 };
 

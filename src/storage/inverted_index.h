@@ -15,9 +15,11 @@
 /// materialization.
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/mem_arena.h"
 #include "common/status.h"
 #include "storage/database.h"
 #include "storage/string_pool.h"
@@ -73,6 +75,15 @@ class InvertedColumnIndex {
   /// for callers that interned the probe once at the API boundary).
   PostingSpan LookupFolded(Symbol folded) const;
 
+  /// Batched LookupFolded over `n` symbols: out[i] = LookupFolded(folded[i]).
+  /// Runs the shared probe pipeline (common/probe_pipeline.h): the
+  /// symbol->slot read of probe i+W and the offset read of probe i+W/2 are
+  /// prefetched while probe i resolves, and a resolved span prefetches its
+  /// postings — the CSR twin of FlatJoinHash::ProbeBatch. A
+  /// MemConfig::prefetch_window <= 1 degrades to a plain loop.
+  void LookupFoldedBatch(const Symbol* folded, size_t n,
+                         PostingSpan* out) const;
+
   /// Folded symbol of `text`, or kNoSymbol when no *indexed* value matches
   /// (unlike StringPool::FindFolded this only sees indexed keys).
   Symbol FoldedSymbolOf(std::string_view text) const;
@@ -93,6 +104,10 @@ class InvertedColumnIndex {
 
   size_t NumKeys() const { return num_keys_; }
   size_t NumPostings() const { return postings_.size(); }
+
+  /// Exact footprint of the CSR arrays + probe table (arena stats); feeds
+  /// AdbReport::index_bytes and the serve/snapshot byte reports.
+  size_t ApproxBytes() const { return arena_->stats().used_bytes; }
 
   /// Writes the CSR arrays (slot keys in slot order, offsets, postings) to
   /// a kInvertedIndex extent. The probe table is derived state and is not
@@ -123,15 +138,19 @@ class InvertedColumnIndex {
   const ProbeEntry* FindProbeEntry(std::string_view text) const;
 
   std::shared_ptr<const StringPool> pool_;
+  // All probe-path arrays live in one bump arena (hugepage-backed per
+  // MemConfig): adjacent placement plus 2 MiB TLB reach is what keeps the
+  // out-of-cache lookup path fast at Fig. 9's largest |D|.
+  std::shared_ptr<MemArena> arena_ = std::make_shared<MemArena>();
   // Folded symbol -> dense slot (kNoSlot when the symbol has no postings).
-  std::vector<uint32_t> slot_of_folded_;
+  ArenaVector<uint32_t> slot_of_folded_{ArenaAllocator<uint32_t>(arena_)};
   // Open-addressing (linear probing) table over the folded keys, sized to
   // a power of two at <= 50% load.
-  std::vector<ProbeEntry> probe_table_;
+  ArenaVector<ProbeEntry> probe_table_{ArenaAllocator<ProbeEntry>(arena_)};
   uint64_t probe_mask_ = 0;
   // Slot s owns postings_[offsets_[s], offsets_[s + 1]).
-  std::vector<uint32_t> offsets_;
-  std::vector<Posting> postings_;
+  ArenaVector<uint32_t> offsets_{ArenaAllocator<uint32_t>(arena_)};
+  ArenaVector<Posting> postings_{ArenaAllocator<Posting>(arena_)};
   size_t num_keys_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "storage/string_pool.h"
 
 #include <cstring>
+#include <new>
+#include <type_traits>
 
 #include "common/logging.h"
 
@@ -18,17 +20,11 @@ bool HasUpper(std::string_view s) {
 }  // namespace
 
 std::string_view StringPool::Store(Shard* shard, std::string_view s) {
-  if (s.size() > kBlockBytes) {
-    shard->oversize.emplace_back(s);
-    return shard->oversize.back();
-  }
-  if (shard->blocks.empty() || shard->block_used + s.size() > kBlockBytes) {
-    shard->blocks.push_back(std::make_unique<char[]>(kBlockBytes));
-    shard->block_used = 0;
-  }
-  char* dst = shard->blocks.back().get() + shard->block_used;
+  // The arena handles any size (oversize strings get a dedicated block) and
+  // never moves published bytes, so the returned view is stable for the
+  // pool's lifetime.
+  char* dst = static_cast<char*>(shard->arena.Allocate(s.size(), 1));
   if (!s.empty()) std::memcpy(dst, s.data(), s.size());  // s.data() may be null
-  shard->block_used += s.size();
   return std::string_view(dst, s.size());
 }
 
@@ -42,7 +38,13 @@ Symbol StringPool::PushEntry(Shard* shard, size_t shard_index,
   Locate(local, &chunk, &offset);
   Entry* entries = shard->chunks[chunk].load(std::memory_order_relaxed);
   if (entries == nullptr) {
-    entries = new Entry[kChunk0 << chunk];
+    static_assert(std::is_trivially_destructible<Entry>::value,
+                  "entry chunks live in the shard arena and are never "
+                  "individually destroyed");
+    const size_t n = kChunk0 << chunk;
+    void* mem = shard->arena.Allocate(n * sizeof(Entry), alignof(Entry));
+    entries = static_cast<Entry*>(mem);
+    for (size_t i = 0; i < n; ++i) new (entries + i) Entry();
     shard->chunks[chunk].store(entries, std::memory_order_release);
   }
   Symbol id = (local << kShardBits) | static_cast<Symbol>(shard_index);
@@ -135,18 +137,28 @@ size_t StringPool::ApproxBytes() const {
   size_t bytes = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    bytes += shard.blocks.size() * kBlockBytes;
-    for (const std::string& s : shard.oversize) bytes += s.size();
-    for (size_t c = 0; c < kMaxChunks; ++c) {
-      if (shard.chunks[c].load(std::memory_order_relaxed) != nullptr) {
-        bytes += (kChunk0 << c) * sizeof(Entry);
-      }
-    }
+    // Exact arena share: string bytes + entry-table chunks (mmap is lazy,
+    // so used bytes track resident pages far closer than reserved bytes).
+    bytes += shard.arena.stats().used_bytes;
     // Two hash maps of (view, symbol) nodes; bucket arrays ignored.
     bytes += (shard.exact.size() + shard.folded.size()) *
              (sizeof(std::string_view) + sizeof(Symbol) + sizeof(void*));
   }
   return bytes;
+}
+
+MemArena::Stats StringPool::ArenaStats() const {
+  MemArena::Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const MemArena::Stats& s = shard.arena.stats();
+    total.used_bytes += s.used_bytes;
+    total.reserved_bytes += s.reserved_bytes;
+    total.block_count += s.block_count;
+    total.hugetlb_bytes += s.hugetlb_bytes;
+    total.thp_bytes += s.thp_bytes;
+  }
+  return total;
 }
 
 }  // namespace squid

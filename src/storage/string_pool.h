@@ -41,6 +41,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mem_arena.h"
+
 #if defined(_MSC_VER) && !defined(__clang__)
 #include <intrin.h>
 #endif
@@ -120,8 +122,13 @@ class StringPool {
     return (id >> kShardBits) < shard.count.load(std::memory_order_acquire);
   }
 
-  /// Approximate heap footprint (arenas + entry tables + hash maps).
+  /// Approximate heap footprint (arenas + entry tables + hash maps). The
+  /// arena share (string bytes + entry chunks) is exact, from arena stats.
   size_t ApproxBytes() const;
+
+  /// Aggregated arena counters across all shards (footprint reporting:
+  /// AdbReport, serve stats, squid_snapshot).
+  MemArena::Stats ArenaStats() const;
 
   /// ASCII-only lower-casing of one byte; bytes outside 'A'..'Z' pass
   /// through unchanged (locale-independent, matching ToLower()).
@@ -232,16 +239,16 @@ class StringPool {
   struct Shard {
     mutable std::mutex mu;
 
-    // Arena blocks (stable storage for interned bytes).
-    std::vector<std::unique_ptr<char[]>> blocks;
-    size_t block_used = 0;
-    // Strings larger than a block get dedicated storage; std::string
-    // buffers beyond the SSO threshold stay put when the vector grows.
-    std::vector<std::string> oversize;
+    // One bump arena per shard holds both the interned string bytes and the
+    // entry-table chunks (stable storage: arena blocks are never moved or
+    // freed while the pool lives). Hugepage-backed per MemConfig; oversize
+    // strings get dedicated arena blocks.
+    MemArena arena{kBlockBytes};
 
     // Chunked entry table (see kChunk0/kMaxChunks above). `count` is the
     // number of published entries; readers only dereference indexes below a
-    // count they learned through a synchronizing operation.
+    // count they learned through a synchronizing operation. Chunk storage
+    // lives in `arena`; entries are trivially destructible.
     std::atomic<Entry*> chunks[kMaxChunks] = {};
     std::atomic<uint32_t> count{0};
 
@@ -252,10 +259,6 @@ class StringPool {
     std::unordered_map<std::string_view, Symbol, FoldHash, FoldEq> folded;
     // Scratch for folding during Intern (guarded by mu).
     std::string fold_buf;
-
-    ~Shard() {
-      for (std::atomic<Entry*>& c : chunks) delete[] c.load(std::memory_order_relaxed);
-    }
   };
 
   /// floor(log2(x)) for x >= 1.
@@ -294,7 +297,9 @@ class StringPool {
   /// Interns `s` into `shard` (mu held). `s` must hash to `shard_index`.
   Symbol InternLocked(Shard* shard, size_t shard_index, std::string_view s);
 
-  static constexpr size_t kBlockBytes = 1 << 16;
+  /// Arena block size: one 2 MiB hugepage per shard block, so a populated
+  /// shard's strings + entry chunks sit on hugepage-backed mappings.
+  static constexpr size_t kBlockBytes = MemArena::kDefaultBlockBytes;
 
   Shard shards_[kNumShards];
 };

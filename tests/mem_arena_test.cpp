@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/mem_arena.h"
+#include "common/probe_pipeline.h"
+#include "core/squid.h"
+#include "exec/executor.h"
+#include "exec/group_table.h"
+#include "exec/join_hash.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "storage/inverted_index.h"
+#include "storage/string_pool.h"
+#include "tests/test_util.h"
+
+namespace squid {
+namespace {
+
+using testing::MakeAcademicsDb;
+using testing::MakeMoviesDb;
+
+// ---------- MemArena ----------
+
+TEST(MemArenaTest, AlignmentGuarantees) {
+  MemArena arena(1 << 16, HugepageMode::kOff);
+  // Interleave odd sizes with every power-of-two alignment so the bump
+  // pointer is rarely pre-aligned when the next request arrives.
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+    for (size_t bytes : {1u, 3u, 7u, 65u, 1000u}) {
+      void* p = arena.Allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+          << "bytes=" << bytes << " align=" << align;
+      std::memset(p, 0xAB, bytes);  // must be writable storage
+    }
+  }
+  EXPECT_GT(arena.stats().used_bytes, 0u);
+  EXPECT_GE(arena.stats().reserved_bytes, arena.stats().used_bytes);
+}
+
+TEST(MemArenaTest, ZeroByteAllocationIsValid) {
+  MemArena arena(1 << 12, HugepageMode::kOff);
+  void* p = arena.Allocate(0, 1);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(MemArenaTest, OversizeRequestGetsDedicatedBlock) {
+  constexpr size_t kBlock = 1 << 12;
+  MemArena arena(kBlock, HugepageMode::kOff);
+  arena.Allocate(64, 8);
+  EXPECT_EQ(arena.stats().block_count, 1u);
+  void* big = arena.Allocate(kBlock * 3, 8);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, kBlock * 3);
+  EXPECT_EQ(arena.stats().block_count, 2u);
+  // The oversize block must not have consumed the small block's bump space:
+  // a follow-up small allocation still fits without a third block.
+  arena.Allocate(64, 8);
+  EXPECT_EQ(arena.stats().block_count, 2u);
+  EXPECT_GE(arena.stats().used_bytes, kBlock * 3 + 128);
+}
+
+TEST(MemArenaTest, PointersStayValidAcrossBlockGrowth) {
+  MemArena arena(1 << 12, HugepageMode::kOff);
+  std::vector<uint64_t*> cells;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    auto* cell = static_cast<uint64_t*>(
+        arena.Allocate(sizeof(uint64_t), alignof(uint64_t)));
+    *cell = i;
+    cells.push_back(cell);
+  }
+  EXPECT_GT(arena.stats().block_count, 1u);  // growth actually happened
+  for (uint64_t i = 0; i < cells.size(); ++i) EXPECT_EQ(*cells[i], i);
+}
+
+TEST(MemArenaTest, EveryHugepageModeAllocatesWritableMemory) {
+  // kExplicit must fall back gracefully on hosts with no hugetlb pool (the
+  // common case in CI) — same for kTransparent on kernels ignoring the
+  // madvise. The contract is: never a hard failure, only a weaker backing.
+  for (HugepageMode mode : {HugepageMode::kOff, HugepageMode::kTransparent,
+                            HugepageMode::kExplicit}) {
+    MemArena arena(MemArena::kDefaultBlockBytes, mode);
+    EXPECT_EQ(arena.mode(), mode);
+    for (int i = 0; i < 4; ++i) {
+      void* p = arena.Allocate(1 << 20, 64);
+      ASSERT_NE(p, nullptr);
+      std::memset(p, i, 1 << 20);
+    }
+    EXPECT_GE(arena.stats().used_bytes, 4u << 20);
+    EXPECT_GE(arena.stats().reserved_bytes, arena.stats().used_bytes);
+  }
+}
+
+TEST(MemArenaTest, ArenaVectorRoundTrips) {
+  auto arena = std::make_shared<MemArena>(1 << 16, HugepageMode::kOff);
+  ArenaVector<uint32_t> v{ArenaAllocator<uint32_t>(arena)};
+  for (uint32_t i = 0; i < 10000; ++i) v.push_back(i * 3);
+  for (uint32_t i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i * 3);
+  EXPECT_GE(arena->stats().used_bytes, 10000 * sizeof(uint32_t));
+
+  ArenaVector<uint32_t> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 10000u);
+  EXPECT_EQ(moved[9999], 9999u * 3);
+}
+
+// ---------- MemConfig ----------
+
+TEST(MemConfigTest, EnvParsing) {
+  MemConfig saved = GlobalMemConfig();
+
+  ::setenv("SQUID_HUGEPAGES", "off", 1);
+  ::setenv("SQUID_PREFETCH_DISTANCE", "4", 1);
+  ::setenv("SQUID_PREFETCH_WINDOW", "32", 1);
+  ReloadMemConfigFromEnv();
+  EXPECT_EQ(GlobalMemConfig().hugepages, HugepageMode::kOff);
+  EXPECT_EQ(GlobalMemConfig().prefetch_distance, 4u);
+  EXPECT_EQ(GlobalMemConfig().prefetch_window, 32u);
+
+  ::setenv("SQUID_HUGEPAGES", "explicit", 1);
+  ReloadMemConfigFromEnv();
+  EXPECT_EQ(GlobalMemConfig().hugepages, HugepageMode::kExplicit);
+
+  ::setenv("SQUID_HUGEPAGES", "1", 1);
+  ReloadMemConfigFromEnv();
+  EXPECT_EQ(GlobalMemConfig().hugepages, HugepageMode::kTransparent);
+
+  ::unsetenv("SQUID_HUGEPAGES");
+  ::unsetenv("SQUID_PREFETCH_DISTANCE");
+  ::unsetenv("SQUID_PREFETCH_WINDOW");
+  GlobalMemConfig() = saved;
+}
+
+// ---------- PipelinedProbe ----------
+
+TEST(ProbePipelineTest, VisitsEveryIndexOnceInOrderForAllWindows) {
+  for (size_t window : {size_t{0}, size_t{1}, size_t{2}, size_t{7},
+                        size_t{16}, size_t{64}, size_t{1000}}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{100}}) {
+      std::vector<size_t> computed;
+      std::vector<size_t> resolved;
+      PipelinedProbe<size_t>(
+          n, window,
+          [&](size_t j) {
+            computed.push_back(j);
+            return j * 10;
+          },
+          [&](size_t i, size_t carried) {
+            EXPECT_EQ(carried, i * 10) << "window=" << window;
+            resolved.push_back(i);
+          });
+      ASSERT_EQ(resolved.size(), n) << "window=" << window << " n=" << n;
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(resolved[i], i);
+      // Each index is computed exactly once (no double hashing).
+      std::vector<size_t> sorted = computed;
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_EQ(sorted.size(), n);
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+    }
+  }
+}
+
+// ---------- StringPool on arenas ----------
+
+TEST(StringPoolArenaTest, ConcurrentGrowthKeepsViewsStable) {
+  StringPool pool;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::vector<Symbol>> symbols(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &symbols, t] {
+      // Heavy overlap across threads: every shard's arena grows while other
+      // threads hold views into earlier blocks.
+      for (int i = 0; i < kPerThread; ++i) {
+        symbols[t].push_back(
+            pool.Intern("value-" + std::to_string(i % (kPerThread / 2)) +
+                        "-padpadpadpadpadpad"));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_EQ(pool.View(symbols[t][i]),
+                "value-" + std::to_string(i % (kPerThread / 2)) +
+                    "-padpadpadpadpadpad");
+    }
+  }
+  MemArena::Stats stats = pool.ArenaStats();
+  EXPECT_GT(stats.used_bytes, 0u);
+  EXPECT_GE(stats.reserved_bytes, stats.used_bytes);
+  EXPECT_GE(pool.ApproxBytes(), stats.used_bytes);
+}
+
+// ---------- Parity: results are bit-identical across MemConfig ----------
+
+/// Runs the full Discover + executor pipeline under `mode` / `window` and
+/// returns a byte-stable transcript of everything user-visible.
+std::string PipelineTranscript(HugepageMode mode, size_t window) {
+  MemConfig saved = GlobalMemConfig();
+  GlobalMemConfig().hugepages = mode;
+  GlobalMemConfig().prefetch_window = window;
+
+  std::string out;
+  {
+    auto db = MakeAcademicsDb();
+    auto adb = AbductionReadyDb::Build(*db);
+    EXPECT_TRUE(adb.ok()) << adb.status().ToString();
+    SquidConfig config;
+    config.rho = 0.5;
+    Squid squid(adb.value().get(), config);
+    auto abduced = squid.Discover({"Dan Susic", "Sam Madsen"});
+    EXPECT_TRUE(abduced.ok()) << abduced.status().ToString();
+    out += ToSql(abduced.value().original_query);
+    auto rs = ExecuteQuery(adb.value()->database(), abduced.value().adb_query);
+    EXPECT_TRUE(rs.ok());
+    for (const auto& row : rs.value().rows()) out += ResultSet::EncodeRow(row);
+  }
+  {
+    // Join + group-by + HAVING: exercises FlatJoinHash::ProbeBatch and
+    // GroupKeyTable end to end.
+    auto db = MakeMoviesDb();
+    auto q = ParseQuery(
+        "SELECT p.name FROM person p, castinfo c, movie m "
+        "WHERE c.person_id = p.id AND c.movie_id = m.id "
+        "GROUP BY p.id HAVING count(*) >= 2");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto rs = ExecuteQuery(*db, q.value());
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    for (const auto& row : rs.value().rows()) out += ResultSet::EncodeRow(row);
+  }
+
+  GlobalMemConfig() = saved;
+  return out;
+}
+
+TEST(MemConfigParityTest, PipelineOutputIdenticalAcrossAllModes) {
+  const std::string baseline =
+      PipelineTranscript(HugepageMode::kOff, /*window=*/1);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(PipelineTranscript(HugepageMode::kTransparent, 16), baseline);
+  EXPECT_EQ(PipelineTranscript(HugepageMode::kExplicit, 64), baseline);
+  EXPECT_EQ(PipelineTranscript(HugepageMode::kOff, 8), baseline);
+}
+
+/// Probe-level parity: every batched path agrees with its scalar twin for
+/// every window setting.
+TEST(MemConfigParityTest, BatchedProbesMatchScalarProbes) {
+  MemConfig saved = GlobalMemConfig();
+
+  Column col(ValueType::kInt64, nullptr);
+  std::vector<uint32_t> rows;
+  for (int64_t i = 0; i < 5000; ++i) {
+    col.AppendInt64(i % 1000);  // multi-row keys
+    rows.push_back(static_cast<uint32_t>(i));
+  }
+  FlatJoinHash hash = FlatJoinHash::Build(col, rows);
+
+  std::vector<uint64_t> keys;
+  std::vector<uint8_t> valid;
+  for (uint64_t k = 0; k < 2000; ++k) {  // half the keys miss
+    keys.push_back(k);
+    valid.push_back(k % 7 == 0 ? 0 : 1);
+  }
+  std::vector<FlatJoinHash::RowSpan> out(keys.size());
+  for (size_t window : {size_t{1}, size_t{2}, size_t{16}, size_t{64}}) {
+    GlobalMemConfig().prefetch_window = window;
+    hash.ProbeBatch(keys.data(), valid.data(), keys.size(), out.data());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (!valid[i]) {
+        EXPECT_TRUE(out[i].empty());
+        continue;
+      }
+      FlatJoinHash::RowSpan scalar = hash.Probe(keys[i]);
+      ASSERT_EQ(out[i].data, scalar.data) << "window=" << window;
+      ASSERT_EQ(out[i].size, scalar.size) << "window=" << window;
+    }
+  }
+
+  GlobalMemConfig() = saved;
+}
+
+TEST(MemConfigParityTest, IndexBatchLookupMatchesScalarLookup) {
+  MemConfig saved = GlobalMemConfig();
+
+  auto db = MakeMoviesDb();
+  auto built = InvertedColumnIndex::Build(*db);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const InvertedColumnIndex& index = built.value();
+  const StringPool& pool = index.pool();
+
+  // Probe every symbol in the pool's id space (hits, misses, and unindexed
+  // symbols alike), plus kNoSymbol.
+  std::vector<Symbol> probes;
+  for (Symbol s = 0; s < pool.IdBound(); ++s) probes.push_back(s);
+  probes.push_back(kNoSymbol);
+  std::vector<InvertedColumnIndex::PostingSpan> out(probes.size());
+  for (size_t window : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    GlobalMemConfig().prefetch_window = window;
+    index.LookupFoldedBatch(probes.data(), probes.size(), out.data());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      InvertedColumnIndex::PostingSpan scalar = index.LookupFolded(probes[i]);
+      ASSERT_EQ(out[i].begin(), scalar.begin()) << "window=" << window;
+      ASSERT_EQ(out[i].size(), scalar.size()) << "window=" << window;
+    }
+  }
+
+  GlobalMemConfig() = saved;
+}
+
+TEST(MemConfigParityTest, GroupTableOrderIndependentOfWindow) {
+  MemConfig saved = GlobalMemConfig();
+
+  // Enough distinct keys to force several mid-batch rehashes.
+  constexpr size_t kParts = 2;
+  constexpr size_t kTuples = 10000;
+  std::vector<uint64_t> packed(kTuples * kParts);
+  for (size_t i = 0; i < kTuples; ++i) {
+    packed[i * kParts] = 1;
+    packed[i * kParts + 1] = (i * 2654435761u) % 4000;
+  }
+
+  auto run = [&](size_t window) {
+    GlobalMemConfig().prefetch_window = window;
+    GroupKeyTable table(kParts);
+    for (size_t base = 0; base < kTuples; base += 1024) {
+      const size_t n = std::min<size_t>(1024, kTuples - base);
+      table.AddBatch(packed.data() + base * kParts, n,
+                     static_cast<uint32_t>(base));
+    }
+    std::vector<GroupKeyTable::Group> groups(
+        table.groups(), table.groups() + table.num_groups());
+    return groups;
+  };
+  auto baseline = run(1);
+  for (size_t window : {size_t{2}, size_t{16}, size_t{64}}) {
+    auto got = run(window);
+    ASSERT_EQ(got.size(), baseline.size()) << "window=" << window;
+    for (size_t g = 0; g < got.size(); ++g) {
+      EXPECT_EQ(got[g].hash, baseline[g].hash);
+      EXPECT_EQ(got[g].first_tuple, baseline[g].first_tuple);
+      EXPECT_EQ(got[g].count, baseline[g].count);
+    }
+  }
+
+  GlobalMemConfig() = saved;
+}
+
+}  // namespace
+}  // namespace squid
