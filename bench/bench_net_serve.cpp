@@ -1,0 +1,254 @@
+// TCP serve front end: closed- and open-loop latency/throughput sweeps
+// against a real socket server (src/net/), measuring what the in-process
+// serve bench cannot — framing cost, event-loop scheduling, and the
+// load-shedding contract under overload.
+//
+//  - closed loop: one connection per worker thread, each waiting for its
+//    answer before sending the next request. Arrival rate adapts to service
+//    rate, so nothing is shed; this is the latency baseline.
+//  - open loop: one connection pipelines the whole request list at once
+//    (arrival rate >> drain rate) against a deliberately tiny request
+//    queue. The server MUST shed: accepted requests keep bounded latency
+//    (the queue caps how much work waits ahead of any admitted request)
+//    while the excess is answered `overloaded` immediately.
+//
+// scripts/check_bench_trends.py (check_net_serve) asserts the shape: the
+// open-loop run sheds (rejected > 0), every request is answered one way or
+// the other, and accepted-request p99 stays within a generous multiple of
+// the closed-loop p99 — unbounded queueing would blow that bound.
+//
+// Flags: --scale=0.25 --requests=24 --open-requests=96 --json=<path>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "net/tcp_client.h"
+#include "net/tcp_server.h"
+#include "serve/squid_service.h"
+
+namespace squid {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::vector<std::string>> BuildExampleSets(const ImdbBench& bench,
+                                                       size_t distinct) {
+  std::vector<std::vector<std::string>> sets;
+  sets.push_back(
+      {bench.data.manifest.costar_a, bench.data.manifest.costar_b});
+  const char* ids[] = {"IQ1", "IQ6", "IQ13", "IQ15"};
+  uint64_t seed = 101;
+  while (sets.size() < distinct) {
+    bool grew = false;
+    for (const char* id : ids) {
+      if (sets.size() >= distinct) break;
+      auto query = FindQuery(bench.queries, id);
+      if (!query.ok()) continue;
+      auto truth = GroundTruth(*bench.data.db, *query.value());
+      if (!truth.ok()) continue;
+      Rng rng(seed++);
+      auto examples = SampleExamples(truth.value(), 5, &rng);
+      if (examples.size() >= 2) {
+        sets.push_back(std::move(examples));
+        grew = true;
+      }
+    }
+    if (!grew) break;
+  }
+  return sets;
+}
+
+double PercentileMs(std::vector<double> latencies_ms, double p) {
+  if (latencies_ms.empty()) return 0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double rank = p * static_cast<double>(latencies_ms.size() - 1);
+  return latencies_ms[static_cast<size_t>(rank + 0.5)];
+}
+
+struct SweepResult {
+  size_t accepted = 0;
+  size_t rejected = 0;
+  double seconds = 0;
+  std::vector<double> accepted_ms;  // send-to-reply latency of ok answers
+};
+
+/// Closed loop: `clients` connections, each draining its slice of the
+/// request list with exactly one request in flight.
+SweepResult RunClosed(uint16_t port,
+                      const std::vector<const std::vector<std::string>*>& requests,
+                      size_t clients) {
+  std::vector<net::TcpClient> conns;
+  for (size_t c = 0; c < clients; ++c) {
+    auto client = net::TcpClient::Connect("127.0.0.1", port);
+    SQUID_CHECK(client.ok()) << client.status().ToString();
+    conns.push_back(std::move(client).value());
+  }
+  std::vector<SweepResult> per_client(clients);
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      SweepResult& mine = per_client[c];
+      for (size_t i = c; i < requests.size(); i += clients) {
+        const Clock::time_point sent = Clock::now();
+        auto reply = conns[c].Discover(*requests[i]);
+        SQUID_CHECK(reply.ok()) << reply.status().ToString();
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                .count();
+        if (reply.value().kind == net::Reply::Kind::kOk) {
+          ++mine.accepted;
+          mine.accepted_ms.push_back(ms);
+        } else {
+          ++mine.rejected;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SweepResult out;
+  out.seconds = timer.ElapsedSeconds();
+  for (SweepResult& part : per_client) {
+    out.accepted += part.accepted;
+    out.rejected += part.rejected;
+    out.accepted_ms.insert(out.accepted_ms.end(), part.accepted_ms.begin(),
+                           part.accepted_ms.end());
+  }
+  return out;
+}
+
+/// Open loop: one connection sends every request back to back (the arrival
+/// process ignores the service rate), then collects all replies.
+SweepResult RunOpen(uint16_t port,
+                    const std::vector<const std::vector<std::string>*>& requests) {
+  auto client = net::TcpClient::Connect("127.0.0.1", port);
+  SQUID_CHECK(client.ok()) << client.status().ToString();
+  std::vector<Clock::time_point> sent(requests.size() + 1);
+  std::vector<uint64_t> ids(requests.size());
+  Stopwatch timer;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto id = client.value().SendDiscover(*requests[i]);
+    SQUID_CHECK(id.ok()) << id.status().ToString();
+    ids[i] = id.value();
+    sent[id.value()] = Clock::now();
+  }
+  SweepResult out;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto reply = client.value().ReadReply();
+    SQUID_CHECK(reply.ok()) << reply.status().ToString();
+    const uint64_t id = reply.value().request_id;
+    SQUID_CHECK(id >= 1 && id <= requests.size()) << "unknown reply id";
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - sent[id])
+            .count();
+    if (reply.value().kind == net::Reply::Kind::kOk) {
+      ++out.accepted;
+      out.accepted_ms.push_back(ms);
+    } else {
+      SQUID_CHECK(reply.value().kind == net::Reply::Kind::kOverloaded)
+          << "open-loop reply was neither ok nor overloaded";
+      ++out.rejected;
+    }
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace
+
+void Run(int argc, char** argv) {
+  InitBenchIo(argc, argv, "bench_net_serve");
+  const double scale = FlagOr(argc, argv, "scale", kImdbBenchScale);
+  const size_t requests = SizeFlagOr(argc, argv, "requests", 24);
+  const size_t open_requests = SizeFlagOr(argc, argv, "open-requests", 96);
+
+  ImdbBench bench = BuildImdbBench(scale);
+  Banner("Net serve", "socket front end: closed- and open-loop sweeps");
+  std::printf("IMDb scale %.2f, %zu closed / %zu open requests\n\n", scale,
+              requests, open_requests);
+
+  auto sets = BuildExampleSets(bench, 4);
+  auto request_list = [&](size_t n) {
+    std::vector<const std::vector<std::string>*> list;
+    list.reserve(n);
+    for (size_t i = 0; i < n; ++i) list.push_back(&sets[i % sets.size()]);
+    return list;
+  };
+
+  TablePrinter table({"mode", "threads", "queue", "requests", "accepted",
+                      "rejected", "seconds", "req/s", "p50 ms", "p99 ms"});
+  const size_t thread_counts[] = {1, 2};
+  for (size_t threads : thread_counts) {
+    // Closed loop: ample queue, arrivals gated on answers — no shedding.
+    {
+      ServeOptions options;
+      options.threads = threads;
+      options.queue_capacity = 64;
+      SquidService service(bench.adb.get(), options);
+      net::TcpServer server(&service);
+      Status started = server.Start();
+      SQUID_CHECK(started.ok()) << started.ToString();
+      auto list = request_list(requests);
+      SweepResult r = RunClosed(server.port(), list, threads);
+      server.Stop();
+      SQUID_CHECK(r.accepted == requests && r.rejected == 0)
+          << "closed loop shed requests (" << r.rejected << " rejected)";
+      table.AddRow({"closed", TablePrinter::Int(threads),
+                    TablePrinter::Int(options.queue_capacity),
+                    TablePrinter::Int(requests),
+                    TablePrinter::Int(r.accepted),
+                    TablePrinter::Int(r.rejected),
+                    TablePrinter::Num(r.seconds, 4),
+                    TablePrinter::Num(r.accepted / r.seconds, 1),
+                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.50), 2),
+                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.99), 2)});
+    }
+    // Open loop: tiny queue, the whole list pipelined at once — the server
+    // must shed the excess while accepted latency stays queue-bounded.
+    {
+      ServeOptions options;
+      options.threads = threads;
+      options.queue_capacity = 2;
+      SquidService service(bench.adb.get(), options);
+      net::TcpServer server(&service);
+      Status started = server.Start();
+      SQUID_CHECK(started.ok()) << started.ToString();
+      auto list = request_list(open_requests);
+      SweepResult r = RunOpen(server.port(), list);
+      net::TcpServerStats net_stats = server.stats();
+      server.Stop();
+      SQUID_CHECK(r.accepted + r.rejected == open_requests)
+          << "open loop lost replies";
+      SQUID_CHECK(net_stats.rejected_overload == r.rejected)
+          << "server shed count disagrees with overloaded replies";
+      table.AddRow({"open", TablePrinter::Int(threads),
+                    TablePrinter::Int(options.queue_capacity),
+                    TablePrinter::Int(open_requests),
+                    TablePrinter::Int(r.accepted),
+                    TablePrinter::Int(r.rejected),
+                    TablePrinter::Num(r.seconds, 4),
+                    TablePrinter::Num(r.accepted / r.seconds, 1),
+                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.50), 2),
+                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.99), 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nClosed loop: one connection per worker, one request in flight each\n"
+      "(nothing shed). Open loop: every request pipelined at once against a\n"
+      "queue of 2 — the overloaded rows show load shedding keeping accepted\n"
+      "latency bounded instead of queueing without limit.\n");
+}
+
+}  // namespace bench
+}  // namespace squid
+
+int main(int argc, char** argv) {
+  squid::bench::Run(argc, argv);
+  return 0;
+}

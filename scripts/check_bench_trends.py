@@ -21,6 +21,11 @@ CI) and fails when a shape regresses:
     than the cold pass beyond tolerance, warm repeat-heavy traffic must
     actually hit the cache, and multi-thread serve must not be slower than
     single-thread serve beyond tolerance (same 1-core-CI caveat).
+  * Net serve (bench_net_serve.json): every socket request is answered
+    exactly once, the closed loop sheds nothing, the open-loop overload run
+    actually sheds (rejected > 0 on some row), and accepted-request p99
+    under overload stays within a generous multiple of the closed-loop p99
+    (bounded queueing, not an unbounded backlog).
   * Snapshot boot (bench_snapshot.json): loading an αDB snapshot must be at
     least ~5x faster than rebuilding the αDB from the base tables at the
     largest benched scale, per dataset.
@@ -383,6 +388,105 @@ def check_memlat(path):
                 )
 
 
+# Open-loop accepted p99 may exceed the closed-loop p99 by this multiple
+# plus slack before we call the overload contract broken (accepted work
+# waits behind at most a tiny queue; unbounded queueing blows this bound by
+# orders of magnitude). The slack soaks scheduler noise on shared runners.
+NET_P99_RATIO = 10.0
+NET_P99_SLACK_MS = 250.0
+
+
+def check_net_serve(path):
+    global checks_run
+    doc = load(path)
+    required = [
+        "mode", "threads", "queue", "requests", "accepted", "rejected",
+        "p50 ms", "p99 ms",
+    ]
+    tables = tables_with_headers(doc, required)
+    if not tables:
+        fail(f"{path.name}: no net serve table with {required}")
+        return
+    for table in tables:
+        section = table.get("section", "?")
+        rows = [
+            {h: v for h, v in zip(table["headers"], row)} for row in table["rows"]
+        ]
+        if not rows:
+            fail(f"{path.name} [{section}]: net serve table is empty")
+            continue
+        # Every request is answered exactly once (ok or overloaded) and the
+        # closed loop — arrivals gated on answers — never sheds.
+        for row in rows:
+            label = f"{row['mode']} threads={float(row['threads']):.0f}"
+            checks_run += 1
+            if float(row["accepted"]) + float(row["rejected"]) != float(
+                row["requests"]
+            ):
+                fail(
+                    f"{path.name} [{section}] {label}: accepted+rejected != "
+                    f"requests (lost replies)"
+                )
+            else:
+                ok(
+                    f"{section} {label}: {row['accepted']:.0f} accepted + "
+                    f"{row['rejected']:.0f} rejected = {row['requests']:.0f}"
+                )
+            if row["mode"] == "closed":
+                checks_run += 1
+                if float(row["rejected"]) != 0:
+                    fail(
+                        f"{path.name} [{section}] {label}: closed loop shed "
+                        f"{row['rejected']:.0f} requests"
+                    )
+                else:
+                    ok(f"{section} {label}: closed loop shed nothing")
+        # The overload contract: at least one open-loop row sheds (a
+        # threads=1 service runs requests inline on the event loop, so only
+        # multi-worker rows can back the queue up), and wherever shedding
+        # happens, accepted p99 stays within a generous multiple of the
+        # closed-loop p99 at the same thread count.
+        open_rows = [r for r in rows if r["mode"] == "open"]
+        checks_run += 1
+        if not any(float(r["rejected"]) > 0 for r in open_rows):
+            fail(
+                f"{path.name} [{section}]: open-loop overload never shed "
+                f"(load shedding is not engaging)"
+            )
+        else:
+            ok(f"{section}: open-loop overload sheds")
+        for row in open_rows:
+            if float(row["rejected"]) <= 0:
+                continue
+            base = next(
+                (
+                    r
+                    for r in rows
+                    if r["mode"] == "closed"
+                    and float(r["threads"]) == float(row["threads"])
+                ),
+                None,
+            )
+            if base is None:
+                continue
+            checks_run += 1
+            closed_p99 = float(base["p99 ms"])
+            open_p99 = float(row["p99 ms"])
+            bound = closed_p99 * NET_P99_RATIO + NET_P99_SLACK_MS
+            label = f"open threads={float(row['threads']):.0f}"
+            if open_p99 > bound:
+                fail(
+                    f"{path.name} [{section}] {label}: accepted p99 "
+                    f"{open_p99:.2f}ms vs closed-loop {closed_p99:.2f}ms — "
+                    f"shedding is not bounding accepted latency"
+                )
+            else:
+                ok(
+                    f"{section} {label}: accepted p99 {open_p99:.2f}ms "
+                    f"(closed {closed_p99:.2f}ms)"
+                )
+
+
 def main():
     json_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench/out")
     if not json_dir.is_dir():
@@ -394,6 +498,7 @@ def main():
         "bench_fig11_query_runtime": check_fig11,
         "bench_fig9_scalability": check_build_speedup,
         "bench_memlat": check_memlat,
+        "bench_net_serve": check_net_serve,
         "bench_serve_throughput": check_serve,
         "bench_snapshot": check_snapshot,
         "bench_table_datasets": check_build_speedup,

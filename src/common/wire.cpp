@@ -1,0 +1,91 @@
+#include "common/wire.h"
+
+#include <cstring>
+
+namespace squid {
+namespace wire {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void AppendTagged(std::string* out, uint8_t tag, std::string_view payload) {
+  out->push_back(static_cast<char>(tag));
+  AppendString(out, payload);
+}
+
+Status WireReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return Status::Corruption("wire: truncated u32");
+  uint32_t out = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + shift / 8]))
+           << shift;
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return Status::Corruption("wire: truncated u64");
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + shift / 8]))
+           << shift;
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::ReadDouble(double* v) {
+  uint64_t bits = 0;
+  SQUID_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status WireReader::ReadString(std::string* s) {
+  size_t saved = pos_;
+  uint32_t len = 0;
+  SQUID_RETURN_NOT_OK(ReadU32(&len));
+  if (remaining() < len) {
+    pos_ = saved;
+    return Status::Corruption("wire: string length " + std::to_string(len) +
+                              " exceeds remaining " +
+                              std::to_string(remaining()) + " bytes");
+  }
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WireReader::ReadTag(uint8_t* tag) {
+  if (remaining() < 1) return Status::Corruption("wire: truncated tag");
+  *tag = static_cast<uint8_t>(data_[pos_]);
+  ++pos_;
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace squid

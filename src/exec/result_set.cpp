@@ -3,22 +3,22 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/wire.h"
+
 namespace squid {
 
 std::string ResultSet::EncodeRow(const std::vector<Value>& row) {
   std::string key;
   for (const Value& v : row) {
-    // Type tag + 32-bit length prefix + rendered value. The length prefix
-    // makes the encoding self-delimiting: string renderings can contain any
-    // byte (including former separator bytes like '\x1f'), so separator
-    // characters alone cannot make two distinct rows encode identically.
-    const std::string rendered = v.ToString();
-    key += static_cast<char>('0' + static_cast<int>(v.type()));
-    uint32_t len = static_cast<uint32_t>(rendered.size());
-    for (int shift = 0; shift < 32; shift += 8) {
-      key += static_cast<char>((len >> shift) & 0xFF);
-    }
-    key += rendered;
+    // Type tag + 32-bit length prefix + rendered value — the shared
+    // tag+length+payload cell scheme (common/wire.h, also the net framing).
+    // The length prefix makes the encoding self-delimiting: string
+    // renderings can contain any byte (including former separator bytes
+    // like '\x1f'), so separator characters alone cannot make two distinct
+    // rows encode identically.
+    wire::AppendTagged(&key,
+                       static_cast<uint8_t>('0' + static_cast<int>(v.type())),
+                       v.ToString());
   }
   return key;
 }

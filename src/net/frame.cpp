@@ -1,0 +1,274 @@
+#include "net/frame.h"
+
+#include "core/squid.h"
+#include "sql/printer.h"
+
+namespace squid {
+namespace net {
+
+namespace {
+
+bool KnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kDiscoverRequest) &&
+         type <= static_cast<uint8_t>(FrameType::kStatsResponse);
+}
+
+}  // namespace
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // do not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 5) return std::optional<Frame>();  // need tag + u32 length
+  wire::WireReader reader(
+      std::string_view(buffer_.data() + consumed_, available));
+  uint8_t type = 0;
+  uint32_t length = 0;
+  SQUID_RETURN_NOT_OK(reader.ReadTag(&type));   // cannot fail: >= 5 bytes
+  SQUID_RETURN_NOT_OK(reader.ReadU32(&length));
+  if (!KnownFrameType(type)) {
+    error_ = Status::Corruption("net: unknown frame type " +
+                                std::to_string(static_cast<int>(type)));
+    return error_;
+  }
+  if (length > max_payload_) {
+    error_ = Status::Corruption(
+        "net: frame payload " + std::to_string(length) +
+        " bytes exceeds limit " + std::to_string(max_payload_));
+    return error_;
+  }
+  if (available < 5 + static_cast<size_t>(length)) {
+    return std::optional<Frame>();  // partial frame, feed more
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buffer_.data() + consumed_ + 5, length);
+  consumed_ += 5 + static_cast<size_t>(length);
+  return std::optional<Frame>(std::move(frame));
+}
+
+WireAnswer WireAnswer::FromQuery(const AbducedQuery& query) {
+  WireAnswer answer;
+  answer.entity_relation = query.entity_relation;
+  answer.projection_attr = query.projection_attr;
+  answer.adb_sql = ToSql(query.adb_query);
+  answer.original_sql = ToSql(query.original_query);
+  answer.log_posterior = query.log_posterior;
+  answer.filters_included = static_cast<uint32_t>(query.NumIncludedFilters());
+  answer.filters_total = static_cast<uint32_t>(query.filters.size());
+  answer.entity_keys.reserve(query.entity_keys.size());
+  for (const Value& key : query.entity_keys) {
+    answer.entity_keys.push_back(key.ToString());
+  }
+  return answer;
+}
+
+std::string WireAnswer::Encode() const {
+  std::string out;
+  wire::AppendString(&out, entity_relation);
+  wire::AppendString(&out, projection_attr);
+  wire::AppendString(&out, adb_sql);
+  wire::AppendString(&out, original_sql);
+  wire::AppendDouble(&out, log_posterior);
+  wire::AppendU32(&out, filters_included);
+  wire::AppendU32(&out, filters_total);
+  wire::AppendU32(&out, static_cast<uint32_t>(entity_keys.size()));
+  for (const std::string& key : entity_keys) wire::AppendString(&out, key);
+  return out;
+}
+
+Result<WireAnswer> WireAnswer::Decode(std::string_view payload) {
+  wire::WireReader reader(payload);
+  WireAnswer answer;
+  SQUID_RETURN_NOT_OK(reader.ReadString(&answer.entity_relation));
+  SQUID_RETURN_NOT_OK(reader.ReadString(&answer.projection_attr));
+  SQUID_RETURN_NOT_OK(reader.ReadString(&answer.adb_sql));
+  SQUID_RETURN_NOT_OK(reader.ReadString(&answer.original_sql));
+  SQUID_RETURN_NOT_OK(reader.ReadDouble(&answer.log_posterior));
+  SQUID_RETURN_NOT_OK(reader.ReadU32(&answer.filters_included));
+  SQUID_RETURN_NOT_OK(reader.ReadU32(&answer.filters_total));
+  uint32_t keys = 0;
+  SQUID_RETURN_NOT_OK(reader.ReadU32(&keys));
+  // Each key costs at least a 4-byte length prefix; a declared count beyond
+  // that is corrupt, not a reason to reserve gigabytes.
+  if (keys > reader.remaining() / 4) {
+    return Status::Corruption("net: answer declares " + std::to_string(keys) +
+                              " entity keys in " +
+                              std::to_string(reader.remaining()) + " bytes");
+  }
+  answer.entity_keys.resize(keys);
+  for (uint32_t i = 0; i < keys; ++i) {
+    SQUID_RETURN_NOT_OK(reader.ReadString(&answer.entity_keys[i]));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("net: trailing garbage after answer");
+  }
+  return answer;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  wire::AppendTagged(&out, static_cast<uint8_t>(type), payload);
+  return out;
+}
+
+std::string EncodeDiscoverRequestFrame(
+    uint64_t request_id, const std::vector<std::string>& examples) {
+  std::string payload;
+  wire::AppendU64(&payload, request_id);
+  wire::AppendU32(&payload, static_cast<uint32_t>(examples.size()));
+  for (const std::string& example : examples) {
+    wire::AppendString(&payload, example);
+  }
+  return EncodeFrame(FrameType::kDiscoverRequest, payload);
+}
+
+std::string EncodeDiscoverOkFrame(uint64_t request_id,
+                                  const WireAnswer& answer) {
+  std::string payload;
+  wire::AppendU64(&payload, request_id);
+  payload += answer.Encode();
+  return EncodeFrame(FrameType::kDiscoverOk, payload);
+}
+
+std::string EncodeDiscoverErrorFrame(uint64_t request_id,
+                                     const Status& status) {
+  std::string payload;
+  wire::AppendU64(&payload, request_id);
+  wire::AppendU32(&payload, static_cast<uint32_t>(status.code()));
+  wire::AppendString(&payload, status.message());
+  return EncodeFrame(FrameType::kDiscoverError, payload);
+}
+
+std::string EncodeOverloadedFrame(uint64_t request_id, uint32_t retry_after_ms,
+                                  std::string_view reason) {
+  std::string payload;
+  wire::AppendU64(&payload, request_id);
+  wire::AppendU32(&payload, retry_after_ms);
+  wire::AppendString(&payload, reason);
+  return EncodeFrame(FrameType::kOverloaded, payload);
+}
+
+std::string EncodeStatsRequestFrame(uint64_t request_id) {
+  std::string payload;
+  wire::AppendU64(&payload, request_id);
+  return EncodeFrame(FrameType::kStatsRequest, payload);
+}
+
+std::string EncodeStatsResponseFrame(
+    uint64_t request_id,
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  std::string payload;
+  wire::AppendU64(&payload, request_id);
+  wire::AppendU32(&payload, static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    wire::AppendString(&payload, name);
+    wire::AppendU64(&payload, value);
+  }
+  return EncodeFrame(FrameType::kStatsResponse, payload);
+}
+
+Status DecodeDiscoverRequest(std::string_view payload, uint64_t* request_id,
+                             std::vector<std::string>* examples) {
+  wire::WireReader reader(payload);
+  SQUID_RETURN_NOT_OK(reader.ReadU64(request_id));
+  uint32_t count = 0;
+  SQUID_RETURN_NOT_OK(reader.ReadU32(&count));
+  if (count > reader.remaining() / 4) {
+    return Status::Corruption("net: request declares " +
+                              std::to_string(count) + " examples in " +
+                              std::to_string(reader.remaining()) + " bytes");
+  }
+  examples->clear();
+  examples->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SQUID_RETURN_NOT_OK(reader.ReadString(&(*examples)[i]));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("net: trailing garbage after request");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status BadStatusCode(uint32_t code) {
+  return Status::Corruption("net: reply carries unknown status code " +
+                            std::to_string(code));
+}
+
+}  // namespace
+
+Result<Reply> DecodeReplyFrame(const Frame& frame) {
+  wire::WireReader reader(frame.payload);
+  Reply reply;
+  SQUID_RETURN_NOT_OK(reader.ReadU64(&reply.request_id));
+  switch (frame.type) {
+    case FrameType::kDiscoverOk: {
+      reply.kind = Reply::Kind::kOk;
+      // The reader consumed the 8-byte id; the rest is the answer.
+      SQUID_ASSIGN_OR_RETURN(
+          reply.answer,
+          WireAnswer::Decode(std::string_view(
+              frame.payload.data() + 8, frame.payload.size() - 8)));
+      return reply;
+    }
+    case FrameType::kDiscoverError: {
+      reply.kind = Reply::Kind::kError;
+      uint32_t code = 0;
+      SQUID_RETURN_NOT_OK(reader.ReadU32(&code));
+      if (code == 0 || code > static_cast<uint32_t>(StatusCode::kInternal)) {
+        return BadStatusCode(code);
+      }
+      reply.error_code = static_cast<StatusCode>(code);
+      SQUID_RETURN_NOT_OK(reader.ReadString(&reply.error_message));
+      if (!reader.AtEnd()) {
+        return Status::Corruption("net: trailing garbage after error reply");
+      }
+      return reply;
+    }
+    case FrameType::kOverloaded: {
+      reply.kind = Reply::Kind::kOverloaded;
+      SQUID_RETURN_NOT_OK(reader.ReadU32(&reply.retry_after_ms));
+      SQUID_RETURN_NOT_OK(reader.ReadString(&reply.reason));
+      if (!reader.AtEnd()) {
+        return Status::Corruption(
+            "net: trailing garbage after overloaded reply");
+      }
+      return reply;
+    }
+    case FrameType::kStatsResponse: {
+      reply.kind = Reply::Kind::kStats;
+      uint32_t count = 0;
+      SQUID_RETURN_NOT_OK(reader.ReadU32(&count));
+      if (count > reader.remaining() / 12) {  // 4-byte name + 8-byte value
+        return Status::Corruption("net: stats reply declares " +
+                                  std::to_string(count) + " counters in " +
+                                  std::to_string(reader.remaining()) +
+                                  " bytes");
+      }
+      reply.counters.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        SQUID_RETURN_NOT_OK(reader.ReadString(&reply.counters[i].first));
+        SQUID_RETURN_NOT_OK(reader.ReadU64(&reply.counters[i].second));
+      }
+      if (!reader.AtEnd()) {
+        return Status::Corruption("net: trailing garbage after stats reply");
+      }
+      return reply;
+    }
+    case FrameType::kDiscoverRequest:
+    case FrameType::kStatsRequest:
+      return Status::Corruption("net: request frame where a reply belongs");
+  }
+  return Status::Corruption("net: unknown reply frame type");
+}
+
+}  // namespace net
+}  // namespace squid

@@ -1,0 +1,164 @@
+#include "net/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace squid {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpClient::~TcpClient() { Close(); }
+
+TcpClient::TcpClient(TcpClient&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      decoder_(std::move(other.decoder_)),
+      pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+TcpClient& TcpClient::operator=(TcpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    decoder_ = std::move(other.decoder_);
+    pending_ = std::move(other.pending_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpClient> TcpClient::Connect(const std::string& address,
+                                     uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("net: socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "net: address is not a numeric IPv4 address: " + address);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = Errno("net: connect " + address + ":" +
+                          std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  TcpClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpClient::WriteAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("net: client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("net: send");
+  }
+  return Status::OK();
+}
+
+Result<Frame> TcpClient::ReadFrame() {
+  if (fd_ < 0) return Status::InvalidArgument("net: client not connected");
+  char buf[64 * 1024];
+  for (;;) {
+    SQUID_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("net: server closed the connection mid-reply");
+    }
+    if (errno == EINTR) continue;
+    return Errno("net: recv");
+  }
+}
+
+Result<uint64_t> TcpClient::SendDiscover(
+    const std::vector<std::string>& examples) {
+  const uint64_t id = next_id_++;
+  SQUID_RETURN_NOT_OK(WriteAll(EncodeDiscoverRequestFrame(id, examples)));
+  return id;
+}
+
+Result<Reply> TcpClient::ReadReply() {
+  if (!pending_.empty()) {
+    Reply reply = std::move(pending_.front());
+    pending_.erase(pending_.begin());
+    return reply;
+  }
+  SQUID_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  return DecodeReplyFrame(frame);
+}
+
+Result<Reply> TcpClient::Discover(const std::vector<std::string>& examples) {
+  SQUID_ASSIGN_OR_RETURN(uint64_t id, SendDiscover(examples));
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].request_id == id) {
+      Reply reply = std::move(pending_[i]);
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+      return reply;
+    }
+  }
+  for (;;) {
+    SQUID_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    SQUID_ASSIGN_OR_RETURN(Reply reply, DecodeReplyFrame(frame));
+    if (reply.request_id == id) return reply;
+    pending_.push_back(std::move(reply));  // someone else's pipelined answer
+  }
+}
+
+Result<Reply> TcpClient::Stats() {
+  const uint64_t id = next_id_++;
+  SQUID_RETURN_NOT_OK(WriteAll(EncodeStatsRequestFrame(id)));
+  for (;;) {
+    SQUID_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    SQUID_ASSIGN_OR_RETURN(Reply reply, DecodeReplyFrame(frame));
+    if (reply.request_id == id) return reply;
+    pending_.push_back(std::move(reply));
+  }
+}
+
+}  // namespace net
+}  // namespace squid

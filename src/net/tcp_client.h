@@ -1,0 +1,74 @@
+#ifndef SQUID_NET_TCP_CLIENT_H_
+#define SQUID_NET_TCP_CLIENT_H_
+
+/// \file tcp_client.h
+/// \brief Small synchronous client for the serve wire protocol — the other
+/// end of net/tcp_server.h, used by tests, bench_net_serve, and anything
+/// that wants Discover answers over a socket.
+///
+/// Two usage styles over one connection:
+///  - Discover(examples): send one request, block until its reply arrives
+///    (the simple path; replies for other pipelined ids are queued aside),
+///  - SendDiscover / ReadReply: pipelining. Send any number of requests
+///    (each gets a fresh id), then collect replies in whatever order the
+///    server finishes them — this is how the open-loop bench builds an
+///    arrival process faster than the service drains.
+///
+/// A Reply distinguishes ok / error / overloaded (the load-shedding signal
+/// with its retry-after hint); transport failures surface as Status.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace squid {
+namespace net {
+
+/// \brief One connection to a TcpServer. Not thread-safe; movable.
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+  TcpClient(TcpClient&& other) noexcept;
+  TcpClient& operator=(TcpClient&& other) noexcept;
+
+  /// Connects to a numeric IPv4 address ("127.0.0.1") and port.
+  static Result<TcpClient> Connect(const std::string& address, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one Discover request and blocks for its reply. Replies to other
+  /// in-flight ids received meanwhile are buffered for ReadReply.
+  Result<Reply> Discover(const std::vector<std::string>& examples);
+
+  /// Pipelined send: returns the request id to match against ReadReply.
+  Result<uint64_t> SendDiscover(const std::vector<std::string>& examples);
+
+  /// Blocks for the next reply (any id): buffered ones first, then the wire.
+  Result<Reply> ReadReply();
+
+  /// Fetches the server's counter frame.
+  Result<Reply> Stats();
+
+ private:
+  Status WriteAll(const std::string& bytes);
+  /// Reads until the decoder yields one frame.
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  FrameDecoder decoder_;
+  std::vector<Reply> pending_;  // replies read while waiting for another id
+};
+
+}  // namespace net
+}  // namespace squid
+
+#endif  // SQUID_NET_TCP_CLIENT_H_

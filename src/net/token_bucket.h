@@ -1,0 +1,74 @@
+#ifndef SQUID_NET_TOKEN_BUCKET_H_
+#define SQUID_NET_TOKEN_BUCKET_H_
+
+/// \file token_bucket.h
+/// \brief Per-session token-bucket rate limiter for the TCP front end. Each
+/// connection owns one bucket; a Discover request consumes one token. The
+/// bucket refills continuously at `rate_per_sec` up to `burst` tokens, so
+/// short bursts pass and sustained abuse is clipped at the configured rate
+/// with a retry-after hint telling the client when a token will exist.
+///
+/// Single-threaded by design: buckets live inside the event loop and are
+/// only touched from it.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+namespace squid {
+namespace net {
+
+class TokenBucket {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// rate_per_sec <= 0 disables limiting (every acquire succeeds).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec),
+        burst_(burst < 1.0 ? 1.0 : burst),
+        tokens_(burst_) {}
+
+  /// Consumes one token if available. On refusal, `*retry_after_ms` (may be
+  /// null) gets the time until one full token has refilled — the hint the
+  /// server puts in its overloaded frame.
+  bool TryAcquire(TimePoint now, uint32_t* retry_after_ms = nullptr) {
+    if (rate_ <= 0) return true;
+    Refill(now);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    if (retry_after_ms != nullptr) {
+      const double missing = 1.0 - tokens_;
+      *retry_after_ms =
+          static_cast<uint32_t>(std::ceil(missing / rate_ * 1e3));
+    }
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  void Refill(TimePoint now) {
+    if (!started_) {
+      started_ = true;
+      last_ = now;
+      return;
+    }
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = tokens_ + dt * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+  }
+
+  double rate_;   // non-const so buckets stay movable
+  double burst_;
+  double tokens_;
+  bool started_ = false;
+  TimePoint last_{};
+};
+
+}  // namespace net
+}  // namespace squid
+
+#endif  // SQUID_NET_TOKEN_BUCKET_H_

@@ -43,13 +43,15 @@ void Repl::HandleCommand(const std::string& command) {
     ServeStats s = service_->stats();
     *out_ << "stats threads=" << s.threads << " requests=" << s.requests
           << " completed=" << s.completed << " failed=" << s.failed
-          << " batches=" << s.batches << " queue_depth=" << s.queue_depth
-          << "\n";
+          << " rejected=" << s.rejected << " batches=" << s.batches
+          << " queue_depth=" << s.queue_depth << "\n";
     *out_ << "cache hits=" << s.hits << " misses=" << s.misses
           << " evictions=" << s.evictions << " entries=" << s.entries
           << " bytes=" << s.bytes << "/" << s.capacity_bytes << " hit_rate=";
-    out_->precision(3);
+    // Scoped precision: the caller's stream state must survive a .stats.
+    const std::streamsize saved_precision = out_->precision(3);
     *out_ << s.HitRate() << "\n";
+    out_->precision(saved_precision);
     return;
   }
   if (command == ".help") {
@@ -64,11 +66,33 @@ void Repl::HandleCommand(const std::string& command) {
 
 void Repl::HandleRequests(const std::string& line, RunStats* stats) {
   std::vector<std::string> segments = SplitBatch(line);
+  if (segments.empty()) {
+    // An all-'|' line parses to zero requests; report it instead of
+    // silently answering nothing (the client is waiting for output).
+    ++stats->errors;
+    *out_ << "err empty request line (only separators)\n";
+    out_->flush();
+    return;
+  }
   std::vector<std::vector<std::string>> batch;
   batch.reserve(segments.size());
   for (const std::string& segment : segments) {
-    batch.push_back(ParseExamples(segment));
+    std::vector<std::string> examples = ParseExamples(segment);
+    if (examples.empty()) {
+      // e.g. a ";;" segment: non-empty text, zero examples. Answer in
+      // place (never dispatched, so not counted in `requests`).
+      ++stats->errors;
+      *out_ << "err empty request segment '" << segment
+            << "' (no examples between separators)\n";
+      continue;
+    }
+    batch.push_back(std::move(examples));
   }
+  // Save/restore the full stream state: the response formatting below sets
+  // precision and std::fixed, and the caller's ostream must come back
+  // exactly as it went in.
+  const std::ios_base::fmtflags saved_flags = out_->flags();
+  const std::streamsize saved_precision = out_->precision();
   auto futures = service_->DiscoverBatch(std::move(batch));
   stats->requests += futures.size();
   for (auto& future : futures) {
@@ -88,6 +112,8 @@ void Repl::HandleRequests(const std::string& line, RunStats* stats) {
     out_->unsetf(std::ios_base::fixed);
     *out_ << "sql " << ToSql(q.original_query) << "\n";
   }
+  out_->flags(saved_flags);
+  out_->precision(saved_precision);
   out_->flush();
 }
 

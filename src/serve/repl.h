@@ -40,7 +40,9 @@ class Repl {
   struct RunStats {
     size_t requests = 0;  ///< requests dispatched (batch lines count each)
     size_t ok = 0;        ///< answered with an abduced query
-    size_t errors = 0;    ///< answered with a non-OK status
+    size_t errors = 0;    ///< answered with a non-OK status, plus malformed
+                          ///< lines/segments (all separators, zero examples)
+                          ///< reported without dispatching
   };
 
   Repl(SquidService* service, std::istream* in, std::ostream* out)

@@ -27,9 +27,13 @@ struct ServeStats {
   size_t capacity_bytes = 0; ///< configured budget (0 = cache disabled)
 
   // --- service ---
-  uint64_t requests = 0;   ///< Discover calls accepted
-  uint64_t completed = 0;  ///< requests answered (ok or error)
-  uint64_t failed = 0;     ///< requests answered with a non-OK status
+  uint64_t requests = 0;   ///< Discover/TryDiscover calls received
+  uint64_t completed = 0;  ///< requests a worker actually ran (ok or error)
+  uint64_t failed = 0;     ///< completed requests whose status was non-OK
+  uint64_t rejected = 0;   ///< requests shed at admission (queue full on
+                           ///< TryDiscover, or service closed) — never ran,
+                           ///< so disjoint from `completed`. At quiescence
+                           ///< requests == completed + rejected.
   uint64_t batches = 0;    ///< DiscoverBatch calls
   size_t queue_depth = 0;  ///< requests currently waiting in the queue
   size_t threads = 0;      ///< worker threads serving requests

@@ -29,8 +29,34 @@ SquidService::SquidService(const AbductionReadyDb* adb, ServeOptions options)
 
 SquidService::~SquidService() {
   // Refuse new requests; queued ones are answered by their paired drain
-  // tasks, which the pool destructor runs to completion.
+  // tasks, which the pool destructor runs to completion. Close() also
+  // guarantees no admission is mid-flight once it returns, so no drain task
+  // can be posted to the pool after this point.
+  Close();
+}
+
+void SquidService::Close() {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (closed_) return;
+  closed_ = true;
   queue_.Close();
+}
+
+bool SquidService::Admit(const std::shared_ptr<Request>& request,
+                         bool may_block) {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (closed_) return false;
+  // A blocking Push here holds admit_mu_ while waiting, which is safe:
+  // DrainOne pops without the mutex, so the queue keeps draining, and
+  // Close() simply waits its turn behind the admission.
+  const bool pushed = may_block ? queue_.Push(request) : queue_.TryPush(request);
+  if (!pushed) return false;
+  // One drain task per accepted request; workers pop in queue order, so the
+  // queue is the single dispatch point for client, batch, and socket
+  // traffic alike. Posting under admit_mu_ makes push+post atomic with
+  // respect to Close() — the pool is always alive here.
+  pool_.Post([this] { DrainOne(); });
+  return true;
 }
 
 std::future<Result<AbducedQuery>> SquidService::Discover(
@@ -39,17 +65,40 @@ std::future<Result<AbducedQuery>> SquidService::Discover(
   auto request = std::make_shared<Request>();
   request->examples = std::move(examples);
   std::future<Result<AbducedQuery>> future = request->promise.get_future();
-  if (!queue_.Push(request)) {  // service shutting down
+  if (!Admit(request, /*may_block=*/true)) {  // service closed
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     request->promise.set_value(
         Status::NotSupported("SquidService is shutting down"));
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    return future;
   }
-  // One drain task per accepted request; workers pop in queue order, so the
-  // queue is the single dispatch point for client and batch traffic alike.
-  pool_.Post([this] { DrainOne(); });
   return future;
+}
+
+bool SquidService::TryDiscover(std::vector<std::string> examples,
+                               std::future<Result<AbducedQuery>>* future) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto request = std::make_shared<Request>();
+  request->examples = std::move(examples);
+  if (future != nullptr) *future = request->promise.get_future();
+  if (!Admit(request, /*may_block=*/false)) {  // full or closed: shed
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    request->promise.set_value(
+        Status::NotSupported("SquidService overloaded or shutting down"));
+    return false;
+  }
+  return true;
+}
+
+bool SquidService::TryDiscover(std::vector<std::string> examples,
+                               CompletionFn on_complete) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto request = std::make_shared<Request>();
+  request->examples = std::move(examples);
+  request->on_complete = std::move(on_complete);
+  if (!Admit(request, /*may_block=*/false)) {  // full or closed: shed
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
 }
 
 Result<AbducedQuery> SquidService::DiscoverSync(std::vector<std::string> examples) {
@@ -66,12 +115,19 @@ std::vector<std::future<Result<AbducedQuery>>> SquidService::DiscoverBatch(
 }
 
 void SquidService::DrainOne() {
+  // TryPop, not Pop: on the shutdown path the pool destructor runs leftover
+  // drain tasks inline after workers already emptied the queue, and those
+  // must be no-ops rather than blocking on a closed, drained queue.
   std::optional<std::shared_ptr<Request>> request = queue_.TryPop();
   if (!request.has_value()) return;  // another worker drained faster
   Result<AbducedQuery> result = Process((*request)->examples);
   if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
-  (*request)->promise.set_value(std::move(result));
+  if ((*request)->on_complete) {
+    (*request)->on_complete(std::move(result));
+  } else {
+    (*request)->promise.set_value(std::move(result));
+  }
 }
 
 Result<AbducedQuery> SquidService::Process(
@@ -96,6 +152,7 @@ ServeStats SquidService::stats() const {
   out.requests = requests_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.queue_depth = queue_.size();
   out.threads = serving_threads_;

@@ -22,8 +22,10 @@
 /// and cached profiles are pure functions of the αDB.
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,8 @@ class SquidService {
 
   /// Enqueues one Discover request; the future resolves when a worker has
   /// abduced (or failed) it. Blocks only when the request queue is full.
+  /// After Close() the future resolves immediately with NotSupported and
+  /// the request counts as `rejected`.
   std::future<Result<AbducedQuery>> Discover(std::vector<std::string> examples);
 
   /// Discover + wait, for callers without their own pipeline.
@@ -76,6 +80,35 @@ class SquidService {
   /// trickles in under backpressure.
   std::vector<std::future<Result<AbducedQuery>>> DiscoverBatch(
       std::vector<std::vector<std::string>> batch);
+
+  /// Completion delivery for TryDiscover: invoked exactly once, on the
+  /// worker thread that ran the request.
+  using CompletionFn = std::function<void(Result<AbducedQuery>)>;
+
+  /// Non-blocking admission (the load-shedding entry point used by the TCP
+  /// front end): tries to enqueue without ever blocking the caller. Returns
+  /// true with `*future` populated when admitted; returns false — and bumps
+  /// the `rejected` counter — when the queue is full or the service is
+  /// closed, in which case the caller sheds the request (e.g. answers
+  /// `overloaded` with a retry-after hint). `future` may be null if the
+  /// caller does not need the answer.
+  bool TryDiscover(std::vector<std::string> examples,
+                   std::future<Result<AbducedQuery>>* future);
+
+  /// TryDiscover delivering the answer through a callback instead of a
+  /// future, so event-loop callers (net/tcp_server.cpp) never block: the
+  /// callback runs on the worker thread that processed the request. Not
+  /// invoked when admission fails (returns false).
+  bool TryDiscover(std::vector<std::string> examples, CompletionFn on_complete);
+
+  /// Stops admission: every later Discover resolves immediately with
+  /// NotSupported (counted as rejected) and TryDiscover returns false.
+  /// Requests already queued are still answered. Idempotent, safe to call
+  /// concurrently with admissions — an admission either fully lands (queue
+  /// push + drain-task post) before the close or is rejected; it can never
+  /// be half-admitted. The destructor calls Close() first, so no drain task
+  /// can be posted to a pool that is tearing down.
+  void Close();
 
   /// Cache + service counter snapshot.
   ServeStats stats() const;
@@ -91,9 +124,19 @@ class SquidService {
   struct Request {
     std::vector<std::string> examples;
     std::promise<Result<AbducedQuery>> promise;
+    /// When set, the answer goes through the callback (the promise is left
+    /// unused); otherwise through the promise.
+    CompletionFn on_complete;
   };
 
-  /// Pops and answers one queued request (runs on a pool worker).
+  /// Admission under admit_mu_: pushes (blocking or not) and, only if the
+  /// push succeeded, posts the paired drain task while the service is
+  /// provably not closed. Returns false when the request was rejected.
+  bool Admit(const std::shared_ptr<Request>& request, bool may_block);
+
+  /// Pops and answers one queued request (runs on a pool worker). Tolerates
+  /// an already-drained queue: on the shutdown path the pool destructor may
+  /// run queued drain tasks after their requests were answered.
   void DrainOne();
 
   /// The Discover pipeline with the candidate loop fanned out; bit-identical
@@ -105,9 +148,17 @@ class SquidService {
   std::unique_ptr<ContextCache> cache_;
   Squid squid_;
   BoundedQueue<std::shared_ptr<Request>> queue_;
+  /// Makes {closed check, queue push, drain-task post} one atomic admission
+  /// step with respect to Close(): without it a request could pass the
+  /// queue push, lose the CPU, and race ~SquidService into posting on a
+  /// pool that is being torn down. Consumers (DrainOne) never take this
+  /// mutex, so a producer blocked in queue_.Push still drains.
+  std::mutex admit_mu_;
+  bool closed_ = false;  // guarded by admit_mu_
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> batches_{0};
   /// Resolved request-processing parallelism. The pool is sized one larger
   /// (unless 1 = inline-serial): Post/Submit tasks run only on pool

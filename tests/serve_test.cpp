@@ -481,6 +481,48 @@ TEST_F(ServeFixture, ReplAnswersScriptedRequests) {
   EXPECT_NE(text.find("cache hits="), std::string::npos);
 }
 
+TEST_F(ServeFixture, ReplReportsMalformedLinesWithoutDispatching) {
+  SquidService service(bench_->adb.get(), {});
+  const ImdbManifest& m = bench_->data.manifest;
+  // An all-';' line, an all-'|' line, and a batch with one empty segment:
+  // every malformed piece gets an err answer (the client is waiting), none
+  // are dispatched, and valid segments of a mixed batch still run.
+  std::istringstream in(";;;\n|||\n" + m.costar_a + "; " + m.costar_b +
+                        " | ;; \n.quit\n");
+  std::ostringstream out;
+  Repl repl(&service, &in, &out);
+  Repl::RunStats stats = repl.Run();
+  EXPECT_EQ(stats.requests, 1u);  // only the costar segment dispatched
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.errors, 3u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("err empty request segment"), std::string::npos);
+  EXPECT_NE(text.find("err empty request line (only separators)"),
+            std::string::npos);
+  EXPECT_NE(text.find("ok base="), std::string::npos);
+  EXPECT_EQ(service.stats().requests, 1u);
+}
+
+TEST_F(ServeFixture, ReplRestoresCallerStreamState) {
+  SquidService service(bench_->adb.get(), {});
+  const ImdbManifest& m = bench_->data.manifest;
+  // Responses print with precision(6) + std::fixed and .stats with
+  // precision(3); none of it may leak into the caller's stream.
+  std::istringstream in(m.costar_a + "; " + m.costar_b + "\n.stats\n.quit\n");
+  std::ostringstream out;
+  out.precision(11);
+  out.setf(std::ios_base::scientific, std::ios_base::floatfield);
+  const std::ios_base::fmtflags flags_before = out.flags();
+  Repl repl(&service, &in, &out);
+  Repl::RunStats stats = repl.Run();
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(out.precision(), 11);
+  EXPECT_EQ(out.flags(), flags_before);
+  // The response itself did use fixed notation for the posterior.
+  EXPECT_NE(out.str().find("posterior=-"), std::string::npos);
+  EXPECT_NE(out.str().find("hit_rate="), std::string::npos);
+}
+
 TEST_F(ServeFixture, ReplParsingSplitsExamplesAndBatches) {
   EXPECT_EQ(Repl::ParseExamples(" a ; b;; c "),
             (std::vector<std::string>{"a", "b", "c"}));
@@ -526,6 +568,162 @@ TEST(BoundedQueueTest, CloseReleasesProducersAndDrainsConsumers) {
   EXPECT_FALSE(queue.Push(9));
   EXPECT_EQ(queue.Pop().value(), 7);  // queued items drain after Close
   EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, TryOpsRespectCloseButStillDrain) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(3));  // closed beats available capacity
+  // Items queued at close are all still delivered, via either pop flavor.
+  EXPECT_EQ(queue.TryPop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // closed + drained: no blocking
+}
+
+TEST(BoundedQueueTest, ConcurrentCloseReleasesEveryBlockedWaiter) {
+  // Producers blocked on a full queue and, in a second phase, consumers
+  // blocked on an empty one: Close() must wake them all exactly once —
+  // producers with `false`, consumers with nullopt after the drain.
+  {
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.Push(0));
+    std::vector<std::thread> producers;
+    std::atomic<int> refused{0};
+    for (int i = 0; i < 4; ++i) {
+      producers.emplace_back([&] {
+        if (!queue.Push(99)) refused.fetch_add(1);
+      });
+    }
+    queue.Close();
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(refused.load(), 4);
+    EXPECT_EQ(queue.Pop().value(), 0);  // the pre-close item survives
+    EXPECT_FALSE(queue.Pop().has_value());
+  }
+  {
+    BoundedQueue<int> queue(1);
+    std::vector<std::thread> consumers;
+    std::atomic<int> empty_handed{0};
+    for (int i = 0; i < 4; ++i) {
+      consumers.emplace_back([&] {
+        if (!queue.Pop().has_value()) empty_handed.fetch_add(1);
+      });
+    }
+    queue.Close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(empty_handed.load(), 4);
+  }
+}
+
+// ---------- shutdown race + rejection accounting ----------
+
+TEST_F(ServeFixture, StatsPartitionRequestsIntoCompletedAndRejected) {
+  ServeOptions options;
+  options.threads = 2;
+  SquidService service(bench_->adb.get(), options);
+  // A served mix: sync answers plus one failure.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(service.DiscoverSync((*workload_)[0]).ok());
+  }
+  EXPECT_FALSE(service.DiscoverSync({"no-such-example-xyzzy"}).ok());
+  // Shed requests: after Close, both admission paths reject.
+  service.Close();
+  auto late = service.Discover((*workload_)[0]);
+  EXPECT_EQ(late.get().status().code(), StatusCode::kNotSupported);
+  std::future<Result<AbducedQuery>> try_future;
+  EXPECT_FALSE(service.TryDiscover((*workload_)[0], &try_future));
+  EXPECT_EQ(try_future.get().status().code(), StatusCode::kNotSupported);
+  EXPECT_FALSE(service.TryDiscover(
+      (*workload_)[0], [](Result<AbducedQuery>) { FAIL(); }));
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 7u);
+  EXPECT_EQ(stats.completed, 4u);  // the requests that actually ran
+  EXPECT_EQ(stats.failed, 1u);     // ... of which one answered non-OK
+  EXPECT_EQ(stats.rejected, 3u);   // shed, disjoint from completed
+  // The invariant the double-counting bug broke: at quiescence every
+  // request is either completed or rejected, never both.
+  EXPECT_EQ(stats.requests, stats.completed + stats.rejected);
+}
+
+TEST_F(ServeFixture, TryDiscoverShedsWhenTheQueueIsFullAndCountsOnce) {
+  // threads=2 gives real worker threads; a capacity-1 queue behind slow-ish
+  // requests guarantees some TryDiscover calls land on a full queue.
+  ServeOptions options;
+  options.threads = 2;
+  options.queue_capacity = 1;
+  SquidService service(bench_->adb.get(), options);
+  const size_t kAttempts = 64;
+  std::vector<std::future<Result<AbducedQuery>>> admitted;
+  size_t shed = 0;
+  for (size_t i = 0; i < kAttempts; ++i) {
+    std::future<Result<AbducedQuery>> future;
+    if (service.TryDiscover((*workload_)[i % workload_->size()], &future)) {
+      admitted.push_back(std::move(future));
+    } else {
+      ++shed;
+      // A shed future resolves immediately, with the shed status.
+      EXPECT_EQ(future.get().status().code(), StatusCode::kNotSupported);
+    }
+  }
+  for (auto& future : admitted) future.get();  // quiesce
+  EXPECT_GT(shed, 0u) << "a queue of 1 never rejected a 64-deep burst";
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kAttempts);
+  EXPECT_EQ(stats.rejected, shed);
+  EXPECT_EQ(stats.completed, admitted.size());
+  EXPECT_EQ(stats.requests, stats.completed + stats.rejected);
+}
+
+TEST_F(ServeFixture, CloseRacingConcurrentAdmissionsNeverLosesARequest) {
+  // The shutdown race: producers hammer Discover/TryDiscover while another
+  // thread Close()es the service mid-stream, then the service is destroyed.
+  // Every future must resolve (an admission is atomic: it either fully
+  // lands before the close or is rejected), and nothing crashes or leaks a
+  // drain task into the dying pool. Run several rounds to vary the
+  // interleaving; TSan gives this teeth.
+  for (int round = 0; round < 6; ++round) {
+    ServeOptions options;
+    options.threads = 2 + (round % 2);
+    options.queue_capacity = 2;
+    auto service = std::make_unique<SquidService>(bench_->adb.get(), options);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 6;
+    std::atomic<uint64_t> resolved{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const auto& examples = (*workload_)[(p + i) % workload_->size()];
+          if (i % 2 == 0) {
+            auto future = service->Discover(examples);
+            future.wait();
+            resolved.fetch_add(1);
+          } else {
+            std::future<Result<AbducedQuery>> future;
+            service->TryDiscover(examples, &future);
+            future.wait();  // admitted or shed, it must resolve
+            resolved.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Close midway through the storm (round 0 closes immediately).
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(round * 3));
+    }
+    service->Close();
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(resolved.load(), uint64_t(kProducers) * kPerProducer);
+    ServeStats stats = service->stats();
+    EXPECT_EQ(stats.requests, stats.completed + stats.rejected);
+    service.reset();  // ~SquidService after Close: second close is a no-op
+  }
 }
 
 }  // namespace
