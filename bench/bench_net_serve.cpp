@@ -27,6 +27,7 @@
 #include "common/stopwatch.h"
 #include "net/tcp_client.h"
 #include "net/tcp_server.h"
+#include "obs/metrics.h"
 #include "serve/squid_service.h"
 
 namespace squid {
@@ -180,15 +181,22 @@ void Run(int argc, char** argv) {
     return list;
   };
 
+  // The p50/p99 columns are client-side (send to reply over the socket);
+  // the srv columns are the server's own admission-to-answer histogram and
+  // queue-wait p99, read from the service's private metrics registry — the
+  // gap between the two is framing + socket + event-loop time.
   TablePrinter table({"mode", "threads", "queue", "requests", "accepted",
-                      "rejected", "seconds", "req/s", "p50 ms", "p99 ms"});
+                      "rejected", "seconds", "req/s", "p50 ms", "p99 ms",
+                      "srv p50 ms", "srv p99 ms", "srv qw p99 ms"});
   const size_t thread_counts[] = {1, 2};
   for (size_t threads : thread_counts) {
     // Closed loop: ample queue, arrivals gated on answers — no shedding.
     {
+      obs::MetricsRegistry registry;
       ServeOptions options;
       options.threads = threads;
       options.queue_capacity = 64;
+      options.metrics = &registry;
       SquidService service(bench.adb.get(), options);
       net::TcpServer server(&service);
       Status started = server.Start();
@@ -196,6 +204,7 @@ void Run(int argc, char** argv) {
       auto list = request_list(requests);
       SweepResult r = RunClosed(server.port(), list, threads);
       server.Stop();
+      ServeStats srv = service.stats();
       SQUID_CHECK(r.accepted == requests && r.rejected == 0)
           << "closed loop shed requests (" << r.rejected << " rejected)";
       table.AddRow({"closed", TablePrinter::Int(threads),
@@ -206,14 +215,19 @@ void Run(int argc, char** argv) {
                     TablePrinter::Num(r.seconds, 4),
                     TablePrinter::Num(r.accepted / r.seconds, 1),
                     TablePrinter::Num(PercentileMs(r.accepted_ms, 0.50), 2),
-                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.99), 2)});
+                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.99), 2),
+                    TablePrinter::Num(srv.RequestP50Ns() / 1e6, 2),
+                    TablePrinter::Num(srv.RequestP99Ns() / 1e6, 2),
+                    TablePrinter::Num(srv.QueueWaitP99Ns() / 1e6, 2)});
     }
     // Open loop: tiny queue, the whole list pipelined at once — the server
     // must shed the excess while accepted latency stays queue-bounded.
     {
+      obs::MetricsRegistry registry;
       ServeOptions options;
       options.threads = threads;
       options.queue_capacity = 2;
+      options.metrics = &registry;
       SquidService service(bench.adb.get(), options);
       net::TcpServer server(&service);
       Status started = server.Start();
@@ -222,6 +236,7 @@ void Run(int argc, char** argv) {
       SweepResult r = RunOpen(server.port(), list);
       net::TcpServerStats net_stats = server.stats();
       server.Stop();
+      ServeStats srv = service.stats();
       SQUID_CHECK(r.accepted + r.rejected == open_requests)
           << "open loop lost replies";
       SQUID_CHECK(net_stats.rejected_overload == r.rejected)
@@ -234,7 +249,10 @@ void Run(int argc, char** argv) {
                     TablePrinter::Num(r.seconds, 4),
                     TablePrinter::Num(r.accepted / r.seconds, 1),
                     TablePrinter::Num(PercentileMs(r.accepted_ms, 0.50), 2),
-                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.99), 2)});
+                    TablePrinter::Num(PercentileMs(r.accepted_ms, 0.99), 2),
+                    TablePrinter::Num(srv.RequestP50Ns() / 1e6, 2),
+                    TablePrinter::Num(srv.RequestP99Ns() / 1e6, 2),
+                    TablePrinter::Num(srv.QueueWaitP99Ns() / 1e6, 2)});
     }
   }
   table.Print();

@@ -24,6 +24,7 @@
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "serve/squid_service.h"
 
 namespace squid {
@@ -113,7 +114,8 @@ void Run(int argc, char** argv) {
 
   TablePrinter table({"mix", "threads", "cache (KiB)", "requests", "cold (s)",
                       "cold req/s", "warm (s)", "warm req/s", "mean warm ms",
-                      "warm hits", "hits", "misses", "evictions"});
+                      "srv p50 ms", "srv p99 ms", "warm hits", "hits",
+                      "misses", "evictions"});
   for (const Mix& mix : mixes) {
     auto sets = BuildExampleSets(bench, mix.distinct);
     std::vector<const std::vector<std::string>*> request_list;
@@ -123,10 +125,15 @@ void Run(int argc, char** argv) {
     }
     for (size_t threads : thread_counts) {
       for (size_t cache_bytes : cache_budgets) {
+        // Private registry per cell: the server-side latency percentiles
+        // below must describe this service alone, not every service this
+        // process ever ran.
+        obs::MetricsRegistry registry;
         ServeOptions options;
         options.threads = threads;
         options.cache_bytes = cache_bytes;
         options.queue_capacity = 2 * threads;
+        options.metrics = &registry;
         SquidService service(bench.adb.get(), options);
         PassResult cold = RunPass(&service, request_list, threads);
         ServeStats after_cold = service.stats();
@@ -150,6 +157,16 @@ void Run(int argc, char** argv) {
                       TablePrinter::Num(warm.seconds, 4),
                       TablePrinter::Num(rate(warm), 1),
                       TablePrinter::Num(warm.seconds / requests * 1e3, 3),
+                      TablePrinter::Num(
+                          static_cast<double>(
+                              stats.request_ns.ValueAtQuantile(0.50)) /
+                              1e6,
+                          3),
+                      TablePrinter::Num(
+                          static_cast<double>(
+                              stats.request_ns.ValueAtQuantile(0.99)) /
+                              1e6,
+                          3),
                       TablePrinter::Int(warm_hits),
                       TablePrinter::Int(stats.hits),
                       TablePrinter::Int(stats.misses),

@@ -8,23 +8,32 @@
 //   ./build/examples/squid_serve_tcp --smoke         # self-driving check
 //
 // Flags: --scale=0.25 --threads=0 --queue=64 --cache-mb=8 --port=0
-//        --rate=0 --burst=16 --smoke
+//        --rate=0 --burst=16 --metrics-dump=0 --smoke
 // (--port=0 picks an ephemeral port, printed on stderr; --rate is the
-// per-connection token-bucket rate, 0 = unlimited).
+// per-connection token-bucket rate, 0 = unlimited; --metrics-dump=N dumps
+// the Prometheus-style metrics text to stderr every N seconds while
+// serving, and once at shutdown — in smoke mode, once after the rounds).
 //
 // The smoke mode connects a client to the freshly started server, runs the
 // same Discover twice (cold then cached), asserts the answer matches the
-// in-process DiscoverSync byte for byte, and fetches the counter frame.
+// in-process DiscoverSync byte for byte, and fetches the counter frame
+// (including its server-side latency histogram section).
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "adb/abduction_ready_db.h"
 #include "datagen/imdb_generator.h"
 #include "net/tcp_client.h"
 #include "net/tcp_server.h"
+#include "obs/metrics.h"
 #include "serve/squid_service.h"
 
 using namespace squid;
@@ -55,11 +64,49 @@ int Fail(const char* what, const Status& status) {
   return 1;
 }
 
+void DumpMetrics(const char* when) {
+  std::string text = obs::DumpMetricsText();
+  std::fprintf(stderr, "--- metrics (%s) ---\n%s--- end metrics ---\n", when,
+               text.c_str());
+}
+
+/// Dumps the metrics registry to stderr every `period_s` seconds until
+/// Stop() — the operator-facing live view of the serve histograms.
+class MetricsDumper {
+ public:
+  explicit MetricsDumper(double period_s) {
+    thread_ = std::thread([this, period_s] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::duration<double>(period_s));
+        if (stop_) break;
+        DumpMetrics("periodic");
+      }
+    });
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = FlagOr(argc, argv, "scale", 0.25);
   const bool smoke = HasFlag(argc, argv, "smoke");
+  const double metrics_dump_s = FlagOr(argc, argv, "metrics-dump", 0);
 
   ImdbOptions options;
   options.scale = scale;
@@ -125,6 +172,27 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "smoke: counter %s=%llu\n", name.c_str(),
                    static_cast<unsigned long long>(value));
     }
+    // The stats frame must carry the server-side latency histograms, and
+    // the end-to-end histogram must have seen every completed request
+    // (2 socket rounds + the in-process DiscoverSync above).
+    bool saw_request_hist = false;
+    for (const auto& hist : stats_reply.value().histograms) {
+      std::fprintf(stderr, "smoke: histogram %s count=%llu p99=%lluns\n",
+                   hist.name.c_str(),
+                   static_cast<unsigned long long>(hist.snapshot.count),
+                   static_cast<unsigned long long>(
+                       hist.snapshot.ValueAtQuantile(0.99)));
+      if (hist.name == "request_ns" && hist.snapshot.count >= 3) {
+        saw_request_hist = true;
+      }
+    }
+    if (obs::MetricsEnabled() && !saw_request_hist) {
+      std::fprintf(stderr,
+                   "smoke: FAILED (stats frame missing request_ns histogram "
+                   "with >= 3 samples)\n");
+      return 1;
+    }
+    if (metrics_dump_s > 0) DumpMetrics("smoke");
 
     server.Stop();
     net::TcpServerStats net_stats = server.stats();
@@ -141,10 +209,18 @@ int main(int argc, char** argv) {
 
   // Foreground mode: serve until stdin closes (ctrl-D), then drain.
   std::fprintf(stderr, "squid_serve_tcp: press ctrl-D to stop\n");
+  std::unique_ptr<MetricsDumper> dumper;
+  if (metrics_dump_s > 0) {
+    dumper = std::make_unique<MetricsDumper>(metrics_dump_s);
+  }
   std::string line;
   while (std::getline(std::cin, line)) {
   }
   server.Stop();
+  if (dumper != nullptr) {
+    dumper->Stop();
+    DumpMetrics("shutdown");
+  }
   net::TcpServerStats net_stats = server.stats();
   std::fprintf(stderr,
                "squid_serve_tcp: served %llu frames (%llu admitted, "

@@ -24,6 +24,7 @@
 #include "common/stopwatch.h"
 #include "datagen/dblp_generator.h"
 #include "datagen/imdb_generator.h"
+#include "obs/metrics.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -165,6 +166,15 @@ int RunVerify(int argc, char** argv) {
       report.base_bytes / (1024.0 * 1024.0),
       report.derived_bytes / (1024.0 * 1024.0),
       report.index_bytes / (1024.0 * 1024.0));
+  // Feed the observability registry and expose it: verify is the CLI smoke
+  // path for the Prometheus-style exposition (obs/metrics.h).
+  squid::obs::MetricsRegistry::Global()
+      .GetCounter("squid_snapshot_verify_ok")
+      ->Add();
+  squid::obs::MetricsRegistry::Global()
+      .GetHistogram("squid_snapshot_load_ns")
+      ->Record(static_cast<uint64_t>(load_seconds * 1e9));
+  std::printf("--- metrics ---\n%s", squid::obs::DumpMetricsText().c_str());
   return 0;
 }
 

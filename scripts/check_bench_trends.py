@@ -29,6 +29,11 @@ CI) and fails when a shape regresses:
   * Snapshot boot (bench_snapshot.json): loading an αDB snapshot must be at
     least ~5x faster than rebuilding the αDB from the base tables at the
     largest benched scale, per dataset.
+  * Observability (bench_obs.json): enabled-path metric recording stays
+    within an absolute ns slack of the disabled path (the kill-switch
+    contract), every reported quantile chain is monotone (p50 <= p90 <=
+    p99 <= max), and a serve pass with metrics on is within a small factor
+    of the same pass with metrics off.
   * Fig. 11 (bench_fig11_query_runtime.json): abduced queries execute with
     runtimes comparable to the ground-truth queries — per query, the abduced
     runtime must stay within a sane ratio of the actual runtime (plus a
@@ -487,6 +492,117 @@ def check_net_serve(path):
                 )
 
 
+# Observability overhead bounds (bench_obs): enabled-path recording may
+# exceed the disabled path by this many ns before the "cheap enough to
+# leave on" contract is broken (the slack covers clock reads in the phase
+# timer and scheduler noise on shared runners — the bound exists to catch a
+# lock or syscall sneaking into the hot path, which costs microseconds
+# under contention, not nanoseconds). The serve pass with metrics on may be
+# this factor slower than with metrics off, plus an absolute slack that
+# soaks timer noise at CI scales.
+OBS_OVERHEAD_SLACK_NS = 500.0
+OBS_SERVE_TOLERANCE = 1.5
+OBS_SERVE_SLACK_SECONDS = 0.05
+
+
+def check_obs(path):
+    global checks_run
+    doc = load(path)
+    # Recording overhead: enabled within an absolute slack of disabled.
+    overhead_tables = tables_with_headers(
+        doc, ["op", "threads", "disabled (ns)", "enabled (ns)"]
+    )
+    if not overhead_tables:
+        fail(f"{path.name}: no recording-overhead table")
+    for table in overhead_tables:
+        section = table.get("section", "?")
+        ops = column(table, "op")
+        threads = [float(v) for v in column(table, "threads")]
+        disabled = [float(v) for v in column(table, "disabled (ns)")]
+        enabled = [float(v) for v in column(table, "enabled (ns)")]
+        for op, t, off_ns, on_ns in zip(ops, threads, disabled, enabled):
+            checks_run += 1
+            label = f"{op} threads={t:.0f}"
+            if on_ns > off_ns + OBS_OVERHEAD_SLACK_NS:
+                fail(
+                    f"{path.name} [{section}] {label}: enabled recording "
+                    f"{on_ns:.2f}ns vs disabled {off_ns:.2f}ns exceeds "
+                    f"+{OBS_OVERHEAD_SLACK_NS:g}ns slack"
+                )
+            else:
+                ok(f"{section} {label}: disabled {off_ns:.2f}ns, enabled {on_ns:.2f}ns")
+    # Percentile sanity: the quantile chain from any snapshot is monotone.
+    pct_tables = tables_with_headers(
+        doc, ["hist", "count", "p50 ns", "p90 ns", "p99 ns", "max ns"]
+    )
+    if not pct_tables:
+        fail(f"{path.name}: no percentile-sanity table")
+    for table in pct_tables:
+        section = table.get("section", "?")
+        rows = [
+            {h: v for h, v in zip(table["headers"], row)} for row in table["rows"]
+        ]
+        for row in rows:
+            checks_run += 1
+            chain = [
+                float(row["p50 ns"]),
+                float(row["p90 ns"]),
+                float(row["p99 ns"]),
+                float(row["max ns"]),
+            ]
+            if float(row["count"]) <= 0:
+                fail(f"{path.name} [{section}] {row['hist']}: empty histogram")
+            elif any(a > b for a, b in zip(chain, chain[1:])):
+                fail(
+                    f"{path.name} [{section}] {row['hist']}: quantile chain "
+                    f"not monotone (p50 {chain[0]:.0f} / p90 {chain[1]:.0f} / "
+                    f"p99 {chain[2]:.0f} / max {chain[3]:.0f})"
+                )
+            else:
+                ok(
+                    f"{section} {row['hist']}: p50 {chain[0]:.0f}ns <= "
+                    f"p99 {chain[2]:.0f}ns <= max {chain[3]:.0f}ns"
+                )
+    # Serve pass: metrics on within a small factor of metrics off, and the
+    # server-side percentiles it recorded are monotone.
+    serve_tables = tables_with_headers(
+        doc,
+        ["threads", "requests", "metrics off (s)", "metrics on (s)",
+         "srv p50 ms", "srv p99 ms"],
+    )
+    if not serve_tables:
+        fail(f"{path.name}: no metrics-on-vs-off serve table")
+    for table in serve_tables:
+        section = table.get("section", "?")
+        rows = [
+            {h: v for h, v in zip(table["headers"], row)} for row in table["rows"]
+        ]
+        for row in rows:
+            label = f"threads={float(row['threads']):.0f}"
+            off_s = float(row["metrics off (s)"])
+            on_s = float(row["metrics on (s)"])
+            checks_run += 1
+            bound = off_s * OBS_SERVE_TOLERANCE + OBS_SERVE_SLACK_SECONDS
+            if on_s > bound:
+                fail(
+                    f"{path.name} [{section}] {label}: serve with metrics on "
+                    f"{on_s:.4f}s vs off {off_s:.4f}s beyond tolerance"
+                )
+            else:
+                ok(f"{section} {label}: metrics off {off_s:.4f}s, on {on_s:.4f}s")
+            checks_run += 1
+            if float(row["srv p50 ms"]) > float(row["srv p99 ms"]):
+                fail(
+                    f"{path.name} [{section}] {label}: server-side p50 "
+                    f"{row['srv p50 ms']} > p99 {row['srv p99 ms']}"
+                )
+            else:
+                ok(
+                    f"{section} {label}: srv p50 {float(row['srv p50 ms']):.3f}ms "
+                    f"<= p99 {float(row['srv p99 ms']):.3f}ms"
+                )
+
+
 def main():
     json_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench/out")
     if not json_dir.is_dir():
@@ -499,6 +615,7 @@ def main():
         "bench_fig9_scalability": check_build_speedup,
         "bench_memlat": check_memlat,
         "bench_net_serve": check_net_serve,
+        "bench_obs": check_obs,
         "bench_serve_throughput": check_serve,
         "bench_snapshot": check_snapshot,
         "bench_table_datasets": check_build_speedup,

@@ -1,11 +1,40 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace squid {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+/// Initial level from the SQUID_LOG_LEVEL env var: a name (debug, info,
+/// warn, error — case-sensitive, matching the SQUID_LOG(...) spellings
+/// lowercased) or a numeric LogLevel value. Unset or unrecognized: kInfo.
+LogLevel InitialLevel() {
+  const char* env = std::getenv("SQUID_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+    return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+    return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+    return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+    return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& LevelFlag() {
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
+
+std::atomic<bool> g_timestamps{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,21 +49,45 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  LevelFlag().store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return LevelFlag().load(std::memory_order_relaxed); }
+
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+bool GetLogTimestamps() { return g_timestamps.load(std::memory_order_relaxed); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    // Monotonic seconds since an arbitrary process-local origin: cheap,
+    // strictly ordered, and immune to wall-clock steps — what you want when
+    // correlating a serve log with bench timelines.
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "%.6f ", seconds);
+    stream_ << prefix;
+  }
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-  }
+  if (level_ < GetLogLevel()) return;
+  // One write() per line: POSIX write is atomic enough that concurrent
+  // threads never interleave mid-line (fprintf buffers can split a line
+  // across flushes).
+  std::string line = stream_.str();
+  line.push_back('\n');
+  ssize_t ignored = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)ignored;
 }
 
 }  // namespace internal

@@ -3,7 +3,8 @@
 
 /// \file logging.h
 /// \brief Minimal leveled logging to stderr. Benchmarks keep stdout clean for
-/// result tables, so diagnostics go to stderr.
+/// result tables, so diagnostics go to stderr. Each line is emitted with a
+/// single write() so concurrent threads never interleave mid-line.
 
 #include <sstream>
 #include <string>
@@ -12,9 +13,16 @@ namespace squid {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the global minimum level that is emitted (default: kInfo).
+/// Sets the global minimum level that is emitted. The initial level comes
+/// from the SQUID_LOG_LEVEL env var ("debug"/"info"/"warn"/"error" or 0-3;
+/// default kInfo).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Prefixes every line with a monotonic timestamp (seconds since process
+/// start epoch, µs precision) when enabled. Off by default.
+void SetLogTimestamps(bool enabled);
+bool GetLogTimestamps();
 
 namespace internal {
 

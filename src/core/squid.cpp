@@ -17,36 +17,44 @@ size_t AbducedQuery::NumIncludedFilters() const {
 Result<AbducedQuery> Squid::DiscoverForResolvedEntities(
     const std::string& entity_relation, const std::string& projection_attr,
     const std::vector<Value>& entity_keys,
-    const std::vector<size_t>& entity_rows) const {
+    const std::vector<size_t>& entity_rows,
+    obs::RequestTrace* trace) const {
   AbducedQuery out;
   out.entity_relation = entity_relation;
   out.projection_attr = projection_attr;
   out.entity_keys = entity_keys;
 
   std::vector<SemanticContext> contexts;
-  if (context_provider_ != nullptr) {
-    SQUID_ASSIGN_OR_RETURN(
-        contexts, context_provider_->Contexts(entity_relation, entity_keys,
-                                              entity_rows, config_, &out.stats));
-  } else {
-    // Rows hoisted from the candidate's postings spare the per-key PK-index
-    // resolution inside the profile builds.
-    const bool have_rows = entity_rows.size() == entity_keys.size();
-    if (have_rows) {
-      out.stats.entity_row_lookups_saved += entity_keys.size();
+  {
+    obs::ScopedPhaseTimer timer(trace, obs::Phase::kContextDiscovery);
+    if (context_provider_ != nullptr) {
+      SQUID_ASSIGN_OR_RETURN(
+          contexts, context_provider_->Contexts(entity_relation, entity_keys,
+                                                entity_rows, config_, &out.stats));
     } else {
-      out.stats.entity_row_lookups += entity_keys.size();
+      // Rows hoisted from the candidate's postings spare the per-key PK-index
+      // resolution inside the profile builds.
+      const bool have_rows = entity_rows.size() == entity_keys.size();
+      if (have_rows) {
+        out.stats.entity_row_lookups_saved += entity_keys.size();
+      } else {
+        out.stats.entity_row_lookups += entity_keys.size();
+      }
+      SQUID_ASSIGN_OR_RETURN(
+          contexts, DiscoverContexts(*adb_, entity_relation, entity_keys, config_,
+                                     have_rows ? &entity_rows : nullptr));
     }
-    SQUID_ASSIGN_OR_RETURN(
-        contexts, DiscoverContexts(*adb_, entity_relation, entity_keys, config_,
-                                   have_rows ? &entity_rows : nullptr));
   }
 
-  AbductionModel model(adb_, config_);
-  SQUID_ASSIGN_OR_RETURN(out.filters,
-                         model.AbduceFilters(contexts, entity_keys.size()));
-  out.log_posterior = AbductionModel::LogPosterior(out.filters);
+  {
+    obs::ScopedPhaseTimer timer(trace, obs::Phase::kAbduction);
+    AbductionModel model(adb_, config_);
+    SQUID_ASSIGN_OR_RETURN(out.filters,
+                           model.AbduceFilters(contexts, entity_keys.size()));
+    out.log_posterior = AbductionModel::LogPosterior(out.filters);
+  }
 
+  obs::ScopedPhaseTimer timer(trace, obs::Phase::kQueryBuild);
   QueryBuilder builder(adb_, config_);
   SQUID_ASSIGN_OR_RETURN(
       out.adb_query, builder.BuildAdbQuery(entity_relation, projection_attr,
@@ -59,19 +67,23 @@ Result<AbducedQuery> Squid::DiscoverForResolvedEntities(
 
 Result<AbducedQuery> Squid::DiscoverForEntities(
     const std::string& entity_relation, const std::string& projection_attr,
-    const std::vector<Value>& entity_keys) const {
+    const std::vector<Value>& entity_keys, obs::RequestTrace* trace) const {
   return DiscoverForResolvedEntities(entity_relation, projection_attr,
-                                     entity_keys, {});
+                                     entity_keys, {}, trace);
 }
 
-Result<AbducedQuery> Squid::AbduceCandidate(const EntityMatch& match) const {
+Result<AbducedQuery> Squid::AbduceCandidate(const EntityMatch& match,
+                                            obs::RequestTrace* trace) const {
   // The row resolution is shared work: the postings already name each
   // chosen entity's row, so context discovery never re-probes the PK index
   // for this candidate.
-  SQUID_ASSIGN_OR_RETURN(ResolvedEntities resolved,
-                         ResolveEntities(*adb_, match, config_));
+  ResolvedEntities resolved;
+  {
+    obs::ScopedPhaseTimer timer(trace, obs::Phase::kDisambiguation);
+    SQUID_ASSIGN_OR_RETURN(resolved, ResolveEntities(*adb_, match, config_));
+  }
   return DiscoverForResolvedEntities(match.relation, match.attribute,
-                                     resolved.keys, resolved.rows);
+                                     resolved.keys, resolved.rows, trace);
 }
 
 Result<AbducedQuery> Squid::ReduceCandidates(
@@ -105,13 +117,17 @@ Result<AbducedQuery> Squid::ReduceCandidates(
   return best;
 }
 
-Result<AbducedQuery> Squid::Discover(const std::vector<std::string>& examples) const {
-  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
-                         LookupExamples(*adb_, examples));
+Result<AbducedQuery> Squid::Discover(const std::vector<std::string>& examples,
+                                     obs::RequestTrace* trace) const {
+  std::vector<EntityMatch> matches;
+  {
+    obs::ScopedPhaseTimer timer(trace, obs::Phase::kEntityLookup);
+    SQUID_ASSIGN_OR_RETURN(matches, LookupExamples(*adb_, examples));
+  }
   std::vector<Result<AbducedQuery>> candidates;
   candidates.reserve(matches.size());
   for (const EntityMatch& match : matches) {
-    candidates.push_back(AbduceCandidate(match));
+    candidates.push_back(AbduceCandidate(match, trace));
   }
   return ReduceCandidates(std::move(candidates));
 }

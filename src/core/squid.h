@@ -24,6 +24,7 @@
 #include "core/filter.h"
 #include "core/query_builder.h"
 #include "core/semantic_property.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 
 namespace squid {
@@ -113,13 +114,21 @@ class Squid {
   /// inverted index, disambiguates, and abduces the most probable query.
   /// When several (relation, attribute) base queries cover all examples,
   /// each is abduced and the one with the highest log posterior wins.
-  Result<AbducedQuery> Discover(const std::vector<std::string>& examples) const;
+  ///
+  /// `trace`, here and below, is an optional per-request span: when
+  /// non-null, each pipeline phase (entity lookup, disambiguation, context
+  /// discovery, abduction, query build) adds its wall time to it. Tracing
+  /// is observational only — answers are byte-identical with trace set or
+  /// null (the serve parity suite enforces this).
+  Result<AbducedQuery> Discover(const std::vector<std::string>& examples,
+                                obs::RequestTrace* trace = nullptr) const;
 
   /// Abduces for an already-resolved example set: entities `entity_keys` of
   /// `entity_relation`, projecting `projection_attr`.
-  Result<AbducedQuery> DiscoverForEntities(const std::string& entity_relation,
-                                           const std::string& projection_attr,
-                                           const std::vector<Value>& entity_keys) const;
+  Result<AbducedQuery> DiscoverForEntities(
+      const std::string& entity_relation, const std::string& projection_attr,
+      const std::vector<Value>& entity_keys,
+      obs::RequestTrace* trace = nullptr) const;
 
   /// DiscoverForEntities with entity rows already resolved (hoisted from the
   /// candidate's postings); `entity_rows` must parallel `entity_keys` or be
@@ -127,12 +136,16 @@ class Squid {
   Result<AbducedQuery> DiscoverForResolvedEntities(
       const std::string& entity_relation, const std::string& projection_attr,
       const std::vector<Value>& entity_keys,
-      const std::vector<size_t>& entity_rows) const;
+      const std::vector<size_t>& entity_rows,
+      obs::RequestTrace* trace = nullptr) const;
 
   /// One candidate base query end to end: disambiguates `match` (keeping
   /// the postings-resolved rows) and abduces. Discover runs this per match
   /// serially; serve mode fans it out and reduces with ReduceCandidates.
-  Result<AbducedQuery> AbduceCandidate(const EntityMatch& match) const;
+  /// The trace's phase cells are atomic, so the fan-out may pass the same
+  /// trace from every pool thread.
+  Result<AbducedQuery> AbduceCandidate(const EntityMatch& match,
+                                       obs::RequestTrace* trace = nullptr) const;
 
   /// Picks the winner among per-candidate results, in slot order — the one
   /// canonical ranking (highest log posterior; ties favor the earlier

@@ -164,12 +164,38 @@ std::string EncodeStatsRequestFrame(uint64_t request_id) {
 std::string EncodeStatsResponseFrame(
     uint64_t request_id,
     const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  return EncodeStatsResponseFrame(request_id, counters, {});
+}
+
+std::string EncodeStatsResponseFrame(
+    uint64_t request_id,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<WireHistogram>& histograms) {
   std::string payload;
   wire::AppendU64(&payload, request_id);
   wire::AppendU32(&payload, static_cast<uint32_t>(counters.size()));
   for (const auto& [name, value] : counters) {
     wire::AppendString(&payload, name);
     wire::AppendU64(&payload, value);
+  }
+  // Versioned histogram section. Buckets travel sparse — (index, count)
+  // pairs in increasing index order — because a latency snapshot populates
+  // a handful of obs::kNumBuckets cells.
+  wire::AppendU32(&payload, kStatsHistogramVersion);
+  wire::AppendU32(&payload, static_cast<uint32_t>(histograms.size()));
+  for (const WireHistogram& hist : histograms) {
+    wire::AppendString(&payload, hist.name);
+    wire::AppendU64(&payload, hist.snapshot.count);
+    wire::AppendU64(&payload, hist.snapshot.sum);
+    wire::AppendU64(&payload, hist.snapshot.max);
+    uint32_t nonzero = 0;
+    for (uint64_t bucket : hist.snapshot.buckets) nonzero += bucket != 0;
+    wire::AppendU32(&payload, nonzero);
+    for (size_t i = 0; i < obs::kNumBuckets; ++i) {
+      if (hist.snapshot.buckets[i] == 0) continue;
+      wire::AppendU32(&payload, static_cast<uint32_t>(i));
+      wire::AppendU64(&payload, hist.snapshot.buckets[i]);
+    }
   }
   return EncodeFrame(FrameType::kStatsResponse, payload);
 }
@@ -201,6 +227,74 @@ namespace {
 Status BadStatusCode(uint32_t code) {
   return Status::Corruption("net: reply carries unknown status code " +
                             std::to_string(code));
+}
+
+/// Decodes the versioned histogram section of a StatsResponse. Trust
+/// boundary: hostile declared counts, out-of-range or non-increasing bucket
+/// indexes, zero bucket counts, and a total that disagrees with the buckets
+/// all yield Corruption — a decoded snapshot always satisfies
+/// count == sum of buckets.
+Status DecodeStatsHistogramSection(wire::WireReader* reader,
+                                   std::vector<WireHistogram>* out) {
+  uint32_t version = 0;
+  SQUID_RETURN_NOT_OK(reader->ReadU32(&version));
+  if (version != kStatsHistogramVersion) {
+    return Status::Corruption("net: stats histogram section version " +
+                              std::to_string(version) + " unsupported");
+  }
+  uint32_t count = 0;
+  SQUID_RETURN_NOT_OK(reader->ReadU32(&count));
+  // Each histogram costs at least name length (4) + three u64s + the
+  // nonzero-bucket count (4) = 32 bytes.
+  if (count > reader->remaining() / 32) {
+    return Status::Corruption("net: stats reply declares " +
+                              std::to_string(count) + " histograms in " +
+                              std::to_string(reader->remaining()) + " bytes");
+  }
+  out->resize(count);
+  for (uint32_t h = 0; h < count; ++h) {
+    WireHistogram& hist = (*out)[h];
+    SQUID_RETURN_NOT_OK(reader->ReadString(&hist.name));
+    SQUID_RETURN_NOT_OK(reader->ReadU64(&hist.snapshot.count));
+    SQUID_RETURN_NOT_OK(reader->ReadU64(&hist.snapshot.sum));
+    SQUID_RETURN_NOT_OK(reader->ReadU64(&hist.snapshot.max));
+    uint32_t nonzero = 0;
+    SQUID_RETURN_NOT_OK(reader->ReadU32(&nonzero));
+    if (nonzero > obs::kNumBuckets || nonzero > reader->remaining() / 12) {
+      return Status::Corruption("net: histogram '" + hist.name +
+                                "' declares " + std::to_string(nonzero) +
+                                " buckets");
+    }
+    uint64_t total = 0;
+    uint64_t prev_index = 0;
+    bool first = true;
+    for (uint32_t i = 0; i < nonzero; ++i) {
+      uint32_t index = 0;
+      uint64_t bucket = 0;
+      SQUID_RETURN_NOT_OK(reader->ReadU32(&index));
+      SQUID_RETURN_NOT_OK(reader->ReadU64(&bucket));
+      if (index >= obs::kNumBuckets || (!first && index <= prev_index)) {
+        return Status::Corruption("net: histogram '" + hist.name +
+                                  "' bucket index " + std::to_string(index) +
+                                  " out of order or out of range");
+      }
+      if (bucket == 0) {
+        return Status::Corruption("net: histogram '" + hist.name +
+                                  "' carries an empty bucket");
+      }
+      hist.snapshot.buckets[index] = bucket;
+      total += bucket;
+      prev_index = index;
+      first = false;
+    }
+    if (total != hist.snapshot.count) {
+      return Status::Corruption(
+          "net: histogram '" + hist.name + "' total " +
+          std::to_string(hist.snapshot.count) + " disagrees with buckets (" +
+          std::to_string(total) + ")");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -258,6 +352,11 @@ Result<Reply> DecodeReplyFrame(const Frame& frame) {
         SQUID_RETURN_NOT_OK(reader.ReadString(&reply.counters[i].first));
         SQUID_RETURN_NOT_OK(reader.ReadU64(&reply.counters[i].second));
       }
+      // The histogram section is mandatory: a payload that ends after the
+      // counters is indistinguishable from a truncation, and both ends of
+      // this protocol ship from the same tree, so there is no legacy peer
+      // worth a blind spot in the corruption battery.
+      SQUID_RETURN_NOT_OK(DecodeStatsHistogramSection(&reader, &reply.histograms));
       if (!reader.AtEnd()) {
         return Status::Corruption("net: trailing garbage after stats reply");
       }

@@ -27,7 +27,15 @@
 ///                       server is draining — the load-shedding contract
 ///   StatsRequest     -> (empty)
 ///   StatsResponse    <- u32 count, then count (name string, u64 value)
-///                       counter pairs
+///                       counter pairs; then a mandatory versioned
+///                       histogram section:
+///                       u32 version (= kStatsHistogramVersion), u32
+///                       histogram count, and per histogram its name, u64
+///                       total/sum/max, and a sparse list of (u32 bucket
+///                       index, u64 count) pairs with strictly increasing
+///                       indexes — the obs::HistogramSnapshot bucket space
+///                       (obs/metrics.h), so clients derive p50/p99 from
+///                       the reply alone
 ///
 /// Decoding is a trust boundary: truncated, oversized, or garbage frames
 /// yield a Status error (Corruption), never UB. The parity contract: a
@@ -43,6 +51,7 @@
 
 #include "common/status.h"
 #include "common/wire.h"
+#include "obs/metrics.h"
 
 namespace squid {
 
@@ -122,6 +131,16 @@ struct WireAnswer {
   static Result<WireAnswer> Decode(std::string_view payload);
 };
 
+/// Version tag of the StatsResponse histogram section. A decoder rejects
+/// versions it does not know (Corruption), so the section can evolve.
+constexpr uint32_t kStatsHistogramVersion = 1;
+
+/// One named latency distribution carried in a StatsResponse.
+struct WireHistogram {
+  std::string name;
+  obs::HistogramSnapshot snapshot;
+};
+
 // --- frame builders (cannot fail) ---
 
 std::string EncodeFrame(FrameType type, std::string_view payload);
@@ -135,6 +154,11 @@ std::string EncodeStatsRequestFrame(uint64_t request_id);
 std::string EncodeStatsResponseFrame(
     uint64_t request_id,
     const std::vector<std::pair<std::string, uint64_t>>& counters);
+/// StatsResponse with the versioned histogram section appended.
+std::string EncodeStatsResponseFrame(
+    uint64_t request_id,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<WireHistogram>& histograms);
 
 // --- payload decoders (trust boundary: Status errors, never UB) ---
 
@@ -152,6 +176,9 @@ struct Reply {
   uint32_t retry_after_ms = 0;                           ///< kOverloaded
   std::string reason;                                    ///< kOverloaded
   std::vector<std::pair<std::string, uint64_t>> counters;  ///< kStats
+  /// kStats: decoded histogram section. Every snapshot satisfies
+  /// count == sum of buckets — the decoder enforces it.
+  std::vector<WireHistogram> histograms;
 
   /// The remote error as a Status (kError replies).
   Status ToStatus() const { return Status(error_code, error_message); }

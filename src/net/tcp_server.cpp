@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "net/token_bucket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace squid {
 namespace net {
@@ -137,8 +139,17 @@ struct TcpServer::Impl {
   std::map<uint64_t, Conn> conns;
   uint64_t next_conn_id = 1;
 
+  /// Answer-encoding latency (WireAnswer + frame bytes), recorded in the
+  /// completion callback on whichever thread runs it — the service's
+  /// registry so the exposition shows it next to queue_wait/request.
+  obs::LatencyHistogram* encode_hist;
+
   Impl(SquidService* service_in, TcpServerOptions options_in)
-      : service(service_in), options(std::move(options_in)) {}
+      : service(service_in),
+        options(std::move(options_in)),
+        encode_hist(
+            service_in->metrics().GetHistogram("squid_net_result_encode_ns")) {
+  }
 
   Status Bind();
   void Run();
@@ -254,15 +265,22 @@ void TcpServer::Impl::HandleFrame(uint64_t conn_id, Conn& conn, Frame frame,
       // ever decrements, and it does so after HandleFrame returns.
       inflight.fetch_add(1, std::memory_order_relaxed);
       std::shared_ptr<CompletionHub> hub_ref = hub;
+      obs::LatencyHistogram* encode_hist_ref = encode_hist;
       bool admitted = service->TryDiscover(
           std::move(examples),
-          [hub_ref, conn_id, request_id](Result<AbducedQuery> result) {
+          [hub_ref, encode_hist_ref, conn_id,
+           request_id](Result<AbducedQuery> result) {
+            const uint64_t start_ns =
+                obs::MetricsEnabled() ? obs::MonotonicNowNs() : 0;
             std::string reply =
                 result.ok()
                     ? EncodeDiscoverOkFrame(request_id,
                                             WireAnswer::FromQuery(
                                                 result.value()))
                     : EncodeDiscoverErrorFrame(request_id, result.status());
+            if (start_ns != 0) {
+              encode_hist_ref->Record(obs::MonotonicNowNs() - start_ns);
+            }
             hub_ref->Push(conn_id, std::move(reply));
           });
       if (!admitted) {
@@ -288,7 +306,15 @@ void TcpServer::Impl::HandleFrame(uint64_t conn_id, Conn& conn, Frame frame,
         conn.close_after_flush = true;
         return;
       }
-      SendFrame(conn, EncodeStatsResponseFrame(request_id, CollectCounters()));
+      // Counters plus the versioned histogram section: the service's
+      // queue-wait and end-to-end latency snapshots, so a remote client
+      // derives server-side percentiles from the reply alone.
+      ServeStats service_stats = service->stats();
+      std::vector<WireHistogram> histograms;
+      histograms.push_back({"queue_wait_ns", service_stats.queue_wait_ns});
+      histograms.push_back({"request_ns", service_stats.request_ns});
+      SendFrame(conn, EncodeStatsResponseFrame(request_id, CollectCounters(),
+                                               histograms));
       return;
     }
     case FrameType::kDiscoverOk:

@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace squid {
+namespace obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kQueueWait:
+      return "queue_wait";
+    case Phase::kEntityLookup:
+      return "entity_lookup";
+    case Phase::kDisambiguation:
+      return "disambiguation";
+    case Phase::kContextDiscovery:
+      return "context_discovery";
+    case Phase::kAbduction:
+      return "abduction";
+    case Phase::kQueryBuild:
+      return "query_build";
+    case Phase::kExecutorRun:
+      return "executor_run";
+    case Phase::kResultEncode:
+      return "result_encode";
+  }
+  return "unknown";
+}
+
+uint64_t RequestTrace::TotalNs() const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumPhases; ++i) {
+    total += ns_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void RequestTrace::Accumulate(const RequestTrace& other) {
+  for (int i = 0; i < kNumPhases; ++i) {
+    ns_[i].fetch_add(other.ns_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    calls_[i].fetch_add(other.calls_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+}
+
+void RequestTrace::Reset() {
+  for (int i = 0; i < kNumPhases; ++i) {
+    ns_[i].store(0, std::memory_order_relaxed);
+    calls_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string RequestTrace::Format() const {
+  std::ostringstream os;
+  bool any = false;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    const uint64_t ns = PhaseNs(phase);
+    const uint64_t calls = PhaseCalls(phase);
+    if (calls == 0 && ns == 0) continue;
+    any = true;
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-18s %10.3f ms  (%llu call%s)\n",
+                  PhaseName(phase), static_cast<double>(ns) / 1e6,
+                  static_cast<unsigned long long>(calls),
+                  calls == 1 ? "" : "s");
+    os << line;
+  }
+  if (!any) os << "  (no phases recorded)\n";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace squid

@@ -51,14 +51,54 @@ void Repl::HandleCommand(const std::string& command) {
     // Scoped precision: the caller's stream state must survive a .stats.
     const std::streamsize saved_precision = out_->precision(3);
     *out_ << s.HitRate() << "\n";
+    // Latency percentiles from the server-side histograms (empty until a
+    // request completes, or while metrics are disabled).
+    if (!s.request_ns.Empty()) {
+      *out_ << "latency p50=" << static_cast<double>(s.RequestP50Ns()) / 1e6
+            << "ms p90=" << static_cast<double>(s.RequestP90Ns()) / 1e6
+            << "ms p99=" << static_cast<double>(s.RequestP99Ns()) / 1e6
+            << "ms max=" << static_cast<double>(s.RequestMaxNs()) / 1e6
+            << "ms\n";
+    }
+    if (!s.queue_wait_ns.Empty()) {
+      *out_ << "queue_wait p50="
+            << static_cast<double>(s.QueueWaitP50Ns()) / 1e6
+            << "ms p99=" << static_cast<double>(s.QueueWaitP99Ns()) / 1e6
+            << "ms\n";
+    }
     out_->precision(saved_precision);
+    return;
+  }
+  if (command == ".metrics") {
+    // The full registry this service records into, Prometheus text format.
+    *out_ << service_->metrics().DumpText();
+    return;
+  }
+  if (command == ".trace on") {
+    service_->set_tracing(true);
+    *out_ << "trace on\n";
+    return;
+  }
+  if (command == ".trace off") {
+    service_->set_tracing(false);
+    *out_ << "trace off\n";
+    return;
+  }
+  if (command == ".trace") {
+    std::shared_ptr<const obs::RequestTrace> trace = service_->last_trace();
+    if (trace == nullptr) {
+      *out_ << "trace " << (service_->tracing() ? "on" : "off")
+            << " (no traced request yet)\n";
+      return;
+    }
+    *out_ << "trace of last request:\n" << trace->Format();
     return;
   }
   if (command == ".help") {
     *out_ << "# one request per line: examples separated by ';'\n"
           << "#   Tom Hanks; Meg Ryan\n"
           << "# '|' separates requests dispatched as one concurrent batch\n"
-          << "# commands: .stats .help .quit\n";
+          << "# commands: .stats .metrics .trace [on|off] .help .quit\n";
     return;
   }
   *out_ << "err unknown command '" << command << "' (try .help)\n";

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace squid {
 
 /// \brief Snapshot of serve-mode counters (see ContextCache::stats and
@@ -38,10 +40,25 @@ struct ServeStats {
   size_t queue_depth = 0;  ///< requests currently waiting in the queue
   size_t threads = 0;      ///< worker threads serving requests
 
+  // --- latency distributions (nanoseconds; see obs/metrics.h) ---
+  /// Admission to worker pop, per completed request. Empty when metrics are
+  /// disabled (SQUID_METRICS=0 / SetMetricsEnabled(false)).
+  obs::HistogramSnapshot queue_wait_ns;
+  /// Admission to completion delivery (end-to-end), per completed request.
+  obs::HistogramSnapshot request_ns;
+
   double HitRate() const {
     uint64_t probes = hits + misses;
     return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
   }
+
+  // Latency summaries derived from the snapshots (0 when empty).
+  uint64_t QueueWaitP50Ns() const { return queue_wait_ns.ValueAtQuantile(0.5); }
+  uint64_t QueueWaitP99Ns() const { return queue_wait_ns.ValueAtQuantile(0.99); }
+  uint64_t RequestP50Ns() const { return request_ns.ValueAtQuantile(0.5); }
+  uint64_t RequestP90Ns() const { return request_ns.ValueAtQuantile(0.9); }
+  uint64_t RequestP99Ns() const { return request_ns.ValueAtQuantile(0.99); }
+  uint64_t RequestMaxNs() const { return request_ns.max; }
 };
 
 }  // namespace squid

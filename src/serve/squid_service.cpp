@@ -25,6 +25,11 @@ SquidService::SquidService(const AbductionReadyDb* adb, ServeOptions options)
     cache_ = std::make_unique<ContextCache>(adb_, cache_options);
     squid_.set_context_provider(cache_.get());
   }
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &obs::MetricsRegistry::Global();
+  queue_wait_hist_ = metrics_->GetHistogram("squid_serve_queue_wait_ns");
+  request_hist_ = metrics_->GetHistogram("squid_serve_request_ns");
+  tracing_.store(options_.trace, std::memory_order_relaxed);
 }
 
 SquidService::~SquidService() {
@@ -59,11 +64,23 @@ bool SquidService::Admit(const std::shared_ptr<Request>& request,
   return true;
 }
 
-std::future<Result<AbducedQuery>> SquidService::Discover(
+std::shared_ptr<SquidService::Request> SquidService::NewRequest(
     std::vector<std::string> examples) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   auto request = std::make_shared<Request>();
   request->examples = std::move(examples);
+  // The admission stamp anchors the queue-wait and end-to-end histograms;
+  // skipping it when metrics are off keeps the disabled path clock-free.
+  if (obs::MetricsEnabled()) request->admitted_ns = obs::MonotonicNowNs();
+  if (tracing_.load(std::memory_order_relaxed)) {
+    request->trace = std::make_shared<obs::RequestTrace>();
+  }
+  return request;
+}
+
+std::future<Result<AbducedQuery>> SquidService::Discover(
+    std::vector<std::string> examples) {
+  std::shared_ptr<Request> request = NewRequest(std::move(examples));
   std::future<Result<AbducedQuery>> future = request->promise.get_future();
   if (!Admit(request, /*may_block=*/true)) {  // service closed
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -75,9 +92,7 @@ std::future<Result<AbducedQuery>> SquidService::Discover(
 
 bool SquidService::TryDiscover(std::vector<std::string> examples,
                                std::future<Result<AbducedQuery>>* future) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  auto request = std::make_shared<Request>();
-  request->examples = std::move(examples);
+  std::shared_ptr<Request> request = NewRequest(std::move(examples));
   if (future != nullptr) *future = request->promise.get_future();
   if (!Admit(request, /*may_block=*/false)) {  // full or closed: shed
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -90,9 +105,7 @@ bool SquidService::TryDiscover(std::vector<std::string> examples,
 
 bool SquidService::TryDiscover(std::vector<std::string> examples,
                                CompletionFn on_complete) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  auto request = std::make_shared<Request>();
-  request->examples = std::move(examples);
+  std::shared_ptr<Request> request = NewRequest(std::move(examples));
   request->on_complete = std::move(on_complete);
   if (!Admit(request, /*may_block=*/false)) {  // full or closed: shed
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -120,30 +133,54 @@ void SquidService::DrainOne() {
   // must be no-ops rather than blocking on a closed, drained queue.
   std::optional<std::shared_ptr<Request>> request = queue_.TryPop();
   if (!request.has_value()) return;  // another worker drained faster
-  Result<AbducedQuery> result = Process((*request)->examples);
+  Request& req = **request;
+  if (req.admitted_ns != 0) {
+    const uint64_t popped = obs::MonotonicNowNs();
+    const uint64_t wait = popped >= req.admitted_ns ? popped - req.admitted_ns : 0;
+    queue_wait_hist_->Record(wait);
+    if (req.trace != nullptr) req.trace->AddPhase(obs::Phase::kQueueWait, wait);
+  }
+  Result<AbducedQuery> result = Process(req.examples, req.trace.get());
   if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
-  if ((*request)->on_complete) {
-    (*request)->on_complete(std::move(result));
+  if (req.admitted_ns != 0) {
+    const uint64_t done = obs::MonotonicNowNs();
+    request_hist_->Record(done >= req.admitted_ns ? done - req.admitted_ns : 0);
+  }
+  if (req.trace != nullptr) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    last_trace_ = req.trace;
+  }
+  if (req.on_complete) {
+    req.on_complete(std::move(result));
   } else {
-    (*request)->promise.set_value(std::move(result));
+    req.promise.set_value(std::move(result));
   }
 }
 
 Result<AbducedQuery> SquidService::Process(
-    const std::vector<std::string>& examples) {
-  SQUID_ASSIGN_OR_RETURN(std::vector<EntityMatch> matches,
-                         LookupExamples(*adb_, examples));
+    const std::vector<std::string>& examples, obs::RequestTrace* trace) {
+  std::vector<EntityMatch> matches;
+  {
+    obs::ScopedPhaseTimer timer(trace, obs::Phase::kEntityLookup);
+    SQUID_ASSIGN_OR_RETURN(matches, LookupExamples(*adb_, examples));
+  }
 
   // Candidate base queries fan out in parallel; each result lands in its
   // match-index slot, so ReduceCandidates — the same ranking Discover's
-  // serial loop uses — sees them in canonical order.
+  // serial loop uses — sees them in canonical order. The trace's phase
+  // cells are atomic, so every fan-out worker adds into the same span.
   std::vector<Result<AbducedQuery>> slots(
       matches.size(), Result<AbducedQuery>(Status::Internal("candidate not run")));
   pool_.ParallelForShared(matches.size(), [&](size_t i) {
-    slots[i] = squid_.AbduceCandidate(matches[i]);
+    slots[i] = squid_.AbduceCandidate(matches[i], trace);
   });
   return Squid::ReduceCandidates(std::move(slots));
+}
+
+std::shared_ptr<const obs::RequestTrace> SquidService::last_trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return last_trace_;
 }
 
 ServeStats SquidService::stats() const {
@@ -156,6 +193,8 @@ ServeStats SquidService::stats() const {
   out.batches = batches_.load(std::memory_order_relaxed);
   out.queue_depth = queue_.size();
   out.threads = serving_threads_;
+  out.queue_wait_ns = queue_wait_hist_->Snapshot();
+  out.request_ns = request_hist_->Snapshot();
   return out;
 }
 

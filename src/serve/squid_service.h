@@ -53,6 +53,15 @@ struct ServeOptions {
   size_t cache_bytes = 8u << 20;
   /// Context-cache shard count.
   size_t cache_shards = 8;
+  /// Metrics registry the service records into (queue-wait and end-to-end
+  /// request histograms, surfaced through stats() and DumpMetricsText).
+  /// nullptr = the process-global registry; tests pass their own for
+  /// isolation. Not owned; must outlive the service.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Initial per-request tracing state (see set_tracing): when on, every
+  /// completed request leaves its phase breakdown in last_trace(). Off by
+  /// default — tracing adds clock reads per pipeline phase.
+  bool trace = false;
 };
 
 /// \brief Long-lived serving front end over one immutable αDB. All public
@@ -110,7 +119,8 @@ class SquidService {
   /// can be posted to a pool that is tearing down.
   void Close();
 
-  /// Cache + service counter snapshot.
+  /// Cache + service counter snapshot, including the queue-wait and
+  /// end-to-end latency histogram snapshots.
   ServeStats stats() const;
 
   /// The shared per-entity context cache (null when cache_bytes == 0).
@@ -120,6 +130,21 @@ class SquidService {
   size_t threads() const { return serving_threads_; }
   const ServeOptions& options() const { return options_; }
 
+  /// Toggles per-request phase tracing at runtime (REPL `.trace on|off`).
+  /// Purely observational: answers are byte-identical either way.
+  void set_tracing(bool on) { tracing_.store(on, std::memory_order_relaxed); }
+  bool tracing() const { return tracing_.load(std::memory_order_relaxed); }
+
+  /// Phase breakdown of the most recently completed traced request (null
+  /// when tracing has been off since the last completion). The returned
+  /// trace is a stable snapshot — later requests replace the pointer, not
+  /// the object.
+  std::shared_ptr<const obs::RequestTrace> last_trace() const;
+
+  /// The registry this service records into (ServeOptions::metrics or the
+  /// process-global one).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   struct Request {
     std::vector<std::string> examples;
@@ -127,6 +152,12 @@ class SquidService {
     /// When set, the answer goes through the callback (the promise is left
     /// unused); otherwise through the promise.
     CompletionFn on_complete;
+    /// Admission timestamp (MonotonicNowNs at Discover/TryDiscover entry;
+    /// 0 when metrics were disabled at admission). Queue wait = worker pop
+    /// minus this; end-to-end = completion minus this.
+    uint64_t admitted_ns = 0;
+    /// Per-request span, allocated only when tracing is on at admission.
+    std::shared_ptr<obs::RequestTrace> trace;
   };
 
   /// Admission under admit_mu_: pushes (blocking or not) and, only if the
@@ -140,8 +171,13 @@ class SquidService {
   void DrainOne();
 
   /// The Discover pipeline with the candidate loop fanned out; bit-identical
-  /// reduction order to Squid::Discover.
-  Result<AbducedQuery> Process(const std::vector<std::string>& examples);
+  /// reduction order to Squid::Discover. `trace` (may be null) accumulates
+  /// per-phase timings, shared by every fan-out worker.
+  Result<AbducedQuery> Process(const std::vector<std::string>& examples,
+                               obs::RequestTrace* trace);
+
+  /// Stamps a new request with its admission time and (when tracing) span.
+  std::shared_ptr<Request> NewRequest(std::vector<std::string> examples);
 
   const AbductionReadyDb* adb_;
   ServeOptions options_;
@@ -160,6 +196,14 @@ class SquidService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> batches_{0};
+  /// Observability: registry plus the two service histograms resolved from
+  /// it once at construction (stable pointers — see MetricsRegistry).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LatencyHistogram* queue_wait_hist_ = nullptr;
+  obs::LatencyHistogram* request_hist_ = nullptr;
+  std::atomic<bool> tracing_{false};
+  mutable std::mutex trace_mu_;
+  std::shared_ptr<obs::RequestTrace> last_trace_;  // guarded by trace_mu_
   /// Resolved request-processing parallelism. The pool is sized one larger
   /// (unless 1 = inline-serial): Post/Submit tasks run only on pool
   /// workers, of which ThreadPool(n) spawns n - 1.

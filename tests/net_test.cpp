@@ -547,8 +547,10 @@ TEST_F(NetServeFixture, ProtocolErrorsAnswerThenClose) {
 }
 
 TEST_F(NetServeFixture, StatsFrameAndConnectionCapWork) {
+  obs::MetricsRegistry registry;  // isolated histograms, declared first
   ServeOptions options;
   options.threads = 1;
+  options.metrics = &registry;
   SquidService service(bench_->adb.get(), options);
   net::TcpServerOptions net_options;
   net_options.max_connections = 1;
@@ -570,6 +572,21 @@ TEST_F(NetServeFixture, StatsFrameAndConnectionCapWork) {
   EXPECT_EQ(counters.at("requests_admitted"), 1u);
   EXPECT_EQ(counters.at("connections_open"), 1u);
   EXPECT_EQ(counters.at("service_completed"), 1u);
+
+  // The versioned histogram section rides along: both server-side latency
+  // distributions, with exactly the one completed request in them (the
+  // decoder already enforced count == sum of buckets).
+  if (obs::MetricsEnabled()) {
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+    for (const auto& hist : stats_reply.value().histograms) {
+      histograms[hist.name] = hist.snapshot;
+    }
+    ASSERT_EQ(histograms.size(), 2u);
+    EXPECT_EQ(histograms.at("queue_wait_ns").count, 1u);
+    EXPECT_EQ(histograms.at("request_ns").count, 1u);
+    EXPECT_LE(histograms.at("request_ns").ValueAtQuantile(0.5),
+              histograms.at("request_ns").max);
+  }
 
   // Over the cap: the TCP handshake may succeed (backlog), but the server
   // closes immediately — the first read sees EOF.

@@ -622,8 +622,12 @@ TEST(BoundedQueueTest, ConcurrentCloseReleasesEveryBlockedWaiter) {
 // ---------- shutdown race + rejection accounting ----------
 
 TEST_F(ServeFixture, StatsPartitionRequestsIntoCompletedAndRejected) {
+  // A private registry isolates this service's histograms from every other
+  // test's traffic (declared before the service: must outlive it).
+  obs::MetricsRegistry registry;
   ServeOptions options;
   options.threads = 2;
+  options.metrics = &registry;
   SquidService service(bench_->adb.get(), options);
   // A served mix: sync answers plus one failure.
   for (int i = 0; i < 3; ++i) {
@@ -648,6 +652,16 @@ TEST_F(ServeFixture, StatsPartitionRequestsIntoCompletedAndRejected) {
   // The invariant the double-counting bug broke: at quiescence every
   // request is either completed or rejected, never both.
   EXPECT_EQ(stats.requests, stats.completed + stats.rejected);
+  // The latency histograms partition the same way: exactly the completed
+  // requests were measured (rejected ones never reach a worker), and the
+  // percentile chain is ordered.
+  if (obs::MetricsEnabled()) {
+    EXPECT_EQ(stats.queue_wait_ns.count, stats.completed);
+    EXPECT_EQ(stats.request_ns.count, stats.completed);
+    EXPECT_LE(stats.RequestP50Ns(), stats.RequestP99Ns());
+    EXPECT_LE(stats.RequestP99Ns(), stats.RequestMaxNs());
+    EXPECT_LE(stats.QueueWaitP50Ns(), stats.QueueWaitP99Ns());
+  }
 }
 
 TEST_F(ServeFixture, TryDiscoverShedsWhenTheQueueIsFullAndCountsOnce) {
@@ -724,6 +738,114 @@ TEST_F(ServeFixture, CloseRacingConcurrentAdmissionsNeverLosesARequest) {
     EXPECT_EQ(stats.requests, stats.completed + stats.rejected);
     service.reset();  // ~SquidService after Close: second close is a no-op
   }
+}
+
+// ---------- observability: byte identity and phase traces ----------
+
+/// RAII: force metrics on/off for a test, restore the prior state after.
+class ScopedMetricsEnabled {
+ public:
+  explicit ScopedMetricsEnabled(bool enabled) : saved_(obs::MetricsEnabled()) {
+    obs::SetMetricsEnabled(enabled);
+  }
+  ~ScopedMetricsEnabled() { obs::SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST_F(ServeFixture, AnswersAreByteIdenticalWithTracingAndMetricsOnOrOff) {
+  // The observability contract: tracing and metrics only watch the
+  // pipeline. Every combination of {metrics on/off} x {tracing on/off} at
+  // threads {1, 8} must fingerprint identically to the cold serial
+  // reference.
+  const std::vector<std::string> expected = SerialFingerprints();
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    for (bool metrics_on : {false, true}) {
+      for (bool trace_on : {false, true}) {
+        ScopedMetricsEnabled scoped(metrics_on);
+        obs::MetricsRegistry registry;
+        ServeOptions options;
+        options.threads = threads;
+        options.metrics = &registry;
+        options.trace = trace_on;
+        SquidService service(bench_->adb.get(), options);
+        for (size_t i = 0; i < workload_->size(); ++i) {
+          EXPECT_EQ(Fingerprint(service.DiscoverSync((*workload_)[i])),
+                    expected[i])
+              << "threads=" << threads << " metrics=" << metrics_on
+              << " trace=" << trace_on << " set=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ServeFixture, MetricsDisabledLeavesHistogramsEmpty) {
+  ScopedMetricsEnabled scoped(false);
+  obs::MetricsRegistry registry;
+  ServeOptions options;
+  options.threads = 1;
+  options.metrics = &registry;
+  SquidService service(bench_->adb.get(), options);
+  EXPECT_TRUE(service.DiscoverSync((*workload_)[0]).ok());
+  ServeStats stats = service.stats();
+  EXPECT_TRUE(stats.queue_wait_ns.Empty());
+  EXPECT_TRUE(stats.request_ns.Empty());
+}
+
+TEST_F(ServeFixture, LastTraceBreaksTheRequestIntoPipelinePhases) {
+  ScopedMetricsEnabled scoped(true);
+  obs::MetricsRegistry registry;
+  ServeOptions options;
+  options.threads = 4;
+  options.metrics = &registry;
+  options.trace = true;
+  SquidService service(bench_->adb.get(), options);
+  EXPECT_EQ(service.last_trace(), nullptr);  // nothing traced yet
+  ASSERT_TRUE(service.DiscoverSync((*workload_)[0]).ok());
+  std::shared_ptr<const obs::RequestTrace> trace = service.last_trace();
+  ASSERT_NE(trace, nullptr);
+  // The request passed through the pipeline: entity lookup once, the
+  // queue-wait span once, and at least one candidate's context + abduction
+  // + query-build phases (fan-out may run several).
+  EXPECT_EQ(trace->PhaseCalls(obs::Phase::kEntityLookup), 1u);
+  EXPECT_EQ(trace->PhaseCalls(obs::Phase::kQueueWait), 1u);
+  EXPECT_GE(trace->PhaseCalls(obs::Phase::kDisambiguation), 1u);
+  EXPECT_GE(trace->PhaseCalls(obs::Phase::kContextDiscovery), 1u);
+  EXPECT_GE(trace->PhaseCalls(obs::Phase::kAbduction), 1u);
+  EXPECT_GE(trace->PhaseCalls(obs::Phase::kQueryBuild), 1u);
+  EXPECT_GT(trace->PhaseNs(obs::Phase::kAbduction), 0u);
+  // Runtime toggle: turning tracing off stops replacing the last trace.
+  service.set_tracing(false);
+  ASSERT_TRUE(service.DiscoverSync((*workload_)[1]).ok());
+  EXPECT_EQ(service.last_trace(), trace);
+}
+
+TEST_F(ServeFixture, ReplMetricsAndTraceCommandsWork) {
+  ScopedMetricsEnabled scoped(true);
+  obs::MetricsRegistry registry;
+  ServeOptions options;
+  options.threads = 1;
+  options.metrics = &registry;
+  SquidService service(bench_->adb.get(), options);
+  const ImdbManifest& m = bench_->data.manifest;
+  std::istringstream in(".trace on\n" + m.costar_a + "; " + m.costar_b +
+                        "\n.trace\n.metrics\n.stats\n.trace off\n.quit\n");
+  std::ostringstream out;
+  Repl repl(&service, &in, &out);
+  Repl::RunStats run = repl.Run();
+  EXPECT_EQ(run.requests, 1u);
+  EXPECT_EQ(run.ok, 1u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("trace on"), std::string::npos);
+  EXPECT_NE(text.find("trace of last request:"), std::string::npos);
+  EXPECT_NE(text.find("entity_lookup"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE squid_serve_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency p50="), std::string::npos);
+  EXPECT_NE(text.find("queue_wait p50="), std::string::npos);
+  EXPECT_NE(text.find("trace off"), std::string::npos);
 }
 
 }  // namespace
