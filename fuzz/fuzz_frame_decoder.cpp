@@ -1,0 +1,95 @@
+/// \file fuzz_frame_decoder.cpp
+/// \brief Fuzz target for the serve wire protocol's inbound path: the
+/// incremental FrameDecoder (Feed/Next over arbitrary chunk boundaries) and
+/// the payload decoders behind it (DecodeDiscoverRequest, DecodeReplyFrame).
+///
+/// Input shape: byte 0 selects a chunking pattern (so the decoder sees every
+/// resync behavior, from byte-at-a-time drip to one big write); the rest is
+/// the raw byte stream.
+///
+/// Invariants checked beyond "no crash / no sanitizer finding":
+///   * a decoded reply re-encodes to the exact bytes it came from (the
+///     decoders reject trailing garbage, so accepted input is canonical);
+///   * the decoder never reports more buffered bytes than it was fed.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "net/frame.h"
+
+namespace {
+
+using squid::net::Frame;
+using squid::net::FrameDecoder;
+using squid::net::FrameType;
+using squid::net::Reply;
+
+std::string EncodeReply(const Reply& r) {
+  switch (r.kind) {
+    case Reply::Kind::kOk:
+      return squid::net::EncodeDiscoverOkFrame(r.request_id, r.answer);
+    case Reply::Kind::kError:
+      return squid::net::EncodeDiscoverErrorFrame(r.request_id, r.ToStatus());
+    case Reply::Kind::kOverloaded:
+      return squid::net::EncodeOverloadedFrame(r.request_id, r.retry_after_ms,
+                                               r.reason);
+    case Reply::Kind::kStats:
+      return squid::net::EncodeStatsResponseFrame(r.request_id, r.counters,
+                                                  r.histograms);
+  }
+  return {};
+}
+
+void CheckFrame(const Frame& frame) {
+  if (frame.type == FrameType::kDiscoverRequest) {
+    uint64_t request_id = 0;
+    std::vector<std::string> examples;
+    squid::Status s = squid::net::DecodeDiscoverRequest(frame.payload,
+                                                        &request_id, &examples);
+    if (!s.ok()) return;
+    // Round trip: the request encoder must reproduce the accepted frame.
+    std::string bytes =
+        squid::net::EncodeDiscoverRequestFrame(request_id, examples);
+    FUZZ_CHECK(bytes ==
+               squid::net::EncodeFrame(frame.type, frame.payload));
+    return;
+  }
+  if (frame.type == FrameType::kStatsRequest) return;  // empty payload
+  auto reply = squid::net::DecodeReplyFrame(frame);
+  if (!reply.ok()) return;
+  // Accepted replies are canonical: re-encoding is a byte-level fixpoint.
+  std::string bytes = EncodeReply(reply.value());
+  FUZZ_CHECK(bytes == squid::net::EncodeFrame(frame.type, frame.payload));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  static const size_t kChunkPatterns[] = {1, 2, 3, 7, 64, 4096, SIZE_MAX};
+  size_t chunk = kChunkPatterns[data[0] % 7];
+  // lint: raw-ok (uint8_t* -> char* view of the fuzz input, no decoding)
+  const char* stream = reinterpret_cast<const char*>(data) + 1;
+  size_t n = size - 1;
+
+  FrameDecoder decoder;
+  size_t fed = 0;
+  for (size_t off = 0; off < n; off += chunk) {
+    size_t take = chunk < n - off ? chunk : n - off;
+    decoder.Feed(stream + off, take);
+    fed += take;
+    while (true) {
+      auto next = decoder.Next();
+      if (!next.ok()) return 0;  // malformed stream: permanent clean error
+      const std::optional<Frame>& frame = next.value();
+      if (!frame.has_value()) break;
+      FUZZ_CHECK(decoder.buffered() <= fed);
+      CheckFrame(*frame);
+    }
+  }
+  return 0;
+}

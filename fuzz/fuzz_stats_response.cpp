@@ -1,0 +1,46 @@
+/// \file fuzz_stats_response.cpp
+/// \brief Fuzz target for the StatsResponse payload decoder, aimed squarely
+/// at the versioned sparse-histogram section (the most index-heavy decode in
+/// the protocol: per-histogram name + totals + a strictly-increasing list of
+/// (bucket index, count) pairs that must tile obs::HistogramSnapshot's
+/// bucket space without overflow).
+///
+/// The raw input is used verbatim as the payload of a kStatsResponse frame,
+/// so every byte of the fuzz input lands in DecodeReplyFrame's stats arm.
+///
+/// Invariants checked on accepted payloads:
+///   * the decoder's documented guarantee count == sum(buckets) holds for
+///     every decoded histogram;
+///   * re-encoding is a byte-level fixpoint (accepted input is canonical).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz_util.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;  // engines may pass (nullptr, 0)
+  squid::net::Frame frame;
+  frame.type = squid::net::FrameType::kStatsResponse;
+  // lint: raw-ok (uint8_t* -> char* view of the fuzz input, no decoding)
+  frame.payload.assign(reinterpret_cast<const char*>(data), size);
+
+  auto reply = squid::net::DecodeReplyFrame(frame);
+  if (!reply.ok()) return 0;
+  const squid::net::Reply& r = reply.value();
+  FUZZ_CHECK(r.kind == squid::net::Reply::Kind::kStats);
+
+  for (const squid::net::WireHistogram& h : r.histograms) {
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : h.snapshot.buckets) bucket_sum += b;
+    FUZZ_CHECK(h.snapshot.count == bucket_sum);
+  }
+
+  std::string bytes = squid::net::EncodeStatsResponseFrame(
+      r.request_id, r.counters, r.histograms);
+  FUZZ_CHECK(bytes == squid::net::EncodeFrame(frame.type, frame.payload));
+  return 0;
+}

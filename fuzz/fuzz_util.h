@@ -1,0 +1,23 @@
+#ifndef SQUID_FUZZ_FUZZ_UTIL_H_
+#define SQUID_FUZZ_FUZZ_UTIL_H_
+
+/// \file fuzz_util.h
+/// \brief Shared bits for the fuzz targets (fuzz/README.md explains the
+/// harness layout and how to add a target).
+
+#include <cstdio>
+#include <cstdlib>
+
+/// A failed FUZZ_CHECK is a finding: it aborts so the fuzzing engine (or the
+/// standalone driver's crash handler) records the input that broke the
+/// invariant. Active regardless of NDEBUG, unlike assert().
+#define FUZZ_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                               \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#endif  // SQUID_FUZZ_FUZZ_UTIL_H_

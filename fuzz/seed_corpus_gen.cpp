@@ -1,0 +1,316 @@
+/// \file seed_corpus_gen.cpp
+/// \brief Regenerates the checked-in seed corpus under fuzz/corpus/ using
+/// the project's real encoders, so seeds are structurally valid by
+/// construction, plus a corruption battery per format (truncations, bit
+/// flips, wrong tags) that starts the fuzzer on both sides of each
+/// validation wall.
+///
+/// For the snapshot target the battery includes container-valid images with
+/// hostile extent *payloads* (assembled with SnapshotWriter, so every
+/// checksum is genuine): random mutation of a whole valid snapshot almost
+/// always dies at a checksum check, and these seeds are what carry the
+/// fuzzer past it into the extent loaders.
+///
+/// Usage: fuzz_seed_gen [output-root]   (default: fuzz/corpus)
+/// Deterministic: same tree -> same corpus bytes.
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "adb/abduction_ready_db.h"
+#include "common/logging.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+
+namespace {
+
+using squid::AbductionReadyDb;
+using squid::Database;
+using squid::ExtentType;
+using squid::ExtentWriter;
+using squid::Schema;
+using squid::SnapshotWriter;
+using squid::Status;
+using squid::Value;
+using squid::ValueType;
+
+void Must(const Status& s) { SQUID_CHECK(s.ok()) << s.ToString(); }
+
+Value I(int64_t v) { return Value(v); }
+Value S(const char* v) { return Value(v); }
+
+std::string g_root;
+
+void MakeDir(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "seed_corpus_gen: cannot mkdir %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+void WriteSeed(const std::string& target, const std::string& name,
+               const std::string& bytes) {
+  std::string path = g_root + "/" + target + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "seed_corpus_gen: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+void WriteSeed(const std::string& target, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  WriteSeed(target, name,
+            // lint: raw-ok (uint8_t* -> char* view for fwrite, no decoding)
+            std::string(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size()));
+}
+
+std::string Truncated(const std::string& bytes, size_t n) {
+  return bytes.substr(0, n < bytes.size() ? n : bytes.size());
+}
+
+std::string BitFlipped(std::string bytes, size_t pos) {
+  if (!bytes.empty()) bytes[pos % bytes.size()] ^= 0x20;
+  return bytes;
+}
+
+/// The paper's Example 1.1 database (same shape as the test fixture), small
+/// enough that its full αDB snapshot stays a reasonable seed size.
+std::unique_ptr<Database> MakeSeedDb() {
+  auto db = std::make_unique<Database>("cs_academics");
+  {
+    Schema s("academics",
+             {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+    s.set_primary_key("id");
+    s.set_entity(true);
+    s.AddTextSearchAttribute("name");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    Must(t.value()->AppendRow({I(100), S("Tom Corwin")}));
+    Must(t.value()->AppendRow({I(101), S("Dan Susic")}));
+    Must(t.value()->AppendRow({I(102), S("Sam Madsen")}));
+  }
+  {
+    Schema s("interest",
+             {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+    s.set_primary_key("id");
+    s.AddPropertyAttribute("name");
+    s.AddTextSearchAttribute("name");
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    Must(t.value()->AppendRow({I(1), S("algorithms")}));
+    Must(t.value()->AppendRow({I(2), S("data management")}));
+  }
+  {
+    Schema s("research", {{"id", ValueType::kInt64},
+                          {"aid", ValueType::kInt64},
+                          {"interest_id", ValueType::kInt64}});
+    s.set_primary_key("id");
+    s.AddForeignKey({"aid", "academics", "id"});
+    s.AddForeignKey({"interest_id", "interest", "id"});
+    auto t = db->CreateTable(std::move(s));
+    Must(t.status());
+    Must(t.value()->AppendRow({I(1), I(100), I(1)}));
+    Must(t.value()->AppendRow({I(2), I(101), I(2)}));
+    Must(t.value()->AppendRow({I(3), I(102), I(2)}));
+  }
+  return db;
+}
+
+squid::net::WireAnswer SampleAnswer() {
+  squid::net::WireAnswer answer;
+  answer.entity_relation = "academics";
+  answer.projection_attr = "name";
+  answer.adb_sql = "SELECT name FROM academics WHERE ...";
+  answer.original_sql = "SELECT a.name FROM academics a JOIN research ...";
+  answer.log_posterior = -3.25;
+  answer.filters_included = 2;
+  answer.filters_total = 5;
+  answer.entity_keys = {"101", "102"};
+  return answer;
+}
+
+std::vector<squid::net::WireHistogram> SampleHistograms() {
+  squid::net::WireHistogram latency;
+  latency.name = "serve.request_us";
+  latency.snapshot.count = 6;
+  latency.snapshot.sum = 730;
+  latency.snapshot.max = 400;
+  latency.snapshot.buckets[0] = 3;
+  latency.snapshot.buckets[2] = 2;
+  latency.snapshot.buckets[5] = 1;
+  squid::net::WireHistogram empty;
+  empty.name = "serve.queue_us";
+  return {latency, empty};
+}
+
+/// Frame-decoder seeds carry a leading chunk-pattern byte (see
+/// fuzz_frame_decoder.cpp); `pattern` selects it.
+std::string Chunked(uint8_t pattern, const std::string& stream) {
+  return std::string(1, static_cast<char>(pattern)) + stream;
+}
+
+void EmitFrameDecoderSeeds() {
+  using namespace squid::net;
+  std::string request = EncodeDiscoverRequestFrame(7, {"Dan Susic", "Sam Madsen"});
+  std::string ok = EncodeDiscoverOkFrame(7, SampleAnswer());
+  std::string error = EncodeDiscoverErrorFrame(
+      8, Status::InvalidArgument("no entity matches example 'Bogus Name'"));
+  std::string overloaded = EncodeOverloadedFrame(9, 250, "queue full");
+  std::string stats_req = EncodeStatsRequestFrame(10);
+  std::string stats = EncodeStatsResponseFrame(
+      10, {{"requests_total", 41}, {"rejected_total", 3}}, SampleHistograms());
+
+  WriteSeed("frame_decoder", "request", Chunked(0, request));
+  WriteSeed("frame_decoder", "reply-ok", Chunked(1, ok));
+  WriteSeed("frame_decoder", "reply-error", Chunked(2, error));
+  WriteSeed("frame_decoder", "reply-overloaded", Chunked(3, overloaded));
+  WriteSeed("frame_decoder", "stats-pair", Chunked(4, stats_req + stats));
+  std::string pipelined = request + stats_req + ok + overloaded + error + stats;
+  WriteSeed("frame_decoder", "pipelined", Chunked(0, pipelined));
+  // Corruption battery: mid-frame truncation, flipped type tag, declared
+  // length far beyond kMaxFramePayload, and leading garbage.
+  WriteSeed("frame_decoder", "truncated",
+            Chunked(1, Truncated(pipelined, pipelined.size() / 3)));
+  WriteSeed("frame_decoder", "bad-type", Chunked(2, BitFlipped(request, 0)));
+  std::string huge_len = request;
+  huge_len[3] = '\x7f';  // length prefix byte 2 (offset 1..4): ~2 GiB
+  WriteSeed("frame_decoder", "oversized-length", Chunked(3, huge_len));
+  WriteSeed("frame_decoder", "garbage-prefix",
+            Chunked(4, std::string("\x00\xff\xfe junk", 8) + request));
+}
+
+void EmitStatsResponseSeeds() {
+  using namespace squid::net;
+  // The target wants the *payload* (it builds the frame itself): strip the
+  // 5-byte tag+length header the encoder prepends.
+  auto payload_of = [](const std::string& frame) { return frame.substr(5); };
+  std::string full = payload_of(EncodeStatsResponseFrame(
+      10, {{"requests_total", 41}, {"rejected_total", 3}}, SampleHistograms()));
+  std::string counters_only = payload_of(EncodeStatsResponseFrame(
+      11, {{"requests_total", 1}}, {}));
+  std::string empty = payload_of(EncodeStatsResponseFrame(12, {}, {}));
+
+  WriteSeed("stats_response", "full", full);
+  WriteSeed("stats_response", "counters-only", counters_only);
+  WriteSeed("stats_response", "empty", empty);
+  WriteSeed("stats_response", "truncated-histogram",
+            Truncated(full, full.size() - 7));
+  WriteSeed("stats_response", "flipped-version",
+            BitFlipped(full, counters_only.size()));
+  WriteSeed("stats_response", "flipped-bucket-index",
+            BitFlipped(full, full.size() - 20));
+}
+
+void EmitSnapshotSeeds() {
+  auto db = MakeSeedDb();
+  squid::AdbOptions options;
+  options.threads = 1;
+  auto adb = AbductionReadyDb::Build(*db, options);
+  Must(adb.status());
+  std::string tmp = g_root + "/snapshot/valid";
+  Must(adb.value()->SaveSnapshot(tmp));
+  FILE* f = std::fopen(tmp.c_str(), "rb");
+  SQUID_CHECK(f != nullptr);
+  std::string valid;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) valid.append(buf, n);
+  std::fclose(f);
+
+  // Container battery: checksum walls catch these in FromBytes.
+  WriteSeed("snapshot", "truncated-header", Truncated(valid, 40));
+  WriteSeed("snapshot", "truncated-mid", Truncated(valid, valid.size() / 2));
+  WriteSeed("snapshot", "flipped-payload", BitFlipped(valid, valid.size() / 2));
+  WriteSeed("snapshot", "flipped-magic", BitFlipped(valid, 2));
+
+  // Behind-the-wall battery: containers SnapshotWriter assembles are
+  // checksum-valid by construction, so FromBytes passes and LoadSnapshot
+  // must survive the hostile extent payloads.
+  {
+    SnapshotWriter w;
+    ExtentWriter* manifest = w.AddExtent(ExtentType::kManifest);
+    manifest->Str("cs_academics");
+    manifest->U32(0xffffffffu);  // hostile table count
+    for (int i = 0; i < 32; ++i) manifest->U64(0x4141414141414141ull);
+    WriteSeed("snapshot", "hostile-manifest", w.Serialize());
+  }
+  {
+    SnapshotWriter w;
+    static const ExtentType kAll[] = {
+        ExtentType::kManifest,     ExtentType::kStringPool,
+        ExtentType::kSchemas,      ExtentType::kTableData,
+        ExtentType::kInvertedIndex, ExtentType::kSchemaGraph,
+        ExtentType::kPropertyStats};
+    for (ExtentType type : kAll) {
+      ExtentWriter* e = w.AddExtent(type);
+      e->U32(1);
+      e->Str("x");
+      e->U64(static_cast<uint64_t>(-1));
+    }
+    WriteSeed("snapshot", "hostile-all-extents", w.Serialize());
+  }
+  {
+    SnapshotWriter w;  // zero extents: valid container, no manifest
+    WriteSeed("snapshot", "empty-container", w.Serialize());
+  }
+  {
+    SnapshotWriter w;  // duplicate manifest: Extent() must refuse
+    w.AddExtent(ExtentType::kManifest)->U32(0);
+    w.AddExtent(ExtentType::kManifest)->U32(0);
+    WriteSeed("snapshot", "duplicate-manifest", w.Serialize());
+  }
+}
+
+void EmitCsvSeeds() {
+  // Leading byte selects the schema (see fuzz_csv.cpp): 0 = people
+  // (string,string), 1 = readings (int64,double,string), 2 = ids (int64).
+  auto with_schema = [](uint8_t pick, const std::string& text) {
+    return std::string(1, static_cast<char>(pick)) + text;
+  };
+  WriteSeed("csv", "people-plain",
+            with_schema(0, "name,city\nAda,London\nEdsger,Austin\n"));
+  WriteSeed("csv", "people-quoted",
+            with_schema(0, "name,city\n\"Liskov, Barbara\",\"Cambridge\"\n"
+                           "\"line\nbreak\",\"say \"\"hi\"\"\"\n"));
+  WriteSeed("csv", "people-crlf",
+            with_schema(0, "name,city\r\nAda,London\r\n"));
+  WriteSeed("csv", "readings-mixed",
+            with_schema(1, "id,value,label\n1,0.5,ok\n2,-3e4,\n3,,empty\n"));
+  WriteSeed("csv", "ids-nulls", with_schema(2, "id\n1\n\n2\n\n"));
+  // Corruption battery: every rejection arm of the reader.
+  WriteSeed("csv", "bad-unterminated-quote",
+            with_schema(0, "name,city\n\"open,Lon\n"));
+  WriteSeed("csv", "bad-int", with_schema(2, "id\n12abc\n"));
+  WriteSeed("csv", "bad-arity", with_schema(1, "id,value,label\n1,2\n"));
+  WriteSeed("csv", "bad-quote-mid-field",
+            with_schema(0, "name,city\nan\"na,x\n"));
+  WriteSeed("csv", "bad-header-arity", with_schema(2, "id,extra\n1,2\n"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_root = argc > 1 ? argv[1] : "fuzz/corpus";
+  MakeDir(g_root);
+  for (const char* target :
+       {"frame_decoder", "snapshot", "stats_response", "csv"}) {
+    MakeDir(g_root + "/" + std::string(target));
+  }
+  EmitFrameDecoderSeeds();
+  EmitStatsResponseSeeds();
+  EmitSnapshotSeeds();
+  EmitCsvSeeds();
+  std::printf("seed_corpus_gen: corpus written under %s\n", g_root.c_str());
+  return 0;
+}

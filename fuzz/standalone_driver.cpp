@@ -1,0 +1,254 @@
+/// \file standalone_driver.cpp
+/// \brief main() for fuzz targets built without libFuzzer (gcc has no
+/// -fsanitize=fuzzer). Speaks a compatible subset of the libFuzzer CLI so
+/// ctest registrations and CI commands work under either driver:
+///
+///   fuzz_<target> [file|dir]... [-runs=N] [-max_total_time=S] [-seed=N]
+///                 [-artifact_prefix=PATH/]
+///
+/// Behavior: every file argument (and every regular file inside a directory
+/// argument) is replayed through LLVMFuzzerTestOneInput; then, if -runs or
+/// -max_total_time asks for it, a deterministic mutation loop runs over the
+/// corpus (xorshift64-driven bit flips, byte sets, truncations, chunk
+/// duplications, and two-seed splices). No coverage feedback — this driver
+/// exists so sanitizer builds can soak the trust boundaries on machines
+/// without clang; real coverage-guided runs use clang + libFuzzer via the
+/// same binaries (fuzz/CMakeLists.txt picks the driver at configure time).
+///
+/// Crash artifacts: the input about to run is kept in a global; fatal
+/// signals write it to <artifact_prefix>crash-<pid> with async-signal-safe
+/// calls before re-raising, so a crasher is always reproducible with
+///   fuzz_<target> <artifact>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// Current input, visible to the signal handler (single-threaded driver).
+std::vector<uint8_t> g_current;
+char g_artifact_prefix[512] = "";
+
+void WriteCrashArtifact(int sig) {
+  // Async-signal-safe only: no stdio, no allocation.
+  char path[600];
+  size_t n = 0;
+  for (; g_artifact_prefix[n] != '\0' && n < sizeof(g_artifact_prefix); ++n) {
+    path[n] = g_artifact_prefix[n];
+  }
+  const char stem[] = "crash-";
+  // lint: raw-ok (building the artifact path in a signal handler, no decoding)
+  std::memcpy(path + n, stem, sizeof(stem) - 1);
+  n += sizeof(stem) - 1;
+  unsigned pid = static_cast<unsigned>(getpid());
+  char digits[16];
+  int d = 0;
+  do {
+    digits[d++] = static_cast<char>('0' + pid % 10);
+    pid /= 10;
+  } while (pid != 0);
+  while (d > 0) path[n++] = digits[--d];
+  path[n] = '\0';
+
+  int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    size_t off = 0;
+    while (off < g_current.size()) {
+      ssize_t w = write(fd, g_current.data() + off, g_current.size() - off);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    close(fd);
+    const char msg[] = "standalone_driver: crash input saved to ";
+    (void)!write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)!write(STDERR_FILENO, path, n);
+    (void)!write(STDERR_FILENO, "\n", 1);
+  }
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+void InstallCrashHandler() {
+  for (int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+    signal(sig, WriteCrashArtifact);
+  }
+}
+
+void RunOne(std::vector<uint8_t> input) {
+  g_current = std::move(input);
+  LLVMFuzzerTestOneInput(g_current.data(), g_current.size());
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+void CollectInputs(const std::string& path, std::vector<std::string>* files) {
+  struct stat st {};
+  if (stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "standalone_driver: cannot stat %s\n", path.c_str());
+    std::exit(2);
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    files->push_back(path);
+    return;
+  }
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return;
+  std::vector<std::string> entries;
+  while (dirent* e = readdir(dir)) {
+    if (e->d_name[0] == '.') continue;
+    entries.push_back(path + "/" + e->d_name);
+  }
+  closedir(dir);
+  // Deterministic replay order regardless of directory hash order.
+  for (size_t i = 1; i < entries.size(); ++i) {
+    for (size_t j = i; j > 0 && entries[j] < entries[j - 1]; --j) {
+      std::swap(entries[j], entries[j - 1]);
+    }
+  }
+  for (const std::string& e : entries) CollectInputs(e, files);
+}
+
+uint64_t g_rng_state = 1;
+uint64_t NextRand() {
+  // xorshift64: deterministic for a given -seed, good enough for mutation
+  // scheduling (no statistical requirements).
+  uint64_t x = g_rng_state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return g_rng_state = x;
+}
+
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus) {
+  std::vector<uint8_t> out = corpus[NextRand() % corpus.size()];
+  int mutations = 1 + static_cast<int>(NextRand() % 4);
+  for (int m = 0; m < mutations; ++m) {
+    switch (NextRand() % 6) {
+      case 0:  // bit flip
+        if (!out.empty()) out[NextRand() % out.size()] ^= 1u << (NextRand() % 8);
+        break;
+      case 1:  // byte set
+        if (!out.empty()) {
+          out[NextRand() % out.size()] = static_cast<uint8_t>(NextRand());
+        }
+        break;
+      case 2:  // truncate
+        if (!out.empty()) out.resize(NextRand() % out.size());
+        break;
+      case 3: {  // duplicate a chunk in place
+        if (out.empty()) break;
+        size_t start = NextRand() % out.size();
+        size_t len = 1 + NextRand() % (out.size() - start);
+        std::vector<uint8_t> chunk(out.begin() + start,
+                                   out.begin() + start + len);
+        out.insert(out.begin() + start, chunk.begin(), chunk.end());
+        break;
+      }
+      case 4: {  // insert random bytes
+        size_t pos = out.empty() ? 0 : NextRand() % out.size();
+        size_t len = 1 + NextRand() % 8;
+        for (size_t i = 0; i < len; ++i) {
+          out.insert(out.begin() + pos, static_cast<uint8_t>(NextRand()));
+        }
+        break;
+      }
+      default: {  // splice: head of this input + tail of another seed
+        const std::vector<uint8_t>& other = corpus[NextRand() % corpus.size()];
+        if (other.empty()) break;
+        size_t head = out.empty() ? 0 : NextRand() % out.size();
+        size_t tail = NextRand() % other.size();
+        out.resize(head);
+        out.insert(out.end(), other.begin() + tail, other.end());
+        break;
+      }
+    }
+  }
+  if (out.size() > (1u << 20)) out.resize(1u << 20);  // match -max_len spirit
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = -1;          // -1: not set
+  long max_total_time = 0; // seconds; 0: no time budget
+  uint64_t seed = 1;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::atol(arg + 6);
+    } else if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      max_total_time = std::atol(arg + 16);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg + 6));
+    } else if (std::strncmp(arg, "-artifact_prefix=", 17) == 0) {
+      std::snprintf(g_artifact_prefix, sizeof(g_artifact_prefix), "%s",
+                    arg + 17);
+    } else if (arg[0] == '-') {
+      // Ignore unknown libFuzzer flags so shared CI command lines work.
+      std::fprintf(stderr, "standalone_driver: ignoring flag %s\n", arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  g_rng_state = seed != 0 ? seed : 1;
+  InstallCrashHandler();
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) CollectInputs(p, &files);
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& f : files) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(f, &bytes)) {
+      std::fprintf(stderr, "standalone_driver: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    corpus.push_back(std::move(bytes));
+  }
+  std::fprintf(stderr, "standalone_driver: replaying %zu corpus input(s)\n",
+               corpus.size());
+  for (const std::vector<uint8_t>& input : corpus) RunOne(input);
+
+  long budget = runs >= 0 ? runs : (max_total_time > 0 ? -1 : 0);
+  if ((budget != 0 || max_total_time > 0) && !corpus.empty()) {
+    std::time_t deadline =
+        max_total_time > 0 ? std::time(nullptr) + max_total_time : 0;
+    long executed = 0;
+    while ((budget < 0 || executed < budget) &&
+           (deadline == 0 || std::time(nullptr) < deadline)) {
+      RunOne(Mutate(corpus));
+      ++executed;
+    }
+    std::fprintf(stderr, "standalone_driver: %ld mutated run(s), no crash\n",
+                 executed);
+  }
+  std::fprintf(stderr, "standalone_driver: done\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Formatting gate. With clang-format available it checks every C++ file
+# against .clang-format (--dry-run -Werror); pass --fix to rewrite in place.
+# Without clang-format (the dev container has none) it falls back to a
+# whitespace lint that catches the drift that actually shows up in diffs:
+# trailing whitespace, hard tabs in C++ sources, CRLF line endings, and a
+# missing final newline. CI runs the full clang-format path.
+set -eu
+
+fix=0
+[ "${1:-}" = "--fix" ] && fix=1
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+files="$(find src fuzz tests -name '*.cpp' -o -name '*.h' 2> /dev/null \
+  | grep -v 'tests/lint_fixtures/' | sort)"
+
+fmt="${CLANG_FORMAT:-}"
+if [ -z "$fmt" ]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      fmt="$candidate"
+      break
+    fi
+  done
+fi
+
+if [ -n "$fmt" ]; then
+  echo "==> $("$fmt" --version | head -1)"
+  if [ "$fix" = 1 ]; then
+    # shellcheck disable=SC2086
+    echo "$files" | xargs "$fmt" -i
+    echo "format: rewrote in place"
+    exit 0
+  fi
+  # shellcheck disable=SC2086
+  if echo "$files" | xargs "$fmt" --dry-run -Werror; then
+    echo "format: clean"
+    exit 0
+  fi
+  echo "format: FAILED (run scripts/check_format.sh --fix)" >&2
+  exit 1
+fi
+
+echo "==> clang-format not found; running whitespace fallback lint"
+rc=0
+for f in $files; do
+  if grep -nE '[[:blank:]]+$' "$f" > /dev/null; then
+    echo "$f: trailing whitespace:" >&2
+    grep -nE '[[:blank:]]+$' "$f" | head -5 | sed 's/^/    /' >&2
+    rc=1
+  fi
+  if grep -nP '\t' "$f" > /dev/null; then
+    echo "$f: hard tab (indent is 2 spaces):" >&2
+    grep -nP '\t' "$f" | head -5 | sed 's/^/    /' >&2
+    rc=1
+  fi
+  if grep -nP '\r$' "$f" > /dev/null; then
+    echo "$f: CRLF line ending" >&2
+    rc=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' ')" != '\n' ]; then
+    echo "$f: missing final newline" >&2
+    rc=1
+  fi
+done
+if [ "$rc" = 0 ]; then
+  echo "format (fallback): clean"
+else
+  echo "format (fallback): FAILED" >&2
+fi
+exit "$rc"

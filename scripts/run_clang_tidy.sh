@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Runs the curated clang-tidy gate (.clang-tidy) over every src/ and fuzz/
+# translation unit and fails on any finding not recorded in the per-file
+# suppression ledger (scripts/clang_tidy_suppressions.txt). CI runs this in
+# the static-analysis job; run it locally before pushing:
+#
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# Flags: --fix forwards clang-tidy's -fix (apply suggested rewrites).
+# Environment: CLANG_TIDY=<binary> overrides tool discovery.
+#
+# The ledger holds "path check-name" pairs, one per line, each with a
+# trailing `# reason`. A finding in the ledger is tolerated (and reported as
+# suppressed); a ledger line that no longer matches anything is reported as
+# stale so entries cannot outlive their excuse. New findings fail the gate:
+# fix the code, or add a ledger line with a reason a reviewer will accept.
+set -eu
+
+build_dir="build"
+fix_flag=""
+for arg in "$@"; do
+  case "$arg" in
+    --fix) fix_flag="-fix" ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+ledger="$repo_root/scripts/clang_tidy_suppressions.txt"
+
+# --- tool discovery (newest first; the check set targets clang-tidy >= 14)
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy" ]; then
+  echo "error: clang-tidy not found (searched clang-tidy, clang-tidy-14..20)." >&2
+  echo "Install clang-tidy or set CLANG_TIDY=<binary>. The CI" >&2
+  echo "static-analysis job runs this gate on every push." >&2
+  exit 2
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found; configure with" >&2
+  echo "  cmake -B $build_dir -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+raw="$tmp_dir/raw.txt"
+findings="$tmp_dir/findings.txt"
+ledger_keys="$tmp_dir/ledger.txt"
+
+# --- run over every src/ and fuzz/ TU in compile_commands.json
+cd "$repo_root"
+files="$(find src fuzz -name '*.cpp' 2> /dev/null | sort)"
+echo "==> $("$tidy" --version | head -1) over $(echo "$files" | wc -l) files"
+jobs="$(nproc 2> /dev/null || echo 2)"
+# shellcheck disable=SC2086
+echo "$files" | xargs -P "$jobs" -n 8 \
+  "$tidy" -p "$build_dir" --quiet $fix_flag > "$raw" 2> "$tmp_dir/stderr.txt" \
+  || true
+
+# --- normalize diagnostics to "path check" pairs
+# A diagnostic line is "path:line:col: warning|error: text [check,...]".
+sed -nE "s|^$repo_root/||; s|^([^: ]+):[0-9]+:[0-9]+: (warning\|error): .* \[([^][]+)\]$|\1 \3|p" \
+  "$raw" | sort -u > "$findings"
+sed -E 's/#.*$//; s/[[:space:]]+$//; s/^[[:space:]]+//' "$ledger" 2> /dev/null \
+  | grep -v '^$' | sort -u > "$ledger_keys" || : > "$ledger_keys"
+
+new="$(comm -23 "$findings" "$ledger_keys")"
+suppressed="$(comm -12 "$findings" "$ledger_keys")"
+stale="$(comm -13 "$findings" "$ledger_keys")"
+
+if [ -n "$suppressed" ]; then
+  echo "--- suppressed by ledger:"
+  echo "$suppressed" | sed 's/^/    /'
+fi
+if [ -n "$stale" ]; then
+  echo "--- STALE ledger entries (finding no longer fires; remove them):"
+  echo "$stale" | sed 's/^/    /'
+fi
+if [ -n "$new" ]; then
+  echo "--- NEW findings (not in $ledger):"
+  echo "$new" | sed 's/^/    /'
+  echo
+  echo "--- full diagnostics:"
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): ' "$raw" | sort -u
+  echo "clang-tidy gate: FAILED ($(echo "$new" | wc -l) new finding(s))" >&2
+  exit 1
+fi
+if [ -n "$stale" ]; then
+  echo "clang-tidy gate: FAILED (stale ledger entries)" >&2
+  exit 1
+fi
+echo "clang-tidy gate: clean"

@@ -23,6 +23,8 @@
 
 namespace squid {
 
+class SnapshotFile;  // storage/snapshot.h
+
 /// Options for αDB construction.
 struct AdbOptions {
   SchemaGraphOptions schema_graph;
@@ -92,6 +94,12 @@ class AbductionReadyDb {
   /// restored pool and base tables. Defined in adb/adb_snapshot.cpp.
   static Result<std::unique_ptr<AbductionReadyDb>> LoadSnapshot(
       const std::string& path, const AdbSnapshotOptions& options = {});
+
+  /// Same load over an already-validated in-memory image. This is the layer
+  /// the fuzz harness drives (SnapshotFile::FromBytes -> LoadSnapshot)
+  /// without touching the filesystem; the path overload delegates here.
+  static Result<std::unique_ptr<AbductionReadyDb>> LoadSnapshot(
+      const SnapshotFile& file);
 
   /// Database containing base + derived relations (what abduced αDB-form
   /// queries execute against).

@@ -403,7 +403,11 @@ Status AbductionReadyDb::SaveSnapshot(const std::string& path) const {
 Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::LoadSnapshot(
     const std::string& path, const AdbSnapshotOptions& options) {
   SQUID_ASSIGN_OR_RETURN(SnapshotFile file, SnapshotFile::Open(path, options.use_mmap));
+  return LoadSnapshot(file);
+}
 
+Result<std::unique_ptr<AbductionReadyDb>> AbductionReadyDb::LoadSnapshot(
+    const SnapshotFile& file) {
   SQUID_ASSIGN_OR_RETURN(ExtentReader manifest_in, file.Extent(ExtentType::kManifest));
   ManifestData manifest;
   SQUID_RETURN_NOT_OK(ParseManifest(&manifest_in, &manifest));

@@ -52,11 +52,15 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
+// Both knobs are independent on/off flags checked per log call: relaxed is
+// enough because no other state is published through them — a racing writer
+// just means a borderline line logs (or not) with the old setting.
 void SetLogLevel(LogLevel level) {
   LevelFlag().store(level, std::memory_order_relaxed);
 }
 LogLevel GetLogLevel() { return LevelFlag().load(std::memory_order_relaxed); }
 
+// relaxed: same independent-flag contract as the level knob above.
 void SetLogTimestamps(bool enabled) {
   g_timestamps.store(enabled, std::memory_order_relaxed);
 }
@@ -65,6 +69,7 @@ bool GetLogTimestamps() { return g_timestamps.load(std::memory_order_relaxed); }
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // relaxed: see the flag-knob comment above SetLogLevel.
   if (g_timestamps.load(std::memory_order_relaxed)) {
     // Monotonic seconds since an arbitrary process-local origin: cheap,
     // strictly ordered, and immune to wall-clock steps — what you want when

@@ -29,7 +29,11 @@ enum class StatusCode {
 ///
 /// A Status is cheap to copy in the OK case (no allocation). Use the
 /// SQUID_RETURN_NOT_OK macro to propagate errors.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a snapshot
+/// that did not load, a row that was never appended). Callers that truly
+/// mean to ignore an error must say so with a void cast and a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -76,8 +80,10 @@ class Status {
 /// \brief A Status plus a value of type T on success.
 ///
 /// Mirrors arrow::Result. Access the value only after checking ok().
+/// [[nodiscard]] for the same reason as Status: a discarded Result is a
+/// swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT

@@ -58,6 +58,7 @@ Result<TcpClient> TcpClient::Connect(const std::string& address,
   }
   int rc;
   do {
+    // lint: raw-ok (sockaddr_in -> sockaddr for the socket ABI, not payload)
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) {

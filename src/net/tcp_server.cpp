@@ -115,8 +115,10 @@ struct TcpServer::Impl {
   int listen_fd = -1;
   int wake_read_fd = -1;
   std::thread loop;
-  std::atomic<bool> running{false};
-  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> running{false};          // acquire/release handshake
+  std::atomic<bool> stop_requested{false};   // with the loop thread
+  // relaxed: written once at bind time before Start() publishes `running`
+  // (release) — port() readers see it via that handshake or simply poll.
   std::atomic<uint16_t> bound_port{0};
   /// Requests admitted to the service whose answers the loop has not yet
   /// consumed from the hub; drain waits for this to hit zero.
@@ -177,6 +179,7 @@ Status TcpServer::Impl::Bind() {
                                    "address: " +
                                    options.bind_address);
   }
+  // lint: raw-ok (sockaddr_in -> sockaddr for the BSD socket ABI, not payload)
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     return Errno("net: bind " + options.bind_address + ":" +
@@ -188,6 +191,7 @@ Status TcpServer::Impl::Bind() {
   SQUID_RETURN_NOT_OK(SetNonBlocking(listen_fd));
   sockaddr_in bound;
   socklen_t len = sizeof(bound);
+  // lint: raw-ok (sockaddr_in -> sockaddr for the BSD socket ABI, not payload)
   if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) <
       0) {
     return Errno("net: getsockname");

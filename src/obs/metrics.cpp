@@ -23,12 +23,15 @@ std::atomic<bool>& EnabledFlag() {
 
 }  // namespace
 
+// relaxed: the kill switch is an independent flag — a recorder racing the
+// toggle drops or keeps one sample, which the metrics contract permits; no
+// other state is published through it.
 void SetMetricsEnabled(bool enabled) {
   EnabledFlag().store(enabled, std::memory_order_relaxed);
 }
 
 bool MetricsEnabled() {
-  return EnabledFlag().load(std::memory_order_relaxed);
+  return EnabledFlag().load(std::memory_order_relaxed);  // relaxed: see above
 }
 
 // --- snapshots ------------------------------------------------------------

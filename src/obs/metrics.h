@@ -138,6 +138,8 @@ class Counter {
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // relaxed: monotonic count with no ordering contract; readers tolerate
+  // observing it mid-update relative to any other metric.
   std::atomic<uint64_t> value_{0};
 };
 
@@ -155,6 +157,7 @@ class Gauge {
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // relaxed: last-writer-wins point sample; nothing synchronizes on it.
   std::atomic<int64_t> value_{0};
 };
 

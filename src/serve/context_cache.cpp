@@ -143,6 +143,8 @@ Result<std::vector<SemanticContext>> ContextCache::Contexts(
       entity_keys.size(),
       Result<std::shared_ptr<const EntityContextProfile>>(
           Status::Internal("profile slot not filled")));
+  // relaxed: workers only increment; the single total is read after the
+  // fan-out joins (ParallelForShared synchronizes completion).
   std::atomic<size_t> cache_hits{0};
   auto fetch = [&](size_t i) {
     const size_t* row = have_rows ? &entity_rows[i] : nullptr;

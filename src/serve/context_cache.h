@@ -154,6 +154,7 @@ class ContextCache : public ContextProvider {
   size_t shard_budget_;
   size_t shard_mask_;
   mutable std::vector<Shard> shards_;
+  // relaxed: standalone stats counter; no reader orders other state on it.
   mutable std::atomic<uint64_t> uncacheable_{0};
 };
 

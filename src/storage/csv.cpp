@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 namespace squid {
 
@@ -110,11 +111,24 @@ Status WriteCsv(const Table& table, const std::string& path) {
 Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ReadCsvStream(schema, in, path);
+}
+
+Result<Table> ReadCsvFromString(const Schema& schema, const std::string& data,
+                                const std::string& source) {
+  std::istringstream in(data);
+  return ReadCsvStream(schema, in, source);
+}
+
+Result<Table> ReadCsvStream(const Schema& schema, std::istream& in,
+                            const std::string& source) {
   std::string line;
-  if (!ReadCsvRecord(in, &line)) return Status::Corruption("empty CSV: " + path);
+  if (!ReadCsvRecord(in, &line)) {
+    return Status::Corruption("empty CSV: " + source);
+  }
   SQUID_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
   if (header.size() != schema.num_attributes()) {
-    return Status::Corruption("CSV header arity mismatch in " + path);
+    return Status::Corruption("CSV header arity mismatch in " + source);
   }
   Table table(schema);
   size_t line_no = 1;
@@ -124,7 +138,7 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
     SQUID_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
     if (fields.size() != schema.num_attributes()) {
       return Status::Corruption("CSV arity mismatch at line " +
-                                std::to_string(line_no) + " in " + path);
+                                std::to_string(line_no) + " in " + source);
     }
     std::vector<Value> row;
     row.reserve(fields.size());
@@ -140,7 +154,8 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
           long long v = std::strtoll(f.c_str(), &end, 10);
           if (end == nullptr || *end != '\0') {
             return Status::Corruption("bad int64 '" + f + "' at line " +
-                                      std::to_string(line_no));
+                                      std::to_string(line_no) + " in " +
+                                      source);
           }
           row.push_back(Value(static_cast<int64_t>(v)));
           break;
@@ -150,7 +165,8 @@ Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
           double v = std::strtod(f.c_str(), &end);
           if (end == nullptr || *end != '\0') {
             return Status::Corruption("bad double '" + f + "' at line " +
-                                      std::to_string(line_no));
+                                      std::to_string(line_no) + " in " +
+                                      source);
           }
           row.push_back(Value(v));
           break;

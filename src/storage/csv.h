@@ -5,6 +5,7 @@
 /// \brief CSV import/export so examples can persist generated datasets and
 /// users can load their own data.
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -21,6 +22,18 @@ Status WriteCsv(const Table& table, const std::string& path);
 /// endings; quoted fields may embed separators, doubled quotes, and
 /// newlines (embedded CRLF normalizes to LF).
 Result<Table> ReadCsv(const Schema& schema, const std::string& path);
+
+/// In-memory variant of ReadCsv: parses `data` as a whole CSV document
+/// (header row included). Same grammar and error behavior as ReadCsv;
+/// `source` only labels error messages. This is the fuzzing entry point —
+/// the CSV reader is a trust boundary (users load their own files), and the
+/// harness must reach it without touching the filesystem.
+Result<Table> ReadCsvFromString(const Schema& schema, const std::string& data,
+                                const std::string& source = "<memory>");
+
+/// Stream-level core shared by ReadCsv and ReadCsvFromString.
+Result<Table> ReadCsvStream(const Schema& schema, std::istream& in,
+                            const std::string& source);
 
 /// Parses one CSV line honoring quoting; exposed for tests.
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line);

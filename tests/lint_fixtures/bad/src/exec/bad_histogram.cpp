@@ -1,0 +1,13 @@
+// Known-bad fixture for scripts/check_invariants.py (histogram-math):
+// re-deriving log-linear bucket boundaries outside src/obs/. Never
+// compiled.
+#include <cstddef>
+#include <cstdint>
+
+namespace squid {
+
+size_t BadBucketMath(uint64_t v) {
+  return BucketIndex(v) + static_cast<size_t>(kSubBuckets);
+}
+
+}  // namespace squid

@@ -1,0 +1,19 @@
+// Known-bad fixture for scripts/check_invariants.py (raw-decode): casting
+// and copying out of a payload buffer without going through WireReader and
+// without a `// lint: raw-ok (...)` justification. Never compiled.
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace squid {
+namespace net {
+
+uint32_t BadDecode(const std::string& payload) {
+  uint32_t v = 0;
+  std::memcpy(&v, payload.data(), sizeof(v));
+  const auto* words = reinterpret_cast<const uint64_t*>(payload.data());
+  return v + static_cast<uint32_t>(words[0]);
+}
+
+}  // namespace net
+}  // namespace squid

@@ -1,0 +1,21 @@
+// Known-bad fixture for scripts/check_invariants.py (atomic-rationale):
+// relaxed and CAS atomics with no rationale comment at the operation or the
+// declaration. Never compiled.
+#include <atomic>
+#include <cstdint>
+
+namespace squid {
+
+std::atomic<uint64_t> g_undocumented{0};
+
+void BadBump() {
+  g_undocumented.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BadCas(std::atomic<uint64_t>& slot, uint64_t want) {
+  uint64_t prev = 0;
+
+  return slot.compare_exchange_strong(prev, want);
+}
+
+}  // namespace squid

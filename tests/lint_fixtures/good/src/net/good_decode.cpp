@@ -1,0 +1,33 @@
+// Known-good fixture for scripts/check_invariants.py: every construct the
+// rules police, in its sanctioned form. Never compiled.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace squid {
+namespace net {
+
+// relaxed: standalone stats counter, nothing synchronizes on it.
+std::atomic<uint64_t> g_documented{0};
+
+void GoodBump() {
+  g_documented.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GoodBumpElsewhere() {
+  g_documented.fetch_add(2, std::memory_order_relaxed);
+}
+
+struct KernelStruct {
+  uint32_t field;
+};
+
+uint32_t GoodKernelCast(KernelStruct* s) {
+  // lint: raw-ok (kernel ABI struct, not payload bytes)
+  const auto* raw = reinterpret_cast<const uint32_t*>(s);
+  return raw[0];
+}
+
+}  // namespace net
+}  // namespace squid

@@ -1,0 +1,11 @@
+// Known-good fixture: bucket math is legal inside src/obs/. Never compiled.
+#include <cstddef>
+#include <cstdint>
+
+namespace squid {
+namespace obs {
+
+size_t GoodBucketMath(uint64_t v) { return BucketIndex(v); }
+
+}  // namespace obs
+}  // namespace squid

@@ -684,7 +684,7 @@ TEST_F(ServeFixture, TryDiscoverShedsWhenTheQueueIsFullAndCountsOnce) {
       EXPECT_EQ(future.get().status().code(), StatusCode::kNotSupported);
     }
   }
-  for (auto& future : admitted) future.get();  // quiesce
+  for (auto& future : admitted) (void)future.get();  // quiesce
   EXPECT_GT(shed, 0u) << "a queue of 1 never rejected a 64-deep burst";
   ServeStats stats = service.stats();
   EXPECT_EQ(stats.requests, kAttempts);

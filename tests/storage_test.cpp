@@ -490,6 +490,39 @@ TEST(CsvTest, UnterminatedQuoteAtEofIsCorruption) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, ReadFromStringMatchesFileReadAndNamesSource) {
+  Schema s("t", {{"i", ValueType::kInt64}, {"s", ValueType::kString}});
+  const std::string data = "i,s\n1,\"a,b\"\n2,plain\n";
+  auto from_string = ReadCsvFromString(s, data, "inline-blob");
+  ASSERT_TRUE(from_string.ok()) << from_string.status().ToString();
+  EXPECT_EQ(from_string.value().num_rows(), 2u);
+  EXPECT_EQ(from_string.value().ValueAt(0, 1).AsString(), "a,b");
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "squid_csv_str.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs(data.c_str(), f);
+    fclose(f);
+  }
+  auto from_file = ReadCsv(s, path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  ASSERT_EQ(from_file.value().num_rows(), from_string.value().num_rows());
+  for (size_t r = 0; r < from_file.value().num_rows(); ++r) {
+    for (size_t c = 0; c < s.num_attributes(); ++c) {
+      EXPECT_TRUE(from_file.value().ValueAt(r, c) ==
+                  from_string.value().ValueAt(r, c));
+    }
+  }
+  std::remove(path.c_str());
+
+  // Errors cite the caller-supplied source label, not a file path.
+  auto bad = ReadCsvFromString(s, "i,s\nnope,x\n", "inline-blob");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("inline-blob"), std::string::npos);
+}
+
 TEST(CsvTest, ReadRejectsBadNumbers) {
   std::string path =
       (std::filesystem::temp_directory_path() / "squid_csv_bad.csv").string();
